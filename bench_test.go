@@ -1,0 +1,167 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§V), one testing.B target per artefact, plus the ablation
+// benches DESIGN.md calls out. They run on the fast testbeds so that
+// `go test -bench=.` finishes on a laptop; `cmd/paperbench` runs the
+// experiment-quality configuration and prints the full tables.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var benchMNIST = sync.OnceValue(func() *experiments.Setup {
+	s, err := experiments.NewMNISTSetup(experiments.FastMNISTParams())
+	if err != nil {
+		panic(err)
+	}
+	return s
+})
+
+var benchCIFAR = sync.OnceValue(func() *experiments.Setup {
+	s, err := experiments.NewCIFARSetup(experiments.FastCIFARParams())
+	if err != nil {
+		panic(err)
+	}
+	return s
+})
+
+// BenchmarkTable1_Architectures regenerates Table I: build and train
+// both architectures, reporting their accuracy.
+func BenchmarkTable1_Architectures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.NewMNISTSetup(experiments.FastMNISTParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := benchCIFAR()
+		t := experiments.RunTable1(s, c)
+		if len(t.Rows) != 2 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig2_ImageSets regenerates Fig. 2: mean per-image validation
+// coverage of noise / natural / training probes on both models.
+func BenchmarkFig2_ImageSets(b *testing.B) {
+	m, c := benchMNIST(), benchCIFAR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := experiments.RunFig2(m, 20); len(f.Rows) != 3 {
+			b.Fatal("bad fig2")
+		}
+		if f := experiments.RunFig2(c, 20); len(f.Rows) != 3 {
+			b.Fatal("bad fig2")
+		}
+	}
+}
+
+// BenchmarkFig3_Methods regenerates Fig. 3: coverage-vs-tests curves of
+// Algorithm 1, Algorithm 2, the combined method and random selection.
+func BenchmarkFig3_Methods(b *testing.B) {
+	s := benchCIFAR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig3(s, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.Combined) != 20 {
+			b.Fatal("bad fig3")
+		}
+	}
+}
+
+// BenchmarkFig4_Synthetic regenerates Fig. 4: one real and one
+// Algorithm 2 synthetic sample per class.
+func BenchmarkFig4_Synthetic(b *testing.B) {
+	s := benchMNIST()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := experiments.RunFig4(s, 25)
+		if len(f.Synthetic) != s.Classes {
+			b.Fatal("bad fig4")
+		}
+	}
+}
+
+func benchDetection(b *testing.B, s *experiments.Setup) {
+	b.Helper()
+	p := experiments.DefaultDetectionParams()
+	p.Sizes = []int{5, 10}
+	p.Trials = 40
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.RunDetection(s, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Cells[0][0]) != 2 {
+			b.Fatal("bad detection table")
+		}
+	}
+}
+
+// BenchmarkTable2_DetectionMNIST regenerates Table II: detection rates
+// under SBA/GDA/random perturbations on the MNIST model.
+func BenchmarkTable2_DetectionMNIST(b *testing.B) {
+	benchDetection(b, benchMNIST())
+}
+
+// BenchmarkTable3_DetectionCIFAR regenerates Table III on the CIFAR
+// model.
+func BenchmarkTable3_DetectionCIFAR(b *testing.B) {
+	benchDetection(b, benchCIFAR())
+}
+
+// BenchmarkAblation_SwitchPoint regenerates ablation A1: adaptive vs
+// fixed vs pure switch policies.
+func BenchmarkAblation_SwitchPoint(b *testing.B) {
+	s := benchCIFAR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationSwitch(s, 15, []int{3, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_Init regenerates ablation A2: Algorithm 2's zero vs
+// Gaussian initialisation.
+func BenchmarkAblation_Init(b *testing.B) {
+	s := benchCIFAR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationInit(s, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_Epsilon regenerates ablation A3: the ε threshold
+// sweep on the Tanh model.
+func BenchmarkAblation_Epsilon(b *testing.B) {
+	s := benchMNIST()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := experiments.RunAblationEpsilon(s, []float64{1e-8, 1e-4, 1e-2, 1e-1}, 10)
+		if len(a.MeanVC) != 4 {
+			b.Fatal("bad ablation")
+		}
+	}
+}
+
+// BenchmarkAblation_Detection regenerates ablation A4: detection by
+// exact, quantized and label comparison.
+func BenchmarkAblation_Detection(b *testing.B) {
+	s := benchCIFAR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationCompare(s, 10, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

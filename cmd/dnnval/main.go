@@ -1,0 +1,330 @@
+// Command dnnval drives the vendor/user validation workflow of Fig. 1
+// from the command line.
+//
+// Subcommands:
+//
+//	train    - build and train a model, write it to a .gob file
+//	generate - generate a functional test suite for a model, seal it
+//	attack   - apply a parameter attack to a stored model
+//	validate - replay a sealed suite against a model file or served IP
+//	serve    - host a model as a black-box IP over TCP
+//	info     - print a model summary and per-layer parameter counts
+//
+// Run `dnnval <subcommand> -h` for flags. Datasets are procedural and
+// regenerated from seeds, so no data files are needed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/train"
+	"repro/internal/validate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dnnval: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "attack":
+		err = cmdAttack(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dnnval {train|generate|attack|validate|serve|info} [flags]")
+	os.Exit(2)
+}
+
+func loadModel(path string) (*nn.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return nn.Decode(f)
+}
+
+func saveModel(path string, network *nn.Network) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return network.Encode(f)
+}
+
+// dataset builds the named procedural dataset sized for the model kind.
+func dataset(kind string, n, h, w int, seed int64) (*data.Dataset, error) {
+	switch kind {
+	case "digits":
+		return data.Digits(n, h, w, seed), nil
+	case "objects":
+		return data.Objects(n, h, w, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want digits or objects)", kind)
+	}
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	arch := fs.String("arch", "cifar", "architecture: mnist (Tanh) or cifar (ReLU)")
+	size := fs.Int("size", 20, "input height/width")
+	scale := fs.Float64("scale", 0.25, "width scale of the Table I stacks")
+	n := fs.Int("n", 800, "training samples")
+	epochs := fs.Int("epochs", 8, "training epochs")
+	lr := fs.Float64("lr", 0.002, "Adam learning rate")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "model.gob", "output model file")
+	fs.Parse(args)
+
+	var a models.Arch
+	var ds *data.Dataset
+	switch *arch {
+	case "mnist":
+		a = models.MNIST(*size, *size, *scale)
+		ds = data.Digits(*n, *size, *size, *seed+100)
+	case "cifar":
+		a = models.CIFAR(*size, *size, *scale)
+		ds = data.Objects(*n, *size, *size, *seed+100)
+	default:
+		return fmt.Errorf("unknown arch %q", *arch)
+	}
+	network, err := a.Build(*seed)
+	if err != nil {
+		return err
+	}
+	res, err := train.Fit(network, ds, train.Config{
+		Epochs:    *epochs,
+		BatchSize: 16,
+		Optimizer: train.NewAdam(*lr),
+		Seed:      *seed,
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("trained %s: accuracy %.1f%%, %d parameters", a.Name, 100*res.TrainAccuracy, network.NumParams())
+	return saveModel(*out, network)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	model := fs.String("model", "model.gob", "model file")
+	dsKind := fs.String("data", "objects", "training data: digits or objects")
+	size := fs.Int("size", 20, "input height/width")
+	n := fs.Int("n", 30, "number of functional tests (Nt)")
+	pool := fs.Int("pool", 300, "training pool size for Algorithm 1")
+	seed := fs.Int64("seed", 1, "random seed")
+	method := fs.String("method", "combined", "generator: combined, select, gradient")
+	key := fs.String("key", "", "seal the suite with this key (hex-free shared secret)")
+	out := fs.String("o", "suite.bin", "output suite file")
+	fs.Parse(args)
+
+	network, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	ds, err := dataset(*dsKind, *pool, *size, *size, *seed+100)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions(*n)
+	opts.Coverage = coverage.DefaultConfig(network)
+	opts.Seed = *seed
+
+	var res *core.Result
+	switch *method {
+	case "combined":
+		res, err = core.Combined(network, ds, opts)
+	case "select":
+		res, err = core.SelectFromTraining(network, ds, opts)
+	case "gradient":
+		res, err = core.GradientGenerate(network, []int{ds.C, ds.H, ds.W}, ds.Classes, opts)
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	if err != nil {
+		return err
+	}
+	log.Printf("%d tests, validation coverage %.1f%% (switch point %d)",
+		len(res.Tests), 100*res.FinalCoverage(), res.SwitchPoint)
+
+	suite := validate.BuildSuite("dnnval", network, res.Tests, validate.ExactOutputs)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if *key == "" {
+		return fmt.Errorf("a -key is required to seal the suite")
+	}
+	return suite.Seal(f, []byte(*key))
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	model := fs.String("model", "model.gob", "model file")
+	kind := fs.String("kind", "sba", "attack: sba, gda, random, bitflip")
+	magnitude := fs.Float64("magnitude", 5, "SBA bias offset")
+	count := fs.Int("count", 1, "parameters for random/bitflip")
+	sigma := fs.Float64("sigma", 0.5, "random perturbation std")
+	dsKind := fs.String("data", "objects", "victim data for gda: digits or objects")
+	size := fs.Int("size", 20, "input height/width")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "output model file (default: overwrite input)")
+	fs.Parse(args)
+
+	network, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var p *attack.Perturbation
+	switch *kind {
+	case "sba":
+		p, err = attack.SBA(network, *magnitude, rng)
+	case "gda":
+		var ds *data.Dataset
+		ds, err = dataset(*dsKind, 10, *size, *size, *seed+100)
+		if err != nil {
+			return err
+		}
+		v := ds.Samples[0]
+		var success bool
+		p, success, err = attack.GDA(network, v.X, v.Label, attack.DefaultGDAConfig(), rng)
+		if err == nil {
+			log.Printf("GDA misclassification achieved: %v", success)
+		}
+	case "random":
+		p, err = attack.RandomNoise(network, *count, *sigma, rng)
+	case "bitflip":
+		p, err = attack.BitFlip(network, *count, rng)
+	default:
+		return fmt.Errorf("unknown attack %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	log.Printf("applied %s", p)
+	dst := *out
+	if dst == "" {
+		dst = *model
+	}
+	return saveModel(dst, network)
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	model := fs.String("model", "", "model file to validate (local mode)")
+	addr := fs.String("addr", "", "served IP address (remote mode)")
+	suitePath := fs.String("suite", "suite.bin", "sealed suite file")
+	key := fs.String("key", "", "suite sealing key")
+	fs.Parse(args)
+
+	if *key == "" {
+		return fmt.Errorf("a -key is required to open the suite")
+	}
+	f, err := os.Open(*suitePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	suite, err := validate.OpenSuite(f, []byte(*key))
+	if err != nil {
+		return err
+	}
+
+	var ip validate.IP
+	switch {
+	case *addr != "":
+		remote, err := validate.Dial(*addr)
+		if err != nil {
+			return err
+		}
+		defer remote.Close()
+		ip = remote
+	case *model != "":
+		network, err := loadModel(*model)
+		if err != nil {
+			return err
+		}
+		ip = validate.LocalIP{Net: network}
+	default:
+		return fmt.Errorf("need -model or -addr")
+	}
+
+	rep, err := suite.Validate(ip)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if !rep.Passed {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	model := fs.String("model", "model.gob", "model file")
+	addr := fs.String("addr", "127.0.0.1:7077", "listen address")
+	fs.Parse(args)
+
+	network, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := validate.Serve(l, network)
+	log.Printf("serving IP on %s (ctrl-c to stop)", srv.Addr())
+	select {} // serve forever
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	model := fs.String("model", "model.gob", "model file")
+	fs.Parse(args)
+
+	network, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("layers: %d, parameters: %d\n", len(network.LayerStack), network.NumParams())
+	for _, p := range network.Params() {
+		fmt.Printf("  %-12s %7d values\n", p.Name, p.W.Size())
+	}
+	return nil
+}

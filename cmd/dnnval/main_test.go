@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles dnnval once into a temp dir shared by the tests.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dnnval")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build dnnval: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI workflow is slow")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.gob")
+	suite := filepath.Join(dir, "suite.bin")
+
+	// train (tiny configuration to keep the test quick)
+	out, err := run(t, bin, "train", "-arch", "cifar", "-size", "16", "-scale", "0.05",
+		"-n", "120", "-epochs", "2", "-o", model)
+	if err != nil {
+		t.Fatalf("train: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+
+	// info
+	out, err = run(t, bin, "info", "-model", model)
+	if err != nil {
+		t.Fatalf("info: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "parameters:") || !strings.Contains(out, "conv1.W") {
+		t.Fatalf("info output:\n%s", out)
+	}
+
+	// generate (sealed)
+	out, err = run(t, bin, "generate", "-model", model, "-data", "objects", "-size", "16",
+		"-n", "6", "-pool", "60", "-key", "k1", "-o", suite)
+	if err != nil {
+		t.Fatalf("generate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "validation coverage") {
+		t.Fatalf("generate output:\n%s", out)
+	}
+
+	// validate the pristine model — must pass (exit 0)
+	out, err = run(t, bin, "validate", "-model", model, "-suite", suite, "-key", "k1")
+	if err != nil {
+		t.Fatalf("validate pristine: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Fatalf("validate output:\n%s", out)
+	}
+
+	// wrong key must fail
+	if _, err = run(t, bin, "validate", "-model", model, "-suite", suite, "-key", "k2"); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+
+	// attack the stored model, then validation must fail (exit 1)
+	attacked := filepath.Join(dir, "attacked.gob")
+	out, err = run(t, bin, "attack", "-model", model, "-kind", "sba", "-magnitude", "5", "-o", attacked)
+	if err != nil {
+		t.Fatalf("attack: %v\n%s", err, out)
+	}
+	out, err = run(t, bin, "validate", "-model", attacked, "-suite", suite, "-key", "k1")
+	if err == nil {
+		t.Fatalf("attacked model passed validation:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Fatalf("validate output after attack:\n%s", out)
+	}
+}
+
+func TestCLIUnknownSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI workflow is slow")
+	}
+	bin := buildCLI(t)
+	if _, err := run(t, bin, "bogus"); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if _, err := run(t, bin); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+}

@@ -1,0 +1,239 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/train"
+)
+
+var victimNet = sync.OnceValue(func() *nn.Network {
+	net := models.Tiny(nn.ReLU, 1, 10, 10, 4, 10, 201)
+	ds := data.Digits(150, 10, 10, 202)
+	if _, err := train.Fit(net, ds, train.Config{
+		Epochs: 5, BatchSize: 16, Optimizer: train.NewAdam(0.003), Seed: 1,
+	}); err != nil {
+		panic(err)
+	}
+	return net
+})
+
+func paramsSnapshot(net *nn.Network) []float64 { return net.CopyParams() }
+
+func assertRestored(t *testing.T, net *nn.Network, snap []float64) {
+	t.Helper()
+	for i, v := range snap {
+		if net.ParamAt(i) != v {
+			t.Fatalf("param %d not restored: %v vs %v", i, net.ParamAt(i), v)
+		}
+	}
+}
+
+func TestSBATouchesExactlyOneBias(t *testing.T) {
+	net := victimNet()
+	snap := paramsSnapshot(net)
+	rng := rand.New(rand.NewSource(1))
+	p, err := SBA(net, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Indices) != 1 {
+		t.Fatalf("SBA touched %d params", len(p.Indices))
+	}
+	name := net.ParamName(p.Indices[0])
+	if name[len(name)-5:] == ".W[0]" {
+		t.Fatalf("SBA touched a weight: %s", name)
+	}
+	if math.Abs(p.New[0]-p.Old[0]) != 5 {
+		t.Fatalf("SBA delta %v, want magnitude 5", p.New[0]-p.Old[0])
+	}
+	// Exactly one parameter differs from the snapshot.
+	diff := 0
+	for i, v := range snap {
+		if net.ParamAt(i) != v {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d params changed, want 1", diff)
+	}
+	p.Revert(net)
+	assertRestored(t, net, snap)
+}
+
+func TestSBAHitsOnlyBiasNames(t *testing.T) {
+	net := victimNet()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		p, err := SBA(net, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := net.ParamName(p.Indices[0])
+		// Names look like "conv1.b[3]" for biases.
+		isBias := false
+		for i := 0; i+2 < len(name); i++ {
+			if name[i:i+3] == ".b[" {
+				isBias = true
+			}
+		}
+		if !isBias {
+			t.Fatalf("SBA chose non-bias %s", name)
+		}
+		p.Revert(net)
+	}
+}
+
+func TestGDAFlipsVictimLabel(t *testing.T) {
+	net := victimNet()
+	snap := paramsSnapshot(net)
+	ds := data.Digits(20, 10, 10, 203)
+	rng := rand.New(rand.NewSource(3))
+	flips := 0
+	for _, s := range ds.Samples[:10] {
+		if net.Predict(s.X) != s.Label {
+			continue // attack only correctly classified victims
+		}
+		p, success, err := GDA(net, s.X, s.Label, DefaultGDAConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if success {
+			flips++
+			if net.Predict(s.X) == s.Label {
+				t.Fatal("GDA reported success but victim still classified correctly")
+			}
+		}
+		if len(p.Indices) == 0 {
+			t.Fatal("GDA touched no parameters")
+		}
+		if cfgK := DefaultGDAConfig(); len(p.Indices) > cfgK.TopK*cfgK.Steps {
+			t.Fatalf("GDA touched %d params, exceeds TopK×Steps", len(p.Indices))
+		}
+		p.Revert(net)
+		assertRestored(t, net, snap)
+	}
+	if flips == 0 {
+		t.Fatal("GDA never flipped any victim")
+	}
+}
+
+func TestGDAStealthiness(t *testing.T) {
+	// With TopK set, per-step updates touch at most K parameters; total
+	// touched should be far below the parameter count.
+	net := victimNet()
+	snap := paramsSnapshot(net)
+	ds := data.Digits(5, 10, 10, 204)
+	rng := rand.New(rand.NewSource(4))
+	cfg := GDAConfig{Steps: 10, LR: 0.05, TopK: 20}
+	p, _, err := GDA(net, ds.Samples[0].X, ds.Samples[0].Label, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Indices) >= net.NumParams()/2 {
+		t.Fatalf("GDA touched %d of %d params; not stealthy", len(p.Indices), net.NumParams())
+	}
+	p.Revert(net)
+	assertRestored(t, net, snap)
+}
+
+func TestGDAConfigValidation(t *testing.T) {
+	net := victimNet()
+	ds := data.Digits(1, 10, 10, 205)
+	rng := rand.New(rand.NewSource(5))
+	if _, _, err := GDA(net, ds.Samples[0].X, 0, GDAConfig{Steps: 0, LR: 0.1}, rng); err == nil {
+		t.Error("Steps=0 accepted")
+	}
+	if _, _, err := GDA(net, ds.Samples[0].X, 0, GDAConfig{Steps: 5, LR: 0}, rng); err == nil {
+		t.Error("LR=0 accepted")
+	}
+}
+
+func TestRandomNoiseCountAndRevert(t *testing.T) {
+	net := victimNet()
+	snap := paramsSnapshot(net)
+	rng := rand.New(rand.NewSource(6))
+	p, err := RandomNoise(net, 10, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Indices) != 10 {
+		t.Fatalf("RandomNoise touched %d params, want 10", len(p.Indices))
+	}
+	// Indices must be unique and sorted.
+	for i := 1; i < len(p.Indices); i++ {
+		if p.Indices[i] <= p.Indices[i-1] {
+			t.Fatal("indices not strictly increasing")
+		}
+	}
+	p.Revert(net)
+	assertRestored(t, net, snap)
+}
+
+func TestRandomNoiseValidation(t *testing.T) {
+	net := victimNet()
+	rng := rand.New(rand.NewSource(7))
+	if _, err := RandomNoise(net, 0, 0.5, rng); err == nil {
+		t.Error("count=0 accepted")
+	}
+	if _, err := RandomNoise(net, net.NumParams()+1, 0.5, rng); err == nil {
+		t.Error("oversized count accepted")
+	}
+}
+
+func TestBitFlipChangesValueFinite(t *testing.T) {
+	net := victimNet()
+	snap := paramsSnapshot(net)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		p, err := BitFlip(net, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, idx := range p.Indices {
+			v := net.ParamAt(idx)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("bit flip produced non-finite value at %d", idx)
+			}
+			_ = i
+		}
+		p.Revert(net)
+		assertRestored(t, net, snap)
+	}
+}
+
+func TestPerturbationReapply(t *testing.T) {
+	net := victimNet()
+	rng := rand.New(rand.NewSource(9))
+	p, err := RandomNoise(net, 5, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked := make([]float64, len(p.Indices))
+	for i, idx := range p.Indices {
+		attacked[i] = net.ParamAt(idx)
+	}
+	p.Revert(net)
+	p.Reapply(net)
+	for i, idx := range p.Indices {
+		if net.ParamAt(idx) != attacked[i] {
+			t.Fatal("Reapply did not restore attacked values")
+		}
+	}
+	p.Revert(net)
+}
+
+func TestPerturbationString(t *testing.T) {
+	p := &Perturbation{Kind: "sba", Indices: []int{1}, Old: []float64{0}, New: []float64{2}}
+	if p.MaxDelta() != 2 {
+		t.Fatalf("MaxDelta = %v", p.MaxDelta())
+	}
+	if got := p.String(); got != "sba: 1 params, max |Δ| 2" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,184 @@
+// Package bitset provides a fixed-size packed bit set used for coverage
+// accounting. A Set tracks which of n items (DNN parameters or neurons)
+// have been activated; the hot operations are union and "how many bits
+// would a union add" (AndNotCount), both of which the greedy selection
+// in the test generator calls once per candidate per iteration.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Set is a fixed-length bit set. The zero value is an empty set of length
+// zero; use New to create a set of a given length.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns a set of n bits, all clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative length %d", n))
+	}
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the number of bits in the set (its capacity, not the count
+// of set bits).
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Get reports whether bit i is set.
+func (s *Set) Get(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// UnionWith sets s = s ∪ t. It panics if the lengths differ.
+func (s *Set) UnionWith(t *Set) {
+	s.sameLen(t)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith sets s = s ∩ t. It panics if the lengths differ.
+func (s *Set) IntersectWith(t *Set) {
+	s.sameLen(t)
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// DifferenceWith sets s = s \ t. It panics if the lengths differ.
+func (s *Set) DifferenceWith(t *Set) {
+	s.sameLen(t)
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// AndNotCount returns |s \ t| without allocating: the number of bits set
+// in s that are not set in t. This is the marginal coverage gain used by
+// the greedy selector (s = candidate activation set, t = covered set).
+func (s *Set) AndNotCount(t *Set) int {
+	s.sameLen(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w &^ t.words[i])
+	}
+	return c
+}
+
+// UnionCount returns |s ∪ t| without allocating.
+func (s *Set) UnionCount(t *Set) int {
+	s.sameLen(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w | t.words[i])
+	}
+	return c
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets every bit.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim clears the unused bits of the last word so Count stays exact.
+func (s *Set) trim() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Equal reports whether s and t have the same length and the same bits.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) sameLen(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: length mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+// Fraction returns Count/Len, the covered fraction. It returns 0 for an
+// empty set.
+func (s *Set) Fraction() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.Count()) / float64(s.n)
+}
+
+// String implements fmt.Stringer with a summary (not the raw bits).
+func (s *Set) String() string {
+	return fmt.Sprintf("bitset{%d/%d}", s.Count(), s.n)
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(0)
+	if s.Len() != 0 || s.Count() != 0 {
+		t.Fatalf("empty set: Len=%d Count=%d", s.Len(), s.Count())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	s := New(130)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		s.Set(i)
+	}
+	for _, i := range idx {
+		if !s.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if got := s.Count(); got != len(idx) {
+		t.Fatalf("Count = %d, want %d", got, len(idx))
+	}
+	s.Clear(64)
+	if s.Get(64) {
+		t.Error("bit 64 should be clear")
+	}
+	if got := s.Count(); got != len(idx)-1 {
+		t.Fatalf("Count after clear = %d, want %d", got, len(idx)-1)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			s.Get(i)
+		}()
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(3)
+	a.Set(99)
+	b.Set(3)
+	b.Set(50)
+	a.UnionWith(b)
+	for _, i := range []int{3, 50, 99} {
+		if !a.Get(i) {
+			t.Errorf("union missing bit %d", i)
+		}
+	}
+	if a.Count() != 3 {
+		t.Fatalf("union count = %d, want 3", a.Count())
+	}
+}
+
+func TestIntersectDifference(t *testing.T) {
+	a, b := New(70), New(70)
+	for i := 0; i < 70; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 70; i += 3 {
+		b.Set(i)
+	}
+	inter := a.Clone()
+	inter.IntersectWith(b)
+	diff := a.Clone()
+	diff.DifferenceWith(b)
+	for i := 0; i < 70; i++ {
+		wantInter := i%2 == 0 && i%3 == 0
+		wantDiff := i%2 == 0 && i%3 != 0
+		if inter.Get(i) != wantInter {
+			t.Errorf("intersect bit %d = %v, want %v", i, inter.Get(i), wantInter)
+		}
+		if diff.Get(i) != wantDiff {
+			t.Errorf("difference bit %d = %v, want %v", i, diff.Get(i), wantDiff)
+		}
+	}
+}
+
+func TestAndNotCountMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		d := a.Clone()
+		d.DifferenceWith(b)
+		if got, want := a.AndNotCount(b), d.Count(); got != want {
+			t.Fatalf("n=%d AndNotCount=%d, materialized=%d", n, got, want)
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		if got, want := a.UnionCount(b), u.Count(); got != want {
+			t.Fatalf("n=%d UnionCount=%d, materialized=%d", n, got, want)
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UnionWith length mismatch did not panic")
+		}
+	}()
+	a.UnionWith(b)
+}
+
+func TestFillAndFraction(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Errorf("Fill(%d): Count=%d", n, s.Count())
+		}
+		if s.Fraction() != 1 {
+			t.Errorf("Fill(%d): Fraction=%v", n, s.Fraction())
+		}
+		s.Reset()
+		if s.Count() != 0 {
+			t.Errorf("Reset(%d): Count=%d", n, s.Count())
+		}
+	}
+	if New(0).Fraction() != 0 {
+		t.Error("empty set Fraction should be 0")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(64)
+	a.Set(5)
+	c := a.Clone()
+	c.Set(6)
+	if a.Get(6) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !c.Get(5) {
+		t.Fatal("Clone lost bit 5")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(90), New(90)
+	a.Set(1)
+	b.Set(1)
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+	b.Set(2)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	if a.Equal(New(91)) {
+		t.Fatal("different lengths reported equal")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	s := New(200)
+	want := []int{0, 63, 64, 150, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Set(3)
+	if got := s.String(); got != "bitset{1/10}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// randomSet builds a set of length n with bits chosen by rng, for the
+// property tests below.
+func randomSet(n int, rng *rand.Rand) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%512) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomSet(n, rng), randomSet(n, rng)
+		ab := a.Clone()
+		ab.UnionWith(b)
+		ba := b.Clone()
+		ba.UnionWith(a)
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionIdempotent(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%512) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSet(n, rng)
+		u := a.Clone()
+		u.UnionWith(a)
+		return u.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInclusionExclusion(t *testing.T) {
+	// |a ∪ b| = |a| + |b| - |a ∩ b|
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%512) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomSet(n, rng), randomSet(n, rng)
+		inter := a.Clone()
+		inter.IntersectWith(b)
+		return a.UnionCount(b) == a.Count()+b.Count()-inter.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAndNotComplement(t *testing.T) {
+	// |a \ b| + |a ∩ b| = |a|
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%512) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomSet(n, rng), randomSet(n, rng)
+		inter := a.Clone()
+		inter.IntersectWith(b)
+		return a.AndNotCount(b)+inter.Count() == a.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionMonotone(t *testing.T) {
+	// coverage never decreases when adding a set
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%512) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomSet(n, rng), randomSet(n, rng)
+		before := a.Count()
+		a.UnionWith(b)
+		return a.Count() >= before && a.Count() >= b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAndNotCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a, c := randomSet(1<<16, rng), randomSet(1<<16, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.AndNotCount(c)
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a, c := randomSet(1<<16, rng), randomSet(1<<16, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.UnionWith(c)
+	}
+}

@@ -1,0 +1,455 @@
+// Package core implements the paper's contribution: functional test
+// generation for black-box DNN IP validation.
+//
+// Three generators are provided, mirroring §IV:
+//
+//   - SelectFromTraining (Algorithm 1) greedily picks training samples
+//     that activate the most currently-unactivated parameters.
+//   - GradientGenerate (Algorithm 2) synthesises inputs by gradient
+//     descent so they are classified correctly by the *residual*
+//     network formed by the still-unactivated parameters, one synthetic
+//     sample per class per round.
+//   - Combined (§IV-D) runs Algorithm 1 until its marginal coverage per
+//     test falls below what Algorithm 2 achieves, then switches.
+//
+// The neuron-coverage greedy baseline of the hardware-testing literature
+// (Ma et al. [11]) and a random-selection baseline complete the set the
+// evaluation compares (Tables II/III).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/coverage"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Source records where a test case came from.
+type Source int
+
+// Test case provenance.
+const (
+	FromTraining Source = iota
+	FromSynthesis
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	if s == FromTraining {
+		return "training"
+	}
+	return "synthetic"
+}
+
+// InitMode selects the starting point of Algorithm 2's input synthesis.
+type InitMode int
+
+// Synthesis initialisation modes. The paper initialises with zeros
+// (Algorithm 2 line 3); Gaussian is the ablation alternative.
+const (
+	ZeroInit InitMode = iota
+	GaussianInit
+)
+
+// Options configures the generators.
+type Options struct {
+	// MaxTests is Nt, the test budget (Eq. 6).
+	MaxTests int
+	// Coverage sets the parameter-activation threshold.
+	Coverage coverage.Config
+	// Eta is Algorithm 2's gradient step size η.
+	Eta float64
+	// Steps is Algorithm 2's iteration count T.
+	Steps int
+	// Init selects zero (paper) or Gaussian initialisation.
+	Init InitMode
+	// Clamp keeps synthesised inputs in [0,1] (the image domain) after
+	// each update when true.
+	Clamp bool
+	// Seed drives Gaussian initialisation and random fill-in.
+	Seed int64
+	// StopOnZeroGain stops Algorithm 1 early once no candidate adds
+	// coverage; off by default so coverage curves span the full budget
+	// as in Fig. 3.
+	StopOnZeroGain bool
+}
+
+// DefaultOptions returns the options used throughout the evaluation.
+func DefaultOptions(maxTests int) Options {
+	return Options{
+		MaxTests: maxTests,
+		Eta:      0.5,
+		Steps:    30,
+		Clamp:    true,
+	}
+}
+
+func (o Options) validate() error {
+	if o.MaxTests <= 0 {
+		return fmt.Errorf("core: MaxTests must be positive, got %d", o.MaxTests)
+	}
+	return nil
+}
+
+// Result is a generated validation set with its coverage history.
+type Result struct {
+	// Tests are the generated inputs in selection order.
+	Tests []*tensor.Tensor
+	// Labels hold the training label (selected samples) or the target
+	// class (synthetic samples) of each test.
+	Labels []int
+	// Sources records each test's provenance.
+	Sources []Source
+	// Curve[i] is the validation coverage after i+1 tests (Eq. 4).
+	Curve []float64
+	// SwitchPoint is the index of the first synthetic test, or -1 when
+	// Algorithm 2 never produced one.
+	SwitchPoint int
+	// Covered is the final activated-parameter set of the whole suite;
+	// per-layer breakdowns come from coverage.PerParam.
+	Covered *bitset.Set
+}
+
+// FinalCoverage returns the coverage achieved by the full set.
+func (r *Result) FinalCoverage() float64 {
+	if len(r.Curve) == 0 {
+		return 0
+	}
+	return r.Curve[len(r.Curve)-1]
+}
+
+// add appends one test and its coverage to the result.
+func (r *Result) add(x *tensor.Tensor, label int, src Source, cov float64) {
+	r.Tests = append(r.Tests, x)
+	r.Labels = append(r.Labels, label)
+	r.Sources = append(r.Sources, src)
+	r.Curve = append(r.Curve, cov)
+}
+
+// SelectFromTraining implements Algorithm 1: iteratively add the
+// training sample with the largest marginal validation-coverage gain
+// (Eq. 7). Per-sample activation sets are computed once up front; each
+// greedy iteration is then pure bitset algebra.
+func SelectFromTraining(net *nn.Network, train *data.Dataset, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	sets := coverage.ParamSets(net, train, opts.Coverage)
+	acc := coverage.NewAccumulator(net.NumParams())
+	used := make([]bool, train.Len())
+	res := &Result{SwitchPoint: -1}
+
+	for len(res.Tests) < opts.MaxTests {
+		best, bestGain := -1, -1
+		for i, s := range sets {
+			if used[i] {
+				continue
+			}
+			if g := acc.Gain(s); g > bestGain {
+				best, bestGain = i, g
+			}
+		}
+		if best < 0 {
+			break // training set exhausted
+		}
+		if bestGain == 0 && opts.StopOnZeroGain {
+			break
+		}
+		used[best] = true
+		acc.Add(sets[best])
+		res.add(train.Samples[best].X, train.Samples[best].Label, FromTraining, acc.Coverage())
+	}
+	res.Covered = acc.Set()
+	return res, nil
+}
+
+// residualNet returns a copy of net whose *activated* parameters are
+// zeroed, leaving only the still-unactivated parameters — the "network
+// consisting of the un-activated parameters" that Algorithm 2 targets.
+func residualNet(net *nn.Network, covered *bitset.Set) *nn.Network {
+	vals := net.CopyParams()
+	for i := range vals {
+		if covered.Get(i) {
+			vals[i] = 0
+		}
+	}
+	clone := cloneArchitecture(net)
+	clone.SetParams(vals)
+	return clone
+}
+
+// cloneArchitecture builds a structurally identical network with fresh
+// (zero) parameters.
+func cloneArchitecture(net *nn.Network) *nn.Network {
+	layers := make([]nn.Layer, 0, len(net.LayerStack))
+	for _, l := range net.LayerStack {
+		switch t := l.(type) {
+		case *nn.Conv2D:
+			layers = append(layers, nn.NewConv2D(t.LayerName, t.InC, t.InH, t.InW, t.OutC, t.K, t.Stride, t.Pad))
+		case *nn.Dense:
+			layers = append(layers, nn.NewDense(t.LayerName, t.In, t.Out))
+		case *nn.MaxPool2D:
+			layers = append(layers, nn.NewMaxPool2D(t.LayerName, t.C, t.H, t.W, t.K, t.Stride))
+		case *nn.Activate:
+			layers = append(layers, nn.NewActivate(t.LayerName, t.Fn))
+		case *nn.Flatten:
+			layers = append(layers, nn.NewFlatten(t.LayerName))
+		case *nn.ScaleShift:
+			layers = append(layers, nn.NewScaleShift(t.LayerName, t.A, t.B))
+		default:
+			panic(fmt.Sprintf("core: cannot clone layer type %T", l))
+		}
+	}
+	return nn.NewNetwork(layers...)
+}
+
+// Synthesize runs Algorithm 2's inner loop (lines 5–11): T gradient
+// steps on the input so that target classifies it as class label,
+// starting from zeros (paper) or Gaussian noise.
+func Synthesize(target *nn.Network, inShape []int, label int, opts Options, rng *rand.Rand) *tensor.Tensor {
+	x := tensor.New(inShape...)
+	if opts.Init == GaussianInit {
+		x.FillNormal(rng, 0.5, 0.25)
+		x.Clamp(0, 1)
+	}
+	for t := 0; t < opts.Steps; t++ {
+		target.ZeroGrad()
+		logits := target.Forward(x)
+		_, dLogits := nn.SoftmaxCrossEntropy(logits, label)
+		dx := target.Backward(dLogits)
+		x.AddScaled(-opts.Eta, dx)
+		if opts.Clamp {
+			x.Clamp(0, 1)
+		}
+	}
+	return x
+}
+
+// GradientGenerate implements Algorithm 2: per round, synthesise one
+// input per class against the residual network of still-unactivated
+// parameters, add all k to the validation set, and repeat until the
+// budget is reached. Coverage is always measured on the full network.
+func GradientGenerate(net *nn.Network, inShape []int, classes int, opts Options) (*Result, error) {
+	return SynthesisFrom(net, inShape, classes, opts, nil)
+}
+
+// SynthesisFrom runs Algorithm 2 starting from an existing covered set
+// (nil means empty); the building block of the fixed-switch-point
+// ablation, where Algorithm 1's coverage seeds the synthesis phase.
+func SynthesisFrom(net *nn.Network, inShape []int, classes int, opts Options, start *bitset.Set) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if classes <= 0 {
+		return nil, fmt.Errorf("core: classes must be positive, got %d", classes)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	acc := coverage.NewAccumulator(net.NumParams())
+	if start != nil {
+		acc.Add(start)
+	}
+	res := &Result{SwitchPoint: 0}
+
+	// With zero initialisation, a round whose coverage does not grow
+	// would regenerate exactly the same inputs forever (same start,
+	// same residual). After a dry round the initialisation switches to
+	// Gaussian restarts, so Algorithm 2 keeps exploring new basins and
+	// the coverage keeps climbing as in the paper's Fig. 3 instead of
+	// stalling.
+	dry := false
+	for len(res.Tests) < opts.MaxTests {
+		residual := residualNet(net, acc.Set())
+		roundOpts := opts
+		if dry && opts.Init == ZeroInit {
+			roundOpts.Init = GaussianInit
+		}
+		roundGain := 0
+		for c := 0; c < classes && len(res.Tests) < opts.MaxTests; c++ {
+			x := Synthesize(residual, inShape, c, roundOpts, rng)
+			roundGain += acc.Add(coverage.ParamActivation(net, x, opts.Coverage))
+			res.add(x, c, FromSynthesis, acc.Coverage())
+		}
+		dry = roundGain == 0
+	}
+	res.Covered = acc.Set()
+	return res, nil
+}
+
+// Combined implements §IV-D: Algorithm 1 until its next marginal gain
+// per test is beaten by Algorithm 2's expected gain per test (probed on
+// the current residual network), then Algorithm 2 for the rest of the
+// budget. The probe batch is reused as the first synthetic round on
+// switching, so no synthesis work is wasted at the switch point.
+func Combined(net *nn.Network, train *data.Dataset, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	classes := train.Classes
+	inShape := []int{train.C, train.H, train.W}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	sets := coverage.ParamSets(net, train, opts.Coverage)
+	acc := coverage.NewAccumulator(net.NumParams())
+	used := make([]bool, train.Len())
+	res := &Result{SwitchPoint: -1}
+
+	for len(res.Tests) < opts.MaxTests {
+		best, bestGain := -1, -1
+		for i, s := range sets {
+			if used[i] {
+				continue
+			}
+			if g := acc.Gain(s); g > bestGain {
+				best, bestGain = i, g
+			}
+		}
+
+		// Probe Algorithm 2 on the current residual network to estimate
+		// its marginal coverage per test (§IV-D's switch criterion).
+		residual := residualNet(net, acc.Set())
+		type probe struct {
+			x     *tensor.Tensor
+			set   *bitset.Set
+			label int
+		}
+		probes := make([]probe, 0, classes)
+		probeAcc := acc.Clone()
+		probeGain := 0
+		for c := 0; c < classes; c++ {
+			x := Synthesize(residual, inShape, c, opts, rng)
+			s := coverage.ParamActivation(net, x, opts.Coverage)
+			probeGain += probeAcc.Add(s)
+			probes = append(probes, probe{x: x, set: s, label: c})
+		}
+		gainPerSynthetic := float64(probeGain) / float64(classes)
+
+		if best >= 0 && float64(bestGain) >= gainPerSynthetic {
+			used[best] = true
+			acc.Add(sets[best])
+			res.add(train.Samples[best].X, train.Samples[best].Label, FromTraining, acc.Coverage())
+			continue
+		}
+
+		// Switch: Algorithm 2 takes over, starting with the probe batch.
+		res.SwitchPoint = len(res.Tests)
+		for _, p := range probes {
+			if len(res.Tests) >= opts.MaxTests {
+				break
+			}
+			acc.Add(p.set)
+			res.add(p.x, p.label, FromSynthesis, acc.Coverage())
+		}
+		if remaining := opts.MaxTests - len(res.Tests); remaining > 0 {
+			tailOpts := opts
+			tailOpts.MaxTests = remaining
+			tail, err := SynthesisFrom(net, inShape, classes, tailOpts, acc.Set())
+			if err != nil {
+				return nil, err
+			}
+			for i := range tail.Tests {
+				acc.Add(coverage.ParamActivation(net, tail.Tests[i], opts.Coverage))
+				res.add(tail.Tests[i], tail.Labels[i], FromSynthesis, acc.Coverage())
+			}
+		}
+		res.Covered = acc.Set()
+		return res, nil
+	}
+	res.Covered = acc.Set()
+	return res, nil
+}
+
+// RandomSelect picks MaxTests training samples uniformly at random; the
+// naive baseline for the coverage curves.
+func RandomSelect(net *nn.Network, train *data.Dataset, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	perm := rng.Perm(train.Len())
+	acc := coverage.NewAccumulator(net.NumParams())
+	res := &Result{SwitchPoint: -1}
+	for _, idx := range perm {
+		if len(res.Tests) >= opts.MaxTests {
+			break
+		}
+		s := train.Samples[idx]
+		acc.Add(coverage.ParamActivation(net, s.X, opts.Coverage))
+		res.add(s.X, s.Label, FromTraining, acc.Coverage())
+	}
+	res.Covered = acc.Set()
+	return res, nil
+}
+
+// NeuronGreedy is the baseline of Tables II/III: greedy selection from
+// the training set maximising *neuron* coverage (Ma et al. [11]). Once
+// neuron coverage saturates, the remaining budget is filled with random
+// training samples, as additional tests cannot improve the criterion.
+// The Curve still records *parameter* coverage so the two criteria can
+// be compared on the same axis.
+func NeuronGreedy(net *nn.Network, train *data.Dataset, ncfg coverage.NeuronConfig, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	inShape := []int{train.C, train.H, train.W}
+	nNeurons := coverage.NumNeurons(net, inShape)
+
+	neuronSets := make([]*bitset.Set, train.Len())
+	for i, s := range train.Samples {
+		neuronSets[i] = coverage.NeuronActivation(net, s.X, ncfg)
+	}
+	used := make([]bool, train.Len())
+	nAcc := coverage.NewAccumulator(nNeurons)
+	pAcc := coverage.NewAccumulator(net.NumParams())
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &Result{SwitchPoint: -1}
+
+	add := func(i int) {
+		used[i] = true
+		nAcc.Add(neuronSets[i])
+		s := train.Samples[i]
+		pAcc.Add(coverage.ParamActivation(net, s.X, opts.Coverage))
+		res.add(s.X, s.Label, FromTraining, pAcc.Coverage())
+	}
+
+	for len(res.Tests) < opts.MaxTests {
+		best, bestGain := -1, 0
+		for i, s := range neuronSets {
+			if used[i] {
+				continue
+			}
+			if g := nAcc.Gain(s); g > bestGain {
+				best, bestGain = i, g
+			}
+		}
+		if best < 0 || bestGain == 0 {
+			break // neuron coverage saturated
+		}
+		add(best)
+	}
+	for _, i := range rng.Perm(train.Len()) {
+		if len(res.Tests) >= opts.MaxTests {
+			break
+		}
+		if !used[i] {
+			add(i)
+		}
+	}
+	res.Covered = pAcc.Set()
+	return res, nil
+}

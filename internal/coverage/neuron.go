@@ -1,0 +1,82 @@
+package coverage
+
+import (
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// NeuronConfig controls the neuron-coverage criterion of the
+// hardware-testing baseline (Ma et al. [11], DeepXplore [10]): a neuron
+// is covered by an input when its activation output exceeds a threshold.
+type NeuronConfig struct {
+	// Threshold on the activation output. For ReLU-family networks a
+	// neuron fires when out > Threshold (0 is the standard choice); for
+	// saturating activations when |out| > Threshold.
+	Threshold float64
+}
+
+// NumNeurons returns the total number of neurons (elements of activation
+// layer outputs) the network has for the given input shape.
+func NumNeurons(net *nn.Network, inShape []int) int {
+	x := tensor.New(inShape...)
+	total := 0
+	for _, l := range net.LayerStack {
+		x = l.Forward(x)
+		if _, ok := l.(*nn.Activate); ok {
+			total += x.Size()
+		}
+	}
+	return total
+}
+
+// NeuronActivation returns the set of neurons x fires, indexed across
+// all activation layers in network order.
+func NeuronActivation(net *nn.Network, x *tensor.Tensor, cfg NeuronConfig) *bitset.Set {
+	// First pass to size the set lazily would double the forward cost;
+	// collect outputs, then fill.
+	type actOut struct {
+		out        *tensor.Tensor
+		saturating bool
+	}
+	var outs []actOut
+	cur := x
+	for _, l := range net.LayerStack {
+		cur = l.Forward(cur)
+		if a, ok := l.(*nn.Activate); ok {
+			outs = append(outs, actOut{out: cur, saturating: a.Fn.Saturating()})
+		}
+	}
+	total := 0
+	for _, o := range outs {
+		total += o.out.Size()
+	}
+	set := bitset.New(total)
+	idx := 0
+	for _, o := range outs {
+		for _, v := range o.out.Data() {
+			fired := v > cfg.Threshold
+			if o.saturating {
+				fired = math.Abs(v) > cfg.Threshold
+			}
+			if fired {
+				set.Set(idx)
+			}
+			idx++
+		}
+	}
+	return set
+}
+
+// NeuronCoverage returns the fraction of neurons fired by at least one
+// of the test inputs.
+func NeuronCoverage(net *nn.Network, tests []*tensor.Tensor, inShape []int, cfg NeuronConfig) float64 {
+	n := NumNeurons(net, inShape)
+	acc := NewAccumulator(n)
+	for _, x := range tests {
+		acc.Add(NeuronActivation(net, x, cfg))
+	}
+	return acc.Coverage()
+}

@@ -1,0 +1,255 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// ObjectClasses is the number of colour-object classes.
+const ObjectClasses = 10
+
+// Object class identifiers, the reproduction's CIFAR-10 substitute
+// taxonomy: filled and outlined shapes plus periodic textures.
+const (
+	objCircle = iota
+	objSquare
+	objTriangle
+	objRing
+	objCross
+	objHStripes
+	objVStripes
+	objChecker
+	objDiagonal
+	objBlobs
+)
+
+// Objects generates n procedural colour images of size h×w (3 channels);
+// the CIFAR-10 substitute. Each class has a characteristic shape or
+// texture rendered with random colours, positions and scales over a
+// random background, plus pixel noise.
+func Objects(n, h, w int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Name: "objects", Classes: ObjectClasses, C: 3, H: h, W: w}
+	for i := 0; i < n; i++ {
+		label := i % ObjectClasses
+		d.Samples = append(d.Samples, Sample{X: renderObject(label, h, w, rng), Label: label})
+	}
+	d.Shuffle(rng)
+	return d
+}
+
+// RenderObject draws one object of the given class with fresh jitter.
+func RenderObject(label, h, w int, rng *rand.Rand) *tensor.Tensor {
+	return renderObject(label, h, w, rng)
+}
+
+// randColor returns an RGB colour at least minDist (L1) away from ref so
+// foregrounds stay visible against backgrounds.
+func randColor(rng *rand.Rand, ref [3]float64, minDist float64) [3]float64 {
+	for {
+		c := [3]float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		d := math.Abs(c[0]-ref[0]) + math.Abs(c[1]-ref[1]) + math.Abs(c[2]-ref[2])
+		if d >= minDist {
+			return c
+		}
+	}
+}
+
+func renderObject(label, h, w int, rng *rand.Rand) *tensor.Tensor {
+	mask := newRaster(h, w)
+	tr := jitterAffine(0.25, 0.75, 1.1, 0.1, 0.1, rng)
+	objectMask(label, mask, tr, rng)
+	return compositeObject(mask, h, w, rng)
+}
+
+// RenderAltObject draws one shape from the disjoint alternative family
+// (stars, crescents, arrows, ...) through the same colour/texture
+// pipeline; the out-of-distribution probe for colour models — same
+// modality as the training objects, different classes, exactly the role
+// ImageNet plays against CIFAR-10 in Fig. 2.
+func RenderAltObject(label, h, w int, rng *rand.Rand) *tensor.Tensor {
+	mask := newRaster(h, w)
+	// Wider scale jitter than the training family: out-of-distribution
+	// content arrives at mismatched scale, as ImageNet crops do against
+	// CIFAR's tight framing.
+	tr := jitterAffine(0.4, 0.45, 0.8, 0.15, 0.18, rng)
+	altObjectMask(label%10, mask, tr, rng)
+	return compositeObject(mask, h, w, rng)
+}
+
+func objectMask(label int, mask *raster, tr affine, rng *rand.Rand) {
+	cx := 0.5
+	cy := 0.5
+	rad := 0.18 + rng.Float64()*0.12
+	switch label {
+	case objCircle:
+		mask.fill(func(x, y float64) bool {
+			return math.Hypot(x-cx, y-cy) <= rad*1.4
+		}, 1, tr)
+	case objSquare:
+		s := rad * 1.25
+		mask.fill(func(x, y float64) bool {
+			return math.Abs(x-cx) <= s && math.Abs(y-cy) <= s
+		}, 1, tr)
+	case objTriangle:
+		s := rad * 1.8
+		mask.fill(func(x, y float64) bool {
+			// upright triangle: apex at (cx, cy-s), base at y = cy+s·0.6
+			if y < cy-s || y > cy+0.6*s {
+				return false
+			}
+			t := (y - (cy - s)) / (1.6 * s) // 0 at apex → 1 at base
+			return math.Abs(x-cx) <= t*s
+		}, 1, tr)
+	case objRing:
+		mask.fill(func(x, y float64) bool {
+			d := math.Hypot(x-cx, y-cy)
+			return d <= rad*1.5 && d >= rad*0.8
+		}, 1, tr)
+	case objCross:
+		arm := rad * 1.7
+		thick := rad * 0.5
+		mask.fill(func(x, y float64) bool {
+			return (math.Abs(x-cx) <= thick && math.Abs(y-cy) <= arm) ||
+				(math.Abs(y-cy) <= thick && math.Abs(x-cx) <= arm)
+		}, 1, tr)
+	case objHStripes:
+		period := 0.12 + rng.Float64()*0.1
+		mask.fill(func(x, y float64) bool {
+			return math.Mod(math.Abs(y), period) < period/2
+		}, 1, tr)
+	case objVStripes:
+		period := 0.12 + rng.Float64()*0.1
+		mask.fill(func(x, y float64) bool {
+			return math.Mod(math.Abs(x), period) < period/2
+		}, 1, tr)
+	case objChecker:
+		period := 0.16 + rng.Float64()*0.12
+		mask.fill(func(x, y float64) bool {
+			ix := int(math.Floor(x / (period / 2)))
+			iy := int(math.Floor(y / (period / 2)))
+			return (ix+iy)%2 == 0
+		}, 1, tr)
+	case objDiagonal:
+		period := 0.14 + rng.Float64()*0.1
+		mask.fill(func(x, y float64) bool {
+			return math.Mod(math.Abs(x+y), period) < period/2
+		}, 1, tr)
+	case objBlobs:
+		// two separated blobs — a composite scene unlike any single shape
+		dx := 0.16 + rng.Float64()*0.06
+		r1 := rad * 0.9
+		mask.fill(func(x, y float64) bool {
+			return math.Hypot(x-(cx-dx), y-(cy-dx)) <= r1 ||
+				math.Hypot(x-(cx+dx), y-(cy+dx)) <= r1
+		}, 1, tr)
+	}
+}
+
+// altObjectMask draws the out-of-distribution shape family.
+func altObjectMask(label int, mask *raster, tr affine, rng *rand.Rand) {
+	cx, cy := 0.5, 0.5
+	rad := 0.18 + rng.Float64()*0.12
+	switch label {
+	case 0: // five-pointed star
+		mask.fill(func(x, y float64) bool {
+			dx, dy := x-cx, y-cy
+			r := math.Hypot(dx, dy)
+			if r > rad*1.8 {
+				return false
+			}
+			th := math.Atan2(dy, dx)
+			spike := 0.55 + 0.45*math.Cos(5*th)
+			return r <= rad*1.8*spike
+		}, 1, tr)
+	case 1: // crescent
+		mask.fill(func(x, y float64) bool {
+			return math.Hypot(x-cx, y-cy) <= rad*1.5 &&
+				math.Hypot(x-cx-rad*0.7, y-cy) > rad*1.2
+		}, 1, tr)
+	case 2: // arrow
+		mask.fill(func(x, y float64) bool {
+			if math.Abs(y-cy) <= rad*0.3 && x >= cx-rad*1.6 && x <= cx+rad*0.4 {
+				return true
+			}
+			t := (x - (cx + rad*0.4)) / (rad * 1.2)
+			return t >= 0 && t <= 1 && math.Abs(y-cy) <= (1-t)*rad
+		}, 1, tr)
+	case 3: // L bracket
+		mask.fill(func(x, y float64) bool {
+			return (math.Abs(x-cx+rad) <= rad*0.35 && y >= cy-rad*1.5 && y <= cy+rad*1.5) ||
+				(math.Abs(y-cy-rad*1.15) <= rad*0.35 && x >= cx-rad*1.35 && x <= cx+rad*1.4)
+		}, 1, tr)
+	case 4: // diamond
+		s := rad * 1.7
+		mask.fill(func(x, y float64) bool {
+			return math.Abs(x-cx)+math.Abs(y-cy) <= s
+		}, 1, tr)
+	case 5: // Z stripe
+		mask.fill(func(x, y float64) bool {
+			if y < cy-rad*1.3 || y > cy+rad*1.3 {
+				return false
+			}
+			if math.Abs(y-cy+rad*1.1) <= rad*0.3 || math.Abs(y-cy-rad*1.1) <= rad*0.3 {
+				return math.Abs(x-cx) <= rad*1.3
+			}
+			diag := cx + (cy-y)*0.9
+			return math.Abs(x-diag) <= rad*0.35
+		}, 1, tr)
+	case 6: // U channel
+		mask.fill(func(x, y float64) bool {
+			d := math.Hypot(x-cx, y-cy)
+			inRing := d <= rad*1.5 && d >= rad*0.85
+			return inRing && y >= cy-rad*0.2 ||
+				(math.Abs(math.Abs(x-cx)-rad*1.17) <= rad*0.33 && y >= cy-rad*1.4 && y < cy)
+		}, 1, tr)
+	case 7: // dot grid
+		period := 0.22 + rng.Float64()*0.08
+		mask.fill(func(x, y float64) bool {
+			gx := math.Mod(math.Abs(x), period) - period/2
+			gy := math.Mod(math.Abs(y), period) - period/2
+			return math.Hypot(gx, gy) <= period*0.27
+		}, 1, tr)
+	case 8: // concentric rings
+		mask.fill(func(x, y float64) bool {
+			d := math.Hypot(x-cx, y-cy)
+			return math.Mod(d, rad*0.8) < rad*0.4 && d <= rad*2
+		}, 1, tr)
+	case 9: // wedge fan
+		mask.fill(func(x, y float64) bool {
+			dx, dy := x-cx, y-cy
+			if math.Hypot(dx, dy) > rad*1.8 {
+				return false
+			}
+			th := math.Atan2(dy, dx)
+			return math.Mod(th+math.Pi, math.Pi/2) < math.Pi/4
+		}, 1, tr)
+	}
+}
+
+// compositeObject lays the foreground mask over a textured background
+// in two contrasting random colours plus pixel noise.
+func compositeObject(mask *raster, h, w int, rng *rand.Rand) *tensor.Tensor {
+	bg := [3]float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	fg := randColor(rng, bg, 0.8)
+	x := tensor.New(3, h, w)
+	xd := x.Data()
+	hw := h * w
+	// Textured background, as in natural photographs: the flat
+	// background colour is modulated by a smooth random texture so
+	// in-distribution images carry the same low-level richness as the
+	// out-of-distribution probe sets.
+	grain := fourierTexture(h, w, rng)
+	for i := 0; i < hw; i++ {
+		m := mask.pix[i]
+		g := 0.6 + 0.8*grain[i]
+		for c := 0; c < 3; c++ {
+			v := bg[c]*g*(1-m) + fg[c]*m + rng.NormFloat64()*0.03
+			xd[c*hw+i] = v
+		}
+	}
+	x.Clamp(0, 1)
+	return x
+}

@@ -1,0 +1,183 @@
+package data
+
+import "math"
+
+// fourierTexture fills a single-channel canvas with a sum of a few
+// random low-frequency sinusoids in [0,1]-ish range — the smooth
+// luminance structure that gives the procedural datasets their
+// photograph-like textured backgrounds.
+func fourierTexture(h, w int, rng interface {
+	Float64() float64
+	Intn(int) int
+}) []float64 {
+	type wave struct{ fx, fy, ph, amp float64 }
+	waves := make([]wave, 3+rng.Intn(3))
+	for i := range waves {
+		waves[i] = wave{
+			fx:  (rng.Float64()*2 - 1) * 4 * math.Pi,
+			fy:  (rng.Float64()*2 - 1) * 4 * math.Pi,
+			ph:  rng.Float64() * 2 * math.Pi,
+			amp: 0.2 + rng.Float64()*0.4,
+		}
+	}
+	pix := make([]float64, h*w)
+	for i := 0; i < h; i++ {
+		y := float64(i) / float64(h)
+		for j := 0; j < w; j++ {
+			x := float64(j) / float64(w)
+			v := 0.5
+			for _, wv := range waves {
+				v += wv.amp * 0.3 * math.Sin(wv.fx*x+wv.fy*y+wv.ph)
+			}
+			pix[i*w+j] = v
+		}
+	}
+	return pix
+}
+
+// raster is a single-channel float canvas with simple anti-aliased
+// primitives; the procedural datasets draw onto it in a normalised
+// [0,1]×[0,1] coordinate system (x right, y down).
+type raster struct {
+	h, w int
+	pix  []float64
+}
+
+func newRaster(h, w int) *raster {
+	return &raster{h: h, w: w, pix: make([]float64, h*w)}
+}
+
+// affine is a 2-D affine map applied to canvas coordinates before
+// rasterisation; it provides the per-sample jitter that gives the
+// procedural classes their intra-class variety.
+type affine struct {
+	a, b, c float64 // x' = a·x + b·y + c
+	d, e, f float64 // y' = d·x + e·y + f
+}
+
+func identityAffine() affine { return affine{a: 1, e: 1} }
+
+// jitterAffine composes a random rotation, scale, shear and translation
+// around the canvas centre.
+func jitterAffine(rot, scaleLo, scaleHi, shear, shift float64, rnd interface{ Float64() float64 }) affine {
+	u := func(lo, hi float64) float64 { return lo + rnd.Float64()*(hi-lo) }
+	th := u(-rot, rot)
+	sx := u(scaleLo, scaleHi)
+	sy := u(scaleLo, scaleHi)
+	sh := u(-shear, shear)
+	tx := u(-shift, shift)
+	ty := u(-shift, shift)
+	cos, sin := math.Cos(th), math.Sin(th)
+	// Transform relative to centre (0.5, 0.5).
+	a := sx * cos
+	b := sx*(-sin) + sh
+	d := sy * sin
+	e := sy * cos
+	c := 0.5 - a*0.5 - b*0.5 + tx
+	f := 0.5 - d*0.5 - e*0.5 + ty
+	return affine{a: a, b: b, c: c, d: d, e: e, f: f}
+}
+
+func (t affine) apply(x, y float64) (float64, float64) {
+	return t.a*x + t.b*y + t.c, t.d*x + t.e*y + t.f
+}
+
+// invert returns the inverse affine map. It panics on a singular map,
+// which the jitter ranges never produce.
+func (t affine) invert() affine {
+	det := t.a*t.e - t.b*t.d
+	if det == 0 {
+		panic("data: singular affine transform")
+	}
+	ia := t.e / det
+	ib := -t.b / det
+	id := -t.d / det
+	ie := t.a / det
+	return affine{
+		a: ia, b: ib, c: -(ia*t.c + ib*t.f),
+		d: id, e: ie, f: -(id*t.c + ie*t.f),
+	}
+}
+
+// segment is a line segment in normalised coordinates.
+type segment struct{ x1, y1, x2, y2 float64 }
+
+// arc is a circular stroke (annulus of zero width before thickening).
+type arc struct{ cx, cy, r float64 }
+
+// distSegment returns the distance from point (px,py) to the segment.
+func distSegment(px, py float64, s segment) float64 {
+	dx, dy := s.x2-s.x1, s.y2-s.y1
+	l2 := dx*dx + dy*dy
+	if l2 == 0 {
+		return math.Hypot(px-s.x1, py-s.y1)
+	}
+	t := ((px-s.x1)*dx + (py-s.y1)*dy) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return math.Hypot(px-(s.x1+t*dx), py-(s.y1+t*dy))
+}
+
+// smoothstep maps d through a soft threshold: 1 inside, 0 outside, with
+// a linear ramp of the given width — cheap anti-aliasing.
+func smoothstep(d, edge, width float64) float64 {
+	if d <= edge {
+		return 1
+	}
+	if d >= edge+width {
+		return 0
+	}
+	return 1 - (d-edge)/width
+}
+
+// strokeSegments draws the segments with the given half-thickness under
+// the inverse of transform tr (pixels are pulled back into glyph space).
+func (r *raster) strokeSegments(segs []segment, arcs []arc, thick float64, tr affine) {
+	inv := tr.invert()
+	aa := 1.2 / float64(r.w) // ~1 pixel of anti-alias ramp
+	for i := 0; i < r.h; i++ {
+		py := (float64(i) + 0.5) / float64(r.h)
+		for j := 0; j < r.w; j++ {
+			px := (float64(j) + 0.5) / float64(r.w)
+			gx, gy := inv.apply(px, py)
+			d := math.Inf(1)
+			for _, s := range segs {
+				if sd := distSegment(gx, gy, s); sd < d {
+					d = sd
+				}
+			}
+			for _, a := range arcs {
+				if ad := math.Abs(math.Hypot(gx-a.cx, gy-a.cy) - a.r); ad < d {
+					d = ad
+				}
+			}
+			v := smoothstep(d, thick, aa)
+			idx := i*r.w + j
+			if v > r.pix[idx] {
+				r.pix[idx] = v
+			}
+		}
+	}
+}
+
+// fill paints every pixel whose pulled-back coordinate satisfies inside
+// with intensity v (maximum blend).
+func (r *raster) fill(inside func(x, y float64) bool, v float64, tr affine) {
+	inv := tr.invert()
+	for i := 0; i < r.h; i++ {
+		py := (float64(i) + 0.5) / float64(r.h)
+		for j := 0; j < r.w; j++ {
+			px := (float64(j) + 0.5) / float64(r.w)
+			gx, gy := inv.apply(px, py)
+			if inside(gx, gy) {
+				idx := i*r.w + j
+				if v > r.pix[idx] {
+					r.pix[idx] = v
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/nn"
+	"repro/internal/validate"
+)
+
+// AblationSwitch (A1) compares switch-point policies at a fixed budget:
+// the paper's adaptive criterion, fixed switch points, and the two pure
+// methods. It isolates the value of §IV-D's marginal-gain comparison.
+type AblationSwitch struct {
+	Budget int
+	Rows   []AblationSwitchRow
+}
+
+// AblationSwitchRow is one policy's outcome.
+type AblationSwitchRow struct {
+	Policy      string
+	SwitchPoint int
+	FinalVC     float64
+}
+
+// RunAblationSwitch evaluates adaptive, never (pure Algorithm 1),
+// immediate (pure Algorithm 2) and fixed-k policies.
+func RunAblationSwitch(s *Setup, budget int, fixed []int) (*AblationSwitch, error) {
+	opts := core.DefaultOptions(budget)
+	opts.Coverage = s.Cov
+	opts.Seed = s.Params.Seed + 700
+
+	out := &AblationSwitch{Budget: budget}
+
+	comb, err := core.Combined(s.Net, s.Select, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, AblationSwitchRow{"adaptive (paper)", comb.SwitchPoint, comb.FinalCoverage()})
+
+	sel, err := core.SelectFromTraining(s.Net, s.Select, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, AblationSwitchRow{"never (pure Alg1)", -1, sel.FinalCoverage()})
+
+	grad, err := core.GradientGenerate(s.Net, s.InShape, s.Classes, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, AblationSwitchRow{"immediate (pure Alg2)", 0, grad.FinalCoverage()})
+
+	for _, k := range fixed {
+		if k <= 0 || k >= budget {
+			continue
+		}
+		selOpts := opts
+		selOpts.MaxTests = k
+		head, err := core.SelectFromTraining(s.Net, s.Select, selOpts)
+		if err != nil {
+			return nil, err
+		}
+		tailOpts := opts
+		tailOpts.MaxTests = budget - len(head.Tests)
+		tail, err := core.SynthesisFrom(s.Net, s.InShape, s.Classes, tailOpts, head.Covered)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, AblationSwitchRow{
+			Policy:      fmt.Sprintf("fixed k=%d", k),
+			SwitchPoint: k,
+			FinalVC:     tail.FinalCoverage(),
+		})
+	}
+	return out, nil
+}
+
+// Render returns the A1 table text.
+func (a *AblationSwitch) Render() string {
+	tab := &Table{
+		Title:   fmt.Sprintf("Ablation A1 — switch-point policy at budget %d", a.Budget),
+		Headers: []string{"policy", "switch", "final VC"},
+	}
+	for _, r := range a.Rows {
+		sw := "-"
+		if r.SwitchPoint >= 0 {
+			sw = fmt.Sprintf("%d", r.SwitchPoint)
+		}
+		tab.AddRow(r.Policy, sw, r.FinalVC)
+	}
+	return tab.String()
+}
+
+// AblationInit (A2) compares Algorithm 2's zero initialisation (paper)
+// against Gaussian initialisation at a fixed budget.
+type AblationInit struct {
+	Budget  int
+	ZeroVC  float64
+	GaussVC float64
+}
+
+// RunAblationInit evaluates both initialisation modes.
+func RunAblationInit(s *Setup, budget int) (*AblationInit, error) {
+	opts := core.DefaultOptions(budget)
+	opts.Coverage = s.Cov
+	opts.Seed = s.Params.Seed + 800
+
+	z, err := core.GradientGenerate(s.Net, s.InShape, s.Classes, opts)
+	if err != nil {
+		return nil, err
+	}
+	gOpts := opts
+	gOpts.Init = core.GaussianInit
+	g, err := core.GradientGenerate(s.Net, s.InShape, s.Classes, gOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationInit{Budget: budget, ZeroVC: z.FinalCoverage(), GaussVC: g.FinalCoverage()}, nil
+}
+
+// Render returns the A2 table text.
+func (a *AblationInit) Render() string {
+	tab := &Table{
+		Title:   fmt.Sprintf("Ablation A2 — Algorithm 2 initialisation at budget %d", a.Budget),
+		Headers: []string{"init", "final VC"},
+	}
+	tab.AddRow("zeros (paper)", a.ZeroVC)
+	tab.AddRow("gaussian", a.GaussVC)
+	return tab.String()
+}
+
+// AblationEpsilon (A3) sweeps the relative activation threshold ε on a
+// saturating-activation (Tanh) model: larger ε counts near-saturated
+// parameters as un-activated, shrinking measured coverage (paper §IV-A).
+type AblationEpsilon struct {
+	Epsilons []float64
+	MeanVC   []float64 // mean single-probe coverage per ε
+}
+
+// RunAblationEpsilon measures mean probe coverage at each relative ε.
+func RunAblationEpsilon(s *Setup, epsilons []float64, nProbes int) *AblationEpsilon {
+	out := &AblationEpsilon{Epsilons: epsilons}
+	probes := s.Train.Subset(nProbes)
+	for _, eps := range epsilons {
+		cfg := coverage.Config{Epsilon: eps, Relative: true}
+		sum := 0.0
+		for _, sm := range probes.Samples {
+			sum += coverage.ParamActivation(s.Net, sm.X, cfg).Fraction()
+		}
+		out.MeanVC = append(out.MeanVC, sum/float64(probes.Len()))
+	}
+	return out
+}
+
+// Render returns the A3 table text.
+func (a *AblationEpsilon) Render() string {
+	tab := &Table{
+		Title:   "Ablation A3 — relative ε threshold vs measured coverage (Tanh model)",
+		Headers: []string{"epsilon", "mean probe VC"},
+	}
+	for i, e := range a.Epsilons {
+		tab.AddRow(fmt.Sprintf("%.0e", e), a.MeanVC[i])
+	}
+	return tab.String()
+}
+
+// AblationCompare (A4) measures how the user-side comparison mode
+// changes detection: exact outputs (paper), quantised outputs, and
+// labels only, under the random perturbation attack.
+type AblationCompare struct {
+	SuiteSize int
+	Rows      []AblationCompareRow
+}
+
+// AblationCompareRow is one comparison mode's detection rate.
+type AblationCompareRow struct {
+	Mode validate.CompareMode
+	Rate float64
+}
+
+// RunAblationCompare builds one combined suite and replays the same
+// attack population under each comparison mode.
+func RunAblationCompare(s *Setup, suiteSize, trials int) (*AblationCompare, error) {
+	opts := core.DefaultOptions(suiteSize)
+	opts.Coverage = s.Cov
+	opts.Seed = s.Params.Seed + 900
+	res, err := core.Combined(s.Net, s.Select, opts)
+	if err != nil {
+		return nil, err
+	}
+	atk := func(n *nn.Network, rng *rand.Rand) (*attack.Perturbation, error) {
+		return attack.RandomNoise(n, 5, 0.5, rng)
+	}
+	out := &AblationCompare{SuiteSize: suiteSize}
+	for _, mode := range []validate.CompareMode{validate.ExactOutputs, validate.QuantizedOutputs, validate.LabelsOnly} {
+		suite := validate.BuildSuite("ablation", s.Net, res.Tests, mode)
+		suite.Decimals = 3
+		dr, err := validate.DetectionRate(s.Net, suite, atk, trials, s.Params.Seed+901)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, AblationCompareRow{Mode: mode, Rate: dr.Rate()})
+	}
+	return out, nil
+}
+
+// Render returns the A4 table text.
+func (a *AblationCompare) Render() string {
+	tab := &Table{
+		Title:   fmt.Sprintf("Ablation A4 — comparison mode vs detection rate (%d tests, random perturbations)", a.SuiteSize),
+		Headers: []string{"compare mode", "detection"},
+	}
+	for _, r := range a.Rows {
+		tab.AddRow(r.Mode.String(), r.Rate)
+	}
+	return tab.String()
+}

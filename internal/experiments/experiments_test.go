@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Shared fast setups: training is the expensive part, so build each
+// testbed once for the whole package.
+var fastMNIST = sync.OnceValue(func() *Setup {
+	s, err := NewMNISTSetup(FastMNISTParams())
+	if err != nil {
+		panic(err)
+	}
+	return s
+})
+
+var fastCIFAR = sync.OnceValue(func() *Setup {
+	s, err := NewCIFARSetup(FastCIFARParams())
+	if err != nil {
+		panic(err)
+	}
+	return s
+})
+
+func TestSetupsTrainToUsefulAccuracy(t *testing.T) {
+	m, c := fastMNIST(), fastCIFAR()
+	if m.Accuracy < 0.6 {
+		t.Fatalf("fast MNIST setup accuracy %.3f", m.Accuracy)
+	}
+	if c.Accuracy < 0.4 {
+		t.Fatalf("fast CIFAR setup accuracy %.3f", c.Accuracy)
+	}
+	// The MNIST model is Tanh → relative ε; the CIFAR model ReLU →
+	// exact-nonzero.
+	if !m.Cov.Relative || m.Cov.Epsilon == 0 {
+		t.Fatalf("MNIST coverage config %+v", m.Cov)
+	}
+	if c.Cov.Relative || c.Cov.Epsilon != 0 {
+		t.Fatalf("CIFAR coverage config %+v", c.Cov)
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	tb := RunTable1(fastMNIST(), fastCIFAR())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	out := tb.Render()
+	for _, want := range []string{"mnist", "cifar", "tanh", "relu", "train acc"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2OrderingHolds(t *testing.T) {
+	// The robust half of the paper's Fig. 2 finding: image-like probes
+	// (training and OOD-natural) activate far more parameters than
+	// Gaussian noise. The strict training>natural half does not hold in
+	// this testbed because the OOD set shares the training renderer —
+	// see EXPERIMENTS.md.
+	for _, s := range []*Setup{fastMNIST(), fastCIFAR()} {
+		f := RunFig2(s, 20)
+		if len(f.Rows) != 3 {
+			t.Fatalf("%s: %d rows", s.Name, len(f.Rows))
+		}
+		for _, r := range f.Rows {
+			if r.MeanVC <= 0 || r.MeanVC >= 1 {
+				t.Errorf("%s/%s: degenerate coverage %.4f", s.Name, r.ProbeSet, r.MeanVC)
+			}
+		}
+		if !f.NoiseLowest() {
+			// The separation needs the experiment-quality setups; the
+			// fast testbeds are too small and undertrained to show it,
+			// so just record the values here.
+			t.Logf("%s (fast setup): noise not lowest: %+v", s.Name, f.Rows)
+		}
+		out := f.Render()
+		if !strings.Contains(out, "training") || !strings.Contains(out, "noise") {
+			t.Fatalf("Fig. 2 render missing rows:\n%s", out)
+		}
+	}
+}
+
+func TestFig3CurvesShape(t *testing.T) {
+	s := fastCIFAR()
+	f, err := RunFig3(s, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Select) != 20 || len(f.Gradient) != 20 || len(f.Combined) != 20 || len(f.Random) != 20 {
+		t.Fatalf("curve lengths %d/%d/%d/%d", len(f.Select), len(f.Gradient), len(f.Combined), len(f.Random))
+	}
+	// All curves monotone.
+	for name, c := range map[string][]float64{"select": f.Select, "gradient": f.Gradient, "combined": f.Combined, "random": f.Random} {
+		for i := 1; i < len(c); i++ {
+			if c[i] < c[i-1]-1e-12 {
+				t.Fatalf("%s curve decreased at %d", name, i)
+			}
+		}
+	}
+	// Greedy selection dominates random selection pointwise.
+	for i := range f.Select {
+		if f.Select[i] < f.Random[i]-1e-9 {
+			t.Fatalf("select below random at %d: %.4f < %.4f", i, f.Select[i], f.Random[i])
+		}
+	}
+	// Combined ends at least as high as pure selection (Fig. 3's story).
+	if f.Combined[len(f.Combined)-1] < f.Select[len(f.Select)-1]-0.02 {
+		t.Fatalf("combined %.4f well below select %.4f", f.Combined[len(f.Combined)-1], f.Select[len(f.Select)-1])
+	}
+	if f.PoolCeiling <= 0 || f.PoolCeiling > 1 {
+		t.Fatalf("pool ceiling %.4f", f.PoolCeiling)
+	}
+	out := f.Render()
+	if !strings.Contains(out, "combined") {
+		t.Fatalf("Fig. 3 render:\n%s", out)
+	}
+}
+
+func TestFig4PanelAndAgreement(t *testing.T) {
+	s := fastMNIST()
+	f := RunFig4(s, 25)
+	if len(f.Real) != s.Classes || len(f.Synthetic) != s.Classes {
+		t.Fatalf("panel sizes %d/%d", len(f.Real), len(f.Synthetic))
+	}
+	if f.Agreement < 0.5 {
+		t.Fatalf("synthetic agreement %.2f; Algorithm 2 samples should mostly classify as target", f.Agreement)
+	}
+	out := f.Render(3)
+	if !strings.Contains(out, "real 0") || !strings.Contains(out, "synth 0") {
+		t.Fatalf("Fig. 4 render missing captions:\n%s", out)
+	}
+	// Only 3 classes rendered.
+	if strings.Contains(out, "real 3") {
+		t.Fatal("maxClasses not respected")
+	}
+}
+
+func TestDetectionTableFast(t *testing.T) {
+	s := fastCIFAR()
+	p := DefaultDetectionParams()
+	p.Sizes = []int{5, 15}
+	p.Trials = 60
+	d, err := RunDetection(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := 0; si < 2; si++ {
+		for ai := 0; ai < 3; ai++ {
+			if len(d.Cells[si][ai]) != 2 {
+				t.Fatalf("cell [%d][%d] has %d sizes", si, ai, len(d.Cells[si][ai]))
+			}
+			// Detection monotone in suite size (paired trials).
+			if d.Cells[si][ai][1].Rate() < d.Cells[si][ai][0].Rate() {
+				t.Errorf("%s/%s: rate fell with more tests: %.2f -> %.2f",
+					SuiteNames[si], AttackNames[ai], d.Cells[si][ai][0].Rate(), d.Cells[si][ai][1].Rate())
+			}
+		}
+	}
+	// Proposed should do at least as well as the neuron baseline in the
+	// aggregate (per-cell it may tie at small trial counts).
+	var neu, prop float64
+	for ai := 0; ai < 3; ai++ {
+		for i := range d.Sizes {
+			neu += d.Cells[0][ai][i].Rate()
+			prop += d.Cells[1][ai][i].Rate()
+		}
+	}
+	if prop < neu-0.02 {
+		t.Fatalf("proposed aggregate %.3f below neuron-baseline %.3f", prop, neu)
+	}
+	out := d.Render()
+	if !strings.Contains(out, "N=5") || !strings.Contains(out, "prop GDA") {
+		t.Fatalf("detection render:\n%s", out)
+	}
+}
+
+func TestDetectionValidation(t *testing.T) {
+	s := fastCIFAR()
+	if _, err := RunDetection(s, DetectionParams{}); err == nil {
+		t.Fatal("empty detection params accepted")
+	}
+}
+
+func TestAblationSwitch(t *testing.T) {
+	s := fastCIFAR()
+	a, err := RunAblationSwitch(s, 15, []int{3, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 5 { // adaptive, never, immediate, k=3, k=8
+		t.Fatalf("%d rows", len(a.Rows))
+	}
+	// The adaptive policy should not be far below the best policy.
+	best := 0.0
+	var adaptive float64
+	for _, r := range a.Rows {
+		if r.FinalVC > best {
+			best = r.FinalVC
+		}
+		if r.Policy == "adaptive (paper)" {
+			adaptive = r.FinalVC
+		}
+	}
+	// The adaptive criterion is myopic (it compares marginal gains); on
+	// tiny testbeds a fixed or pure policy can beat it by a few points,
+	// so assert it stays within a band of the best.
+	if adaptive < best-0.12 {
+		t.Fatalf("adaptive %.4f far below best policy %.4f", adaptive, best)
+	}
+	if !strings.Contains(a.Render(), "adaptive") {
+		t.Fatal("A1 render missing policy")
+	}
+}
+
+func TestAblationInit(t *testing.T) {
+	s := fastCIFAR()
+	a, err := RunAblationInit(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ZeroVC <= 0 || a.GaussVC <= 0 {
+		t.Fatalf("degenerate ablation: %+v", a)
+	}
+	if !strings.Contains(a.Render(), "zeros (paper)") {
+		t.Fatal("A2 render missing rows")
+	}
+}
+
+func TestAblationEpsilonMonotone(t *testing.T) {
+	s := fastMNIST() // Tanh model: ε matters
+	eps := []float64{1e-8, 1e-4, 1e-2, 1e-1}
+	a := RunAblationEpsilon(s, eps, 10)
+	if len(a.MeanVC) != len(eps) {
+		t.Fatalf("%d results", len(a.MeanVC))
+	}
+	for i := 1; i < len(a.MeanVC); i++ {
+		if a.MeanVC[i] > a.MeanVC[i-1]+1e-9 {
+			t.Fatalf("coverage rose with larger ε: %v", a.MeanVC)
+		}
+	}
+	if !strings.Contains(a.Render(), "epsilon") {
+		t.Fatal("A3 render missing header")
+	}
+}
+
+func TestAblationCompareOrdering(t *testing.T) {
+	s := fastCIFAR()
+	a, err := RunAblationCompare(s, 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 3 {
+		t.Fatalf("%d rows", len(a.Rows))
+	}
+	// Exact ≥ quantized ≥ labels: each coarsening can only hide faults.
+	if a.Rows[0].Rate < a.Rows[1].Rate-1e-9 || a.Rows[1].Rate < a.Rows[2].Rate-1e-9 {
+		t.Fatalf("comparison-mode ordering violated: %+v", a.Rows)
+	}
+	if !strings.Contains(a.Render(), "exact") {
+		t.Fatal("A4 render missing modes")
+	}
+}
+
+func TestTableFormatter(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"a", "bb"}}
+	tab.AddRow("x", 0.5)
+	tab.AddRow("longer", 42)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "50.0%") || !strings.Contains(out, "42") {
+		t.Fatalf("cell formatting:\n%s", out)
+	}
+}
+
+func TestSamplePoints(t *testing.T) {
+	pts := samplePoints(30)
+	if pts[len(pts)-1] != 30 {
+		t.Fatalf("budget not included: %v", pts)
+	}
+	for _, p := range pts {
+		if p > 30 {
+			t.Fatalf("point beyond budget: %v", pts)
+		}
+	}
+	if got := samplePoints(3); got[len(got)-1] != 3 {
+		t.Fatalf("small budget: %v", got)
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"repro/internal/coverage"
+	"repro/internal/data"
+)
+
+// Fig2 reproduces "Validation Coverage of Different Image Sets": the
+// average single-image validation coverage of Gaussian noise probes,
+// out-of-distribution natural-image probes (the paper uses ImageNet),
+// and training-set probes, for each model. The paper's finding is the
+// ordering training ≫ natural ≫ noise (46%/22%/13% on MNIST,
+// 36%/18%/12% on CIFAR).
+type Fig2 struct {
+	Rows []Fig2Row
+}
+
+// Fig2Row is the mean per-image coverage of one (model, probe set) pair.
+type Fig2Row struct {
+	Model    string
+	ProbeSet string
+	MeanVC   float64
+	N        int
+}
+
+// RunFig2 measures nProbes random probes per image set on the setup.
+func RunFig2(s *Setup, nProbes int) *Fig2 {
+	c, h, w := s.InShape[0], s.InShape[1], s.InShape[2]
+	probeSets := []struct {
+		name string
+		ds   *data.Dataset
+	}{
+		{"noise", data.Noise(nProbes, c, h, w, s.Params.Seed+300)},
+		{"natural", data.Natural(nProbes, c, h, w, s.Params.Seed+301)},
+		{"training", trainingProbes(s, nProbes)},
+	}
+	out := &Fig2{}
+	for _, ps := range probeSets {
+		sum := 0.0
+		for _, sample := range ps.ds.Samples {
+			sum += coverage.ParamActivation(s.Net, sample.X, s.Cov).Fraction()
+		}
+		out.Rows = append(out.Rows, Fig2Row{
+			Model:    s.Name,
+			ProbeSet: ps.name,
+			MeanVC:   sum / float64(ps.ds.Len()),
+			N:        ps.ds.Len(),
+		})
+	}
+	return out
+}
+
+// trainingProbes returns up to n samples drawn from the training set
+// (fresh renders from the same generator when n exceeds it).
+func trainingProbes(s *Setup, n int) *data.Dataset {
+	if n <= s.Train.Len() {
+		return s.Train.Subset(n)
+	}
+	return s.Train
+}
+
+// Render returns the Fig. 2 table text.
+func (f *Fig2) Render() string {
+	tab := &Table{
+		Title:   "Fig. 2 — mean single-image validation coverage per probe set",
+		Headers: []string{"model", "probe set", "probes", "mean VC"},
+	}
+	for _, r := range f.Rows {
+		tab.AddRow(r.Model, r.ProbeSet, r.N, r.MeanVC)
+	}
+	return tab.String()
+}
+
+// Ordered reports whether the paper's strict ordering (training >
+// natural > noise) holds for these rows.
+func (f *Fig2) Ordered() bool {
+	byName := f.byProbe()
+	return byName["training"] > byName["natural"] && byName["natural"] > byName["noise"]
+}
+
+// NoiseLowest reports the robust half of the paper's finding: both
+// image-like probe sets activate more parameters than Gaussian noise.
+// (In this reproduction the OOD set shares the training renderer, so it
+// can edge slightly above the training set — see EXPERIMENTS.md.)
+func (f *Fig2) NoiseLowest() bool {
+	byName := f.byProbe()
+	return byName["training"] > byName["noise"] && byName["natural"] > byName["noise"]
+}
+
+func (f *Fig2) byProbe() map[string]float64 {
+	byName := map[string]float64{}
+	for _, r := range f.Rows {
+		byName[r.ProbeSet] = r.MeanVC
+	}
+	return byName
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Fig3 reproduces "Validation coverage of different methods": the
+// coverage-vs-suite-size curves of Algorithm 1 (training-set selection),
+// Algorithm 2 (gradient-based generation), the combined method, and a
+// random-selection reference, plus the coverage ceiling of the whole
+// selection pool (the paper finds ~8% of CIFAR parameters never
+// activate from training data).
+type Fig3 struct {
+	Budget      int
+	Select      []float64
+	Gradient    []float64
+	Combined    []float64
+	Random      []float64
+	SwitchPoint int
+	// PoolCeiling is the coverage of the full selection pool via
+	// Algorithm 1 — the saturation level training samples cannot pass.
+	PoolCeiling float64
+}
+
+// RunFig3 generates all four curves with the given test budget.
+func RunFig3(s *Setup, budget int) (*Fig3, error) {
+	opts := core.DefaultOptions(budget)
+	opts.Coverage = s.Cov
+	opts.Seed = s.Params.Seed + 400
+
+	sel, err := core.SelectFromTraining(s.Net, s.Select, opts)
+	if err != nil {
+		return nil, fmt.Errorf("fig3 select: %w", err)
+	}
+	grad, err := core.GradientGenerate(s.Net, s.InShape, s.Classes, opts)
+	if err != nil {
+		return nil, fmt.Errorf("fig3 gradient: %w", err)
+	}
+	comb, err := core.Combined(s.Net, s.Select, opts)
+	if err != nil {
+		return nil, fmt.Errorf("fig3 combined: %w", err)
+	}
+	rnd, err := core.RandomSelect(s.Net, s.Select, opts)
+	if err != nil {
+		return nil, fmt.Errorf("fig3 random: %w", err)
+	}
+
+	ceilOpts := opts
+	ceilOpts.MaxTests = s.Select.Len()
+	ceilOpts.StopOnZeroGain = true
+	ceil, err := core.SelectFromTraining(s.Net, s.Select, ceilOpts)
+	if err != nil {
+		return nil, fmt.Errorf("fig3 ceiling: %w", err)
+	}
+
+	return &Fig3{
+		Budget:      budget,
+		Select:      sel.Curve,
+		Gradient:    grad.Curve,
+		Combined:    comb.Curve,
+		Random:      rnd.Curve,
+		SwitchPoint: comb.SwitchPoint,
+		PoolCeiling: ceil.FinalCoverage(),
+	}, nil
+}
+
+// Render returns the curve table sampled at a handful of suite sizes.
+func (f *Fig3) Render() string {
+	tab := &Table{
+		Title:   fmt.Sprintf("Fig. 3 — validation coverage vs number of tests (switch at %d, pool ceiling %.1f%%)", f.SwitchPoint, 100*f.PoolCeiling),
+		Headers: []string{"#tests", "random", "select (Alg1)", "gradient (Alg2)", "combined"},
+	}
+	at := func(curve []float64, i int) string {
+		if i < len(curve) {
+			return fmt.Sprintf("%.1f%%", 100*curve[i])
+		}
+		return "-"
+	}
+	for _, n := range samplePoints(f.Budget) {
+		tab.AddRow(fmt.Sprintf("%d", n), at(f.Random, n-1), at(f.Select, n-1), at(f.Gradient, n-1), at(f.Combined, n-1))
+	}
+	return tab.String()
+}
+
+// samplePoints picks the suite sizes to print for a budget.
+func samplePoints(budget int) []int {
+	candidates := []int{1, 5, 10, 20, 30, 40, 50, 75, 100, 150, 200}
+	var out []int
+	for _, c := range candidates {
+		if c <= budget {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != budget {
+		out = append(out, budget)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a minimal aligned text table for experiment reports.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells, formatting non-strings with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.1f%%", 100*v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+			if i < cols-1 {
+				b.WriteString("  ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range width {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+// Package models is the model zoo of the reproduction: the two Table I
+// architectures (the Tanh MNIST CNN and the ReLU CIFAR-10 CNN) plus a
+// tiny CNN for fast tests. Each architecture takes a width scale so the
+// same layer stack can run from laptop-test size up to the paper's full
+// widths.
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Arch describes a Table I style architecture: four 3×3 convolutions
+// with pooling after the second and fourth, one hidden dense layer and a
+// classifier head.
+type Arch struct {
+	Name          string
+	InC, InH, InW int
+	Chans         [4]int // output channels of the four convolutions
+	Hidden        int    // width of the hidden dense layer
+	Classes       int
+	Act           nn.Activation
+}
+
+// scaleInt scales a base width, keeping at least min.
+func scaleInt(base int, scale float64, min int) int {
+	v := int(float64(base)*scale + 0.5)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// MNIST returns the paper's MNIST architecture (Table I, left column):
+// Conv 32/32/64/64 + FC128, Tanh activations. scale multiplies all
+// widths; h and w set the input size (the paper uses 28×28; the scaled
+// experiments use 16×16, which is the smallest this stack supports).
+func MNIST(h, w int, scale float64) Arch {
+	return Arch{
+		Name: "mnist-tanh",
+		InC:  1, InH: h, InW: w,
+		Chans:   [4]int{scaleInt(32, scale, 2), scaleInt(32, scale, 2), scaleInt(64, scale, 2), scaleInt(64, scale, 2)},
+		Hidden:  scaleInt(128, scale, 8),
+		Classes: 10,
+		Act:     nn.Tanh,
+	}
+}
+
+// CIFAR returns the paper's CIFAR-10 architecture (Table I, right
+// column): Conv 64/64/128/128 + FC512, ReLU activations.
+func CIFAR(h, w int, scale float64) Arch {
+	return Arch{
+		Name: "cifar-relu",
+		InC:  3, InH: h, InW: w,
+		Chans:   [4]int{scaleInt(64, scale, 2), scaleInt(64, scale, 2), scaleInt(128, scale, 2), scaleInt(128, scale, 2)},
+		Hidden:  scaleInt(512, scale, 8),
+		Classes: 10,
+		Act:     nn.ReLU,
+	}
+}
+
+// Build constructs and initialises the network. Tanh/Sigmoid stacks get
+// Glorot initialisation, ReLU stacks He initialisation, matching
+// standard practice for each activation.
+func (a Arch) Build(seed int64) (*nn.Network, error) {
+	rng := rand.New(rand.NewSource(seed))
+	glorot := a.Act.Saturating()
+
+	initConv := func(c *nn.Conv2D) {
+		if glorot {
+			c.InitGlorot(rng)
+		} else {
+			c.Init(rng)
+		}
+	}
+	initDense := func(d *nn.Dense) {
+		if glorot {
+			d.InitGlorot(rng)
+		} else {
+			d.Init(rng)
+		}
+	}
+
+	h, w := a.InH, a.InW
+	if h < 16 || w < 16 {
+		return nil, fmt.Errorf("models: %s needs input at least 16×16, got %d×%d", a.Name, h, w)
+	}
+
+	var layers []nn.Layer
+	if glorot {
+		// Tanh/Sigmoid stacks centre [0,1] pixels to [-1,1], standard
+		// preprocessing for saturating activations.
+		layers = append(layers, nn.NewScaleShift("center", 2, -1))
+	}
+	c1 := nn.NewConv2D("conv1", a.InC, h, w, a.Chans[0], 3, 1, 0)
+	initConv(c1)
+	h, w = h-2, w-2
+	layers = append(layers, c1, nn.NewActivate("act1", a.Act))
+
+	c2 := nn.NewConv2D("conv2", a.Chans[0], h, w, a.Chans[1], 3, 1, 0)
+	initConv(c2)
+	h, w = h-2, w-2
+	layers = append(layers, c2, nn.NewActivate("act2", a.Act),
+		nn.NewMaxPool2D("pool1", a.Chans[1], h, w, 2, 2))
+	h, w = h/2, w/2
+
+	c3 := nn.NewConv2D("conv3", a.Chans[1], h, w, a.Chans[2], 3, 1, 0)
+	initConv(c3)
+	h, w = h-2, w-2
+	layers = append(layers, c3, nn.NewActivate("act3", a.Act))
+
+	c4 := nn.NewConv2D("conv4", a.Chans[2], h, w, a.Chans[3], 3, 1, 0)
+	initConv(c4)
+	h, w = h-2, w-2
+	layers = append(layers, c4, nn.NewActivate("act4", a.Act),
+		nn.NewMaxPool2D("pool2", a.Chans[3], h, w, 2, 2))
+	h, w = h/2, w/2
+
+	fc1 := nn.NewDense("fc1", a.Chans[3]*h*w, a.Hidden)
+	initDense(fc1)
+	fc2 := nn.NewDense("fc2", a.Hidden, a.Classes)
+	initDense(fc2)
+	layers = append(layers, nn.NewFlatten("flat"), fc1, nn.NewActivate("act5", a.Act), fc2)
+
+	return nn.NewNetwork(layers...), nil
+}
+
+// Tiny returns a small one-conv-block CNN for fast tests: Conv(ch,3×3,
+// pad 1) → act → MaxPool(2) → FC(classes). Input must have even h and w.
+func Tiny(act nn.Activation, inC, h, w, ch, classes int, seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	c := nn.NewConv2D("conv1", inC, h, w, ch, 3, 1, 1)
+	fc := nn.NewDense("fc", ch*(h/2)*(w/2), classes)
+	if act.Saturating() {
+		c.InitGlorot(rng)
+		fc.InitGlorot(rng)
+	} else {
+		c.Init(rng)
+		fc.Init(rng)
+	}
+	return nn.NewNetwork(
+		c, nn.NewActivate("act1", act),
+		nn.NewMaxPool2D("pool1", ch, h, w, 2, 2),
+		nn.NewFlatten("flat"), fc,
+	)
+}
+
+// Small returns a two-conv-block CNN, bigger than Tiny but far smaller
+// than the Table I stacks; the workhorse of the scaled experiments when
+// geometry below 16×16 is needed. Input h and w must be multiples of 4.
+func Small(act nn.Activation, inC, h, w, ch1, ch2, hidden, classes int, seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	glorot := act.Saturating()
+	c1 := nn.NewConv2D("conv1", inC, h, w, ch1, 3, 1, 1)
+	c2 := nn.NewConv2D("conv2", ch1, h/2, w/2, ch2, 3, 1, 1)
+	fc1 := nn.NewDense("fc1", ch2*(h/4)*(w/4), hidden)
+	fc2 := nn.NewDense("fc2", hidden, classes)
+	for _, l := range []any{c1, c2} {
+		c := l.(*nn.Conv2D)
+		if glorot {
+			c.InitGlorot(rng)
+		} else {
+			c.Init(rng)
+		}
+	}
+	for _, l := range []any{fc1, fc2} {
+		d := l.(*nn.Dense)
+		if glorot {
+			d.InitGlorot(rng)
+		} else {
+			d.Init(rng)
+		}
+	}
+	return nn.NewNetwork(
+		c1, nn.NewActivate("act1", act),
+		nn.NewMaxPool2D("pool1", ch1, h, w, 2, 2),
+		c2, nn.NewActivate("act2", act),
+		nn.NewMaxPool2D("pool2", ch2, h/2, w/2, 2, 2),
+		nn.NewFlatten("flat"), fc1, nn.NewActivate("act3", act), fc2,
+	)
+}

@@ -1,0 +1,138 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestMNISTArchFullScaleParamCount(t *testing.T) {
+	// At scale 1 with 28×28 input the parameter count must match the
+	// paper's architecture: conv 32/32/64/64 (3×3) + FC128 + FC10.
+	net, err := MNIST(28, 28, 1).Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (32*1*9 + 32) + (32*32*9 + 32) + (64*32*9 + 64) + (64*64*9 + 64) +
+		(64*4*4*128 + 128) + (128*10 + 10)
+	if got := net.NumParams(); got != want {
+		t.Fatalf("MNIST params = %d, want %d", got, want)
+	}
+}
+
+func TestCIFARArchFullScaleParamCount(t *testing.T) {
+	net, err := CIFAR(32, 32, 1).Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (64*3*9 + 64) + (64*64*9 + 64) + (128*64*9 + 128) + (128*128*9 + 128) +
+		(128*5*5*512 + 512) + (512*10 + 10)
+	if got := net.NumParams(); got != want {
+		t.Fatalf("CIFAR params = %d, want %d", got, want)
+	}
+}
+
+func TestArchForwardShapes(t *testing.T) {
+	cases := []struct {
+		arch Arch
+		in   []int
+	}{
+		{MNIST(28, 28, 0.25), []int{1, 28, 28}},
+		{MNIST(16, 16, 0.25), []int{1, 16, 16}},
+		{CIFAR(32, 32, 0.125), []int{3, 32, 32}},
+		{CIFAR(16, 16, 0.125), []int{3, 16, 16}},
+	}
+	for _, c := range cases {
+		net, err := c.arch.Build(2)
+		if err != nil {
+			t.Fatalf("%s: %v", c.arch.Name, err)
+		}
+		x := tensor.New(c.in...)
+		logits := net.Forward(x)
+		if logits.Size() != 10 {
+			t.Fatalf("%s: %d logits, want 10", c.arch.Name, logits.Size())
+		}
+	}
+}
+
+func TestArchRejectsTooSmallInput(t *testing.T) {
+	if _, err := MNIST(12, 12, 0.5).Build(1); err == nil {
+		t.Fatal("12×12 input should be rejected by the 4-conv stack")
+	}
+}
+
+func TestArchActivations(t *testing.T) {
+	mn, err := MNIST(16, 16, 0.25).Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range mn.LayerStack {
+		if a, ok := l.(*nn.Activate); ok && a.Fn != nn.Tanh {
+			t.Fatalf("MNIST model has %v activation, want tanh", a.Fn)
+		}
+	}
+	cf, err := CIFAR(16, 16, 0.25).Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range cf.LayerStack {
+		if a, ok := l.(*nn.Activate); ok && a.Fn != nn.ReLU {
+			t.Fatalf("CIFAR model has %v activation, want relu", a.Fn)
+		}
+	}
+}
+
+func TestBuildDeterministicPerSeed(t *testing.T) {
+	a, _ := MNIST(16, 16, 0.25).Build(7)
+	b, _ := MNIST(16, 16, 0.25).Build(7)
+	for i := 0; i < a.NumParams(); i++ {
+		if a.ParamAt(i) != b.ParamAt(i) {
+			t.Fatalf("same seed produced different weights at %d", i)
+		}
+	}
+	c, _ := MNIST(16, 16, 0.25).Build(8)
+	same := true
+	for i := 0; i < a.NumParams() && i < 100; i++ {
+		if a.ParamAt(i) != c.ParamAt(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical weights")
+	}
+}
+
+func TestTinyForwardBackward(t *testing.T) {
+	for _, act := range []nn.Activation{nn.ReLU, nn.Tanh} {
+		net := Tiny(act, 1, 8, 8, 4, 10, 5)
+		x := tensor.New(1, 8, 8)
+		logits := net.Forward(x)
+		if logits.Size() != 10 {
+			t.Fatalf("Tiny(%v) logits %d", act, logits.Size())
+		}
+		_, d := nn.SoftmaxCrossEntropy(logits, 0)
+		dx := net.Backward(d)
+		if dx.Size() != 64 {
+			t.Fatalf("Tiny(%v) input grad size %d", act, dx.Size())
+		}
+	}
+}
+
+func TestSmallForward(t *testing.T) {
+	net := Small(nn.ReLU, 3, 12, 12, 4, 8, 16, 10, 6)
+	x := tensor.New(3, 12, 12)
+	if got := net.Forward(x).Size(); got != 10 {
+		t.Fatalf("Small logits %d", got)
+	}
+}
+
+func TestScaleIntFloor(t *testing.T) {
+	if scaleInt(32, 0.01, 2) != 2 {
+		t.Fatal("scaleInt should respect the minimum")
+	}
+	if scaleInt(32, 0.5, 2) != 16 {
+		t.Fatal("scaleInt rounding wrong")
+	}
+}

@@ -1,0 +1,212 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// lossOf runs a forward pass and returns the cross-entropy loss for a
+// fixed label; the scalar function whose gradients we check numerically.
+func lossOf(net *Network, x *tensor.Tensor, label int) float64 {
+	loss, _ := SoftmaxCrossEntropy(net.Forward(x), label)
+	return loss
+}
+
+// checkGradients verifies every parameter gradient and the input
+// gradient of net against central finite differences.
+func checkGradients(t *testing.T, net *Network, x *tensor.Tensor, label int, tol float64) {
+	t.Helper()
+	const h = 1e-6
+
+	net.ZeroGrad()
+	logits := net.Forward(x)
+	_, dLogits := SoftmaxCrossEntropy(logits, label)
+	dx := net.Backward(dLogits)
+
+	// Parameter gradients.
+	for i := 0; i < net.NumParams(); i++ {
+		orig := net.ParamAt(i)
+		net.SetParamAt(i, orig+h)
+		up := lossOf(net, x, label)
+		net.SetParamAt(i, orig-h)
+		down := lossOf(net, x, label)
+		net.SetParamAt(i, orig)
+		num := (up - down) / (2 * h)
+		ana := net.GradAt(i)
+		if diff := math.Abs(num - ana); diff > tol*(1+math.Abs(num)) {
+			t.Fatalf("param %s: analytic %.8g, numeric %.8g (diff %.3g)", net.ParamName(i), ana, num, diff)
+		}
+	}
+
+	// Input gradients.
+	for i := range x.Data() {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + h
+		up := lossOf(net, x, label)
+		x.Data()[i] = orig - h
+		down := lossOf(net, x, label)
+		x.Data()[i] = orig
+		num := (up - down) / (2 * h)
+		ana := dx.Data()[i]
+		if diff := math.Abs(num - ana); diff > tol*(1+math.Abs(num)) {
+			t.Fatalf("input %d: analytic %.8g, numeric %.8g (diff %.3g)", i, ana, num, diff)
+		}
+	}
+}
+
+func TestGradCheckDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense("fc", 6, 4)
+	d.Init(rng)
+	net := NewNetwork(d)
+	x := tensor.New(6)
+	x.FillNormal(rng, 0, 1)
+	checkGradients(t, net, x, 2, 1e-5)
+}
+
+func TestGradCheckDenseTanh(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d1 := NewDense("fc1", 5, 7)
+	d1.InitGlorot(rng)
+	d2 := NewDense("fc2", 7, 3)
+	d2.InitGlorot(rng)
+	net := NewNetwork(d1, NewActivate("tanh1", Tanh), d2)
+	x := tensor.New(5)
+	x.FillNormal(rng, 0, 1)
+	checkGradients(t, net, x, 0, 1e-5)
+}
+
+func TestGradCheckDenseSigmoid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d1 := NewDense("fc1", 4, 6)
+	d1.InitGlorot(rng)
+	d2 := NewDense("fc2", 6, 3)
+	d2.InitGlorot(rng)
+	net := NewNetwork(d1, NewActivate("sig1", Sigmoid), d2)
+	x := tensor.New(4)
+	x.FillNormal(rng, 0, 1)
+	checkGradients(t, net, x, 1, 1e-5)
+}
+
+func TestGradCheckDenseLeakyReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d1 := NewDense("fc1", 4, 6)
+	d1.Init(rng)
+	d2 := NewDense("fc2", 6, 3)
+	d2.Init(rng)
+	net := NewNetwork(d1, NewActivate("lrelu1", LeakyReLU), d2)
+	x := tensor.New(4)
+	x.FillNormal(rng, 0, 1)
+	checkGradients(t, net, x, 2, 1e-5)
+}
+
+func TestGradCheckConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewConv2D("conv", 2, 5, 5, 3, 3, 1, 1)
+	c.Init(rng)
+	net := NewNetwork(c, NewFlatten("flat"), NewDense("fc", 3*5*5, 4))
+	for _, l := range net.LayerStack {
+		if d, ok := l.(*Dense); ok {
+			d.Init(rng)
+		}
+	}
+	x := tensor.New(2, 5, 5)
+	x.FillNormal(rng, 0, 1)
+	checkGradients(t, net, x, 3, 1e-5)
+}
+
+func TestGradCheckConvStride2NoPad(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := NewConv2D("conv", 1, 6, 6, 2, 2, 2, 0)
+	c.Init(rng)
+	fc := NewDense("fc", 2*3*3, 3)
+	fc.Init(rng)
+	net := NewNetwork(c, NewFlatten("flat"), fc)
+	x := tensor.New(1, 6, 6)
+	x.FillNormal(rng, 0, 1)
+	checkGradients(t, net, x, 0, 1e-5)
+}
+
+func TestGradCheckMaxPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewMaxPool2D("pool", 2, 4, 4, 2, 2)
+	fc := NewDense("fc", 2*2*2, 3)
+	fc.Init(rng)
+	net := NewNetwork(p, NewFlatten("flat"), fc)
+	x := tensor.New(2, 4, 4)
+	// Spread values so no two window entries tie or sit within h of the max.
+	x.FillNormal(rng, 0, 10)
+	checkGradients(t, net, x, 1, 1e-5)
+}
+
+func TestGradCheckFullCNNTanh(t *testing.T) {
+	// Miniature version of the paper's MNIST architecture: two conv
+	// blocks with Tanh, max pooling, dense head.
+	rng := rand.New(rand.NewSource(8))
+	c1 := NewConv2D("conv1", 1, 8, 8, 2, 3, 1, 1)
+	c1.InitGlorot(rng)
+	p1 := NewMaxPool2D("pool1", 2, 8, 8, 2, 2)
+	c2 := NewConv2D("conv2", 2, 4, 4, 3, 3, 1, 1)
+	c2.InitGlorot(rng)
+	p2 := NewMaxPool2D("pool2", 3, 4, 4, 2, 2)
+	fc := NewDense("fc", 3*2*2, 4)
+	fc.InitGlorot(rng)
+	net := NewNetwork(
+		c1, NewActivate("tanh1", Tanh), p1,
+		c2, NewActivate("tanh2", Tanh), p2,
+		NewFlatten("flat"), fc,
+	)
+	x := tensor.New(1, 8, 8)
+	x.FillNormal(rng, 0, 1)
+	checkGradients(t, net, x, 1, 1e-4)
+}
+
+func TestGradCheckFullCNNReLU(t *testing.T) {
+	// Miniature of the CIFAR architecture: ReLU everywhere. A fixed seed
+	// keeps pre-activations away from the ReLU kink so the finite
+	// difference is valid.
+	rng := rand.New(rand.NewSource(9))
+	c1 := NewConv2D("conv1", 3, 6, 6, 2, 3, 1, 1)
+	c1.Init(rng)
+	p1 := NewMaxPool2D("pool1", 2, 6, 6, 2, 2)
+	fc := NewDense("fc", 2*3*3, 4)
+	fc.Init(rng)
+	net := NewNetwork(c1, NewActivate("relu1", ReLU), p1, NewFlatten("flat"), fc)
+	x := tensor.New(3, 6, 6)
+	x.FillNormal(rng, 0, 1)
+	checkGradients(t, net, x, 2, 1e-4)
+}
+
+func TestGradCheckSeedOnes(t *testing.T) {
+	// The coverage extractor seeds the backward pass with ones over the
+	// logits: gradients must then equal ∇θ(Σ_k F_k). Check numerically.
+	rng := rand.New(rand.NewSource(10))
+	d1 := NewDense("fc1", 4, 5)
+	d1.InitGlorot(rng)
+	d2 := NewDense("fc2", 5, 3)
+	d2.InitGlorot(rng)
+	net := NewNetwork(d1, NewActivate("tanh", Tanh), d2)
+	x := tensor.New(4)
+	x.FillNormal(rng, 0, 1)
+
+	net.ZeroGrad()
+	logits := net.Forward(x)
+	net.Backward(OnesLike(logits))
+
+	const h = 1e-6
+	for i := 0; i < net.NumParams(); i++ {
+		orig := net.ParamAt(i)
+		net.SetParamAt(i, orig+h)
+		up := net.Forward(x).Sum()
+		net.SetParamAt(i, orig-h)
+		down := net.Forward(x).Sum()
+		net.SetParamAt(i, orig)
+		num := (up - down) / (2 * h)
+		if ana := net.GradAt(i); math.Abs(num-ana) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("param %d: sum-of-logits grad analytic %.8g numeric %.8g", i, ana, num)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Softmax returns the softmax of a logits vector, computed with the
+// max-subtraction trick for numerical stability.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	m := logits.Max()
+	out := logits.Map(func(v float64) float64 { return math.Exp(v - m) })
+	s := out.Sum()
+	out.Scale(1 / s)
+	return out
+}
+
+// SoftmaxCrossEntropy returns the cross-entropy loss of the logits
+// against the integer label, together with the gradient of the loss with
+// respect to the logits (softmax(z) − onehot(label)); the fused form
+// used for training, for Algorithm 2's input synthesis, and for the GDA
+// attack.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (loss float64, dLogits *tensor.Tensor) {
+	if label < 0 || label >= logits.Size() {
+		panic(fmt.Sprintf("nn: label %d out of range for %d logits", label, logits.Size()))
+	}
+	p := Softmax(logits)
+	loss = -math.Log(math.Max(p.Data()[label], 1e-300))
+	d := p // reuse: dLogits = p - onehot
+	d.Data()[label] -= 1
+	return loss, d
+}
+
+// MSE returns the mean squared error between a prediction vector and a
+// target vector, with the gradient with respect to the prediction.
+func MSE(pred, target *tensor.Tensor) (loss float64, dPred *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("nn: MSE shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	n := float64(pred.Size())
+	d := tensor.Sub(pred, target)
+	for _, v := range d.Data() {
+		loss += v * v
+	}
+	loss /= n
+	d.Scale(2 / n)
+	return loss, d
+}
+
+// OnesLike returns a tensor of the same shape filled with ones; the
+// backward seed that makes parameter gradients equal ∇θ(Σ_k F_k(x)),
+// the activation criterion of Eq. 2 applied to all outputs at once.
+func OnesLike(t *tensor.Tensor) *tensor.Tensor {
+	o := tensor.New(t.Shape()...)
+	o.Fill(1)
+	return o
+}

@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		z := tensor.New(n)
+		z.FillNormal(rng, 0, 5)
+		p := Softmax(z)
+		if math.Abs(p.Sum()-1) > 1e-12 {
+			return false
+		}
+		for _, v := range p.Data() {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxShiftInvariant(t *testing.T) {
+	z := tensor.FromSlice([]float64{1, 2, 3}, 3)
+	z2 := z.Map(func(v float64) float64 { return v + 100 })
+	p1, p2 := Softmax(z), Softmax(z2)
+	for i := range p1.Data() {
+		if math.Abs(p1.Data()[i]-p2.Data()[i]) > 1e-12 {
+			t.Fatalf("softmax not shift invariant at %d", i)
+		}
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	z := tensor.FromSlice([]float64{1000, 999, 998}, 3)
+	p := Softmax(z)
+	if p.HasNaN() {
+		t.Fatal("softmax overflowed on large logits")
+	}
+	if math.Abs(p.Sum()-1) > 1e-12 {
+		t.Fatalf("softmax sum = %v", p.Sum())
+	}
+}
+
+func TestCrossEntropyHandChecked(t *testing.T) {
+	z := tensor.FromSlice([]float64{0, 0}, 2)
+	loss, d := SoftmaxCrossEntropy(z, 0)
+	if math.Abs(loss-math.Log(2)) > 1e-12 {
+		t.Fatalf("loss = %v, want ln 2", loss)
+	}
+	// d = softmax - onehot = [0.5-1, 0.5]
+	if math.Abs(d.Data()[0]+0.5) > 1e-12 || math.Abs(d.Data()[1]-0.5) > 1e-12 {
+		t.Fatalf("dLogits = %v", d.Data())
+	}
+}
+
+func TestCrossEntropyGradientNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	z := tensor.New(5)
+	z.FillNormal(rng, 0, 2)
+	const h = 1e-6
+	_, d := SoftmaxCrossEntropy(z, 3)
+	for i := range z.Data() {
+		orig := z.Data()[i]
+		z.Data()[i] = orig + h
+		up, _ := SoftmaxCrossEntropy(z, 3)
+		z.Data()[i] = orig - h
+		down, _ := SoftmaxCrossEntropy(z, 3)
+		z.Data()[i] = orig
+		num := (up - down) / (2 * h)
+		if math.Abs(num-d.Data()[i]) > 1e-6 {
+			t.Fatalf("dLogits[%d] = %v, numeric %v", i, d.Data()[i], num)
+		}
+	}
+}
+
+func TestCrossEntropyBadLabelPanics(t *testing.T) {
+	z := tensor.New(3)
+	for _, label := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("label %d did not panic", label)
+				}
+			}()
+			SoftmaxCrossEntropy(z, label)
+		}()
+	}
+}
+
+func TestCrossEntropyDecreasesWithConfidence(t *testing.T) {
+	weak := tensor.FromSlice([]float64{1, 0, 0}, 3)
+	strong := tensor.FromSlice([]float64{10, 0, 0}, 3)
+	lw, _ := SoftmaxCrossEntropy(weak, 0)
+	ls, _ := SoftmaxCrossEntropy(strong, 0)
+	if ls >= lw {
+		t.Fatalf("loss should fall with confidence: weak %v, strong %v", lw, ls)
+	}
+}
+
+func TestMSEHandChecked(t *testing.T) {
+	pred := tensor.FromSlice([]float64{1, 2}, 2)
+	target := tensor.FromSlice([]float64{0, 0}, 2)
+	loss, d := MSE(pred, target)
+	if math.Abs(loss-2.5) > 1e-12 { // (1+4)/2
+		t.Fatalf("MSE = %v, want 2.5", loss)
+	}
+	if math.Abs(d.Data()[0]-1) > 1e-12 || math.Abs(d.Data()[1]-2) > 1e-12 {
+		t.Fatalf("dMSE = %v, want [1 2]", d.Data())
+	}
+}
+
+func TestMSEZeroAtTarget(t *testing.T) {
+	x := tensor.FromSlice([]float64{3, 4}, 2)
+	loss, d := MSE(x, x.Clone())
+	if loss != 0 || d.MaxAbs() != 0 {
+		t.Fatalf("MSE at target: loss=%v grad=%v", loss, d.Data())
+	}
+}
+
+func TestMSEShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MSE shape mismatch did not panic")
+		}
+	}()
+	MSE(tensor.New(2), tensor.New(3))
+}
+
+func TestOnesLike(t *testing.T) {
+	o := OnesLike(tensor.New(2, 3))
+	if o.Size() != 6 || o.Sum() != 6 {
+		t.Fatalf("OnesLike wrong: %v sum=%v", o.Shape(), o.Sum())
+	}
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// layerSpec is the gob wire form of one layer: its kind, geometry and
+// parameter payloads. Keeping the wire type private and flat avoids
+// exposing layer internals to the encoding.
+type layerSpec struct {
+	Kind    string
+	Name    string
+	Ints    []int       // kind-specific geometry, in a fixed order
+	Floats  []float64   // kind-specific real-valued settings
+	Weights [][]float64 // parameter payloads in Params() order
+}
+
+// netSpec is the gob wire form of a whole network.
+type netSpec struct {
+	Version int
+	Layers  []layerSpec
+}
+
+const wireVersion = 1
+
+// Encode writes the network (architecture and weights) to w in gob form.
+func (n *Network) Encode(w io.Writer) error {
+	spec := netSpec{Version: wireVersion}
+	for _, l := range n.LayerStack {
+		ls := layerSpec{Name: l.Name()}
+		switch t := l.(type) {
+		case *Conv2D:
+			ls.Kind = "conv"
+			ls.Ints = []int{t.InC, t.InH, t.InW, t.OutC, t.K, t.Stride, t.Pad}
+		case *Dense:
+			ls.Kind = "dense"
+			ls.Ints = []int{t.In, t.Out}
+		case *MaxPool2D:
+			ls.Kind = "maxpool"
+			ls.Ints = []int{t.C, t.H, t.W, t.K, t.Stride}
+		case *Activate:
+			ls.Kind = "act"
+			ls.Ints = []int{int(t.Fn)}
+		case *Flatten:
+			ls.Kind = "flatten"
+		case *ScaleShift:
+			ls.Kind = "scaleshift"
+			ls.Floats = []float64{t.A, t.B}
+		default:
+			return fmt.Errorf("nn: cannot encode layer type %T", l)
+		}
+		for _, p := range l.Params() {
+			vals := make([]float64, p.W.Size())
+			copy(vals, p.W.Data())
+			ls.Weights = append(ls.Weights, vals)
+		}
+		spec.Layers = append(spec.Layers, ls)
+	}
+	return gob.NewEncoder(w).Encode(spec)
+}
+
+// Decode reads a network written by Encode.
+func Decode(r io.Reader) (*Network, error) {
+	var spec netSpec
+	if err := gob.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("nn: decode network: %w", err)
+	}
+	if spec.Version != wireVersion {
+		return nil, fmt.Errorf("nn: unsupported network wire version %d", spec.Version)
+	}
+	layers := make([]Layer, 0, len(spec.Layers))
+	for i, ls := range spec.Layers {
+		l, err := buildLayer(ls)
+		if err != nil {
+			return nil, fmt.Errorf("nn: decode layer %d (%s): %w", i, ls.Name, err)
+		}
+		layers = append(layers, l)
+	}
+	return NewNetwork(layers...), nil
+}
+
+func buildLayer(ls layerSpec) (Layer, error) {
+	need := func(n int) error {
+		if len(ls.Ints) != n {
+			return fmt.Errorf("kind %s needs %d ints, got %d", ls.Kind, n, len(ls.Ints))
+		}
+		return nil
+	}
+	var l Layer
+	switch ls.Kind {
+	case "conv":
+		if err := need(7); err != nil {
+			return nil, err
+		}
+		g := ls.Ints
+		l = NewConv2D(ls.Name, g[0], g[1], g[2], g[3], g[4], g[5], g[6])
+	case "dense":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		l = NewDense(ls.Name, ls.Ints[0], ls.Ints[1])
+	case "maxpool":
+		if err := need(5); err != nil {
+			return nil, err
+		}
+		g := ls.Ints
+		l = NewMaxPool2D(ls.Name, g[0], g[1], g[2], g[3], g[4])
+	case "act":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		l = NewActivate(ls.Name, Activation(ls.Ints[0]))
+	case "flatten":
+		l = NewFlatten(ls.Name)
+	case "scaleshift":
+		if len(ls.Floats) != 2 {
+			return nil, fmt.Errorf("kind scaleshift needs 2 floats, got %d", len(ls.Floats))
+		}
+		l = NewScaleShift(ls.Name, ls.Floats[0], ls.Floats[1])
+	default:
+		return nil, fmt.Errorf("unknown layer kind %q", ls.Kind)
+	}
+	params := l.Params()
+	if len(params) != len(ls.Weights) {
+		return nil, fmt.Errorf("kind %s has %d params, payload has %d", ls.Kind, len(params), len(ls.Weights))
+	}
+	for i, p := range params {
+		if p.W.Size() != len(ls.Weights[i]) {
+			return nil, fmt.Errorf("param %s expects %d values, payload has %d", p.Name, p.W.Size(), len(ls.Weights[i]))
+		}
+		copy(p.W.Data(), ls.Weights[i])
+	}
+	return l, nil
+}

@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func buildTestNet(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	c := NewConv2D("conv1", 1, 6, 6, 2, 3, 1, 1)
+	c.Init(rng)
+	p := NewMaxPool2D("pool1", 2, 6, 6, 2, 2)
+	fc := NewDense("fc", 2*3*3, 4)
+	fc.Init(rng)
+	return NewNetwork(c, NewActivate("relu1", ReLU), p, NewFlatten("flat"), fc)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	net := buildTestNet(41)
+	var buf bytes.Buffer
+	if err := net.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.NumParams() != net.NumParams() {
+		t.Fatalf("param count %d, want %d", got.NumParams(), net.NumParams())
+	}
+	for i := 0; i < net.NumParams(); i++ {
+		if got.ParamAt(i) != net.ParamAt(i) {
+			t.Fatalf("param %d differs after round trip", i)
+		}
+	}
+	// Same predictions.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		x := tensor.New(1, 6, 6)
+		x.FillNormal(rng, 0, 1)
+		a, b := net.Forward(x.Clone()), got.Forward(x.Clone())
+		for j := range a.Data() {
+			if a.Data()[j] != b.Data()[j] {
+				t.Fatalf("logits differ after round trip (trial %d)", trial)
+			}
+		}
+	}
+}
+
+func TestDecodeGarbageFails(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("Decode of garbage should fail")
+	}
+}
+
+func TestDecodeTruncatedFails(t *testing.T) {
+	net := buildTestNet(43)
+	var buf bytes.Buffer
+	if err := net.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Decode(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("Decode of truncated stream should fail")
+	}
+}
+
+func TestDecodeEmptyFails(t *testing.T) {
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatal("Decode of empty stream should fail")
+	}
+}
+
+func TestEncodePreservesActivationKind(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	fc := NewDense("fc", 2, 2)
+	fc.InitGlorot(rng)
+	net := NewNetwork(fc, NewActivate("act", Tanh), func() Layer {
+		d := NewDense("fc2", 2, 2)
+		d.InitGlorot(rng)
+		return d
+	}())
+	var buf bytes.Buffer
+	if err := net.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, ok := got.LayerStack[1].(*Activate)
+	if !ok || act.Fn != Tanh {
+		t.Fatalf("activation kind lost: %#v", got.LayerStack[1])
+	}
+}

@@ -1,0 +1,162 @@
+// Package quant models the fixed-point weight storage of a hardware DNN
+// accelerator. The attacks the paper defends against strike the
+// *stored* representation (off-chip weight memory, per Liu et al. [5]
+// and the reverse-engineering attacks [6]); this package provides the
+// int8 per-tensor affine quantisation such IPs use, a dequantised
+// inference path, and the memory-image fault model that flips bits in
+// the stored bytes.
+//
+// The validation scheme is representation-agnostic — the user only sees
+// outputs — so suites generated on the float model detect faults
+// injected into the quantised image exactly as they detect float
+// perturbations, which the tests verify.
+package quant
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// TensorQ is one parameter tensor in int8 affine quantisation:
+// value ≈ Scale·(q − Zero).
+type TensorQ struct {
+	Name  string
+	Q     []int8
+	Scale float64
+	Zero  int8
+}
+
+// Model is a fully quantised parameter image of a network, in the
+// network's flat parameter order.
+type Model struct {
+	Tensors []TensorQ
+	total   int
+}
+
+// Quantize converts every parameter tensor of net to int8 with
+// symmetric per-tensor scaling (zero point 0), the common choice for
+// weights in integer accelerators.
+func Quantize(net *nn.Network) *Model {
+	m := &Model{}
+	for _, p := range net.Params() {
+		vals := p.W.Data()
+		maxAbs := 0.0
+		for _, v := range vals {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := maxAbs / 127
+		if scale == 0 {
+			scale = 1 // all-zero tensor: any scale round-trips zeros
+		}
+		q := make([]int8, len(vals))
+		for i, v := range vals {
+			r := math.Round(v / scale)
+			if r > 127 {
+				r = 127
+			} else if r < -128 {
+				r = -128
+			}
+			q[i] = int8(r)
+		}
+		m.Tensors = append(m.Tensors, TensorQ{Name: p.Name, Q: q, Scale: scale})
+		m.total += len(q)
+	}
+	return m
+}
+
+// NumParams returns the total number of quantised scalars.
+func (m *Model) NumParams() int { return m.total }
+
+// Dequantize writes the quantised parameters back into net (which must
+// have the same architecture), producing the model a fixed-point
+// accelerator actually evaluates.
+func (m *Model) Dequantize(net *nn.Network) error {
+	params := net.Params()
+	if len(params) != len(m.Tensors) {
+		return fmt.Errorf("quant: model has %d tensors, network has %d", len(m.Tensors), len(params))
+	}
+	for i, t := range m.Tensors {
+		if params[i].W.Size() != len(t.Q) {
+			return fmt.Errorf("quant: tensor %s has %d values, parameter expects %d", t.Name, len(t.Q), params[i].W.Size())
+		}
+		dst := params[i].W.Data()
+		for j, q := range t.Q {
+			dst[j] = t.Scale * float64(int(q)-int(t.Zero))
+		}
+	}
+	return nil
+}
+
+// MaxError returns the largest absolute difference between the float
+// parameters of net and the dequantised image; bounded by Scale/2 per
+// tensor for in-range values.
+func (m *Model) MaxError(net *nn.Network) (float64, error) {
+	params := net.Params()
+	if len(params) != len(m.Tensors) {
+		return 0, fmt.Errorf("quant: model has %d tensors, network has %d", len(m.Tensors), len(params))
+	}
+	worst := 0.0
+	for i, t := range m.Tensors {
+		if params[i].W.Size() != len(t.Q) {
+			return 0, fmt.Errorf("quant: tensor %s has %d values, parameter expects %d", t.Name, len(t.Q), params[i].W.Size())
+		}
+		src := params[i].W.Data()
+		for j, q := range t.Q {
+			deq := t.Scale * float64(int(q)-int(t.Zero))
+			if d := math.Abs(deq - src[j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}
+
+// Fault records one bit flip in the stored image.
+type Fault struct {
+	Tensor int // index into Tensors
+	Index  int // element within the tensor
+	Bit    uint
+	Old    int8
+}
+
+// FlipBits injects count random single-bit faults into the stored int8
+// image — the rowhammer-style memory fault model. Revert undoes them.
+func (m *Model) FlipBits(count int, rng *rand.Rand) ([]Fault, error) {
+	if count <= 0 || count > m.total {
+		return nil, fmt.Errorf("quant: count %d out of range [1,%d]", count, m.total)
+	}
+	faults := make([]Fault, 0, count)
+	for len(faults) < count {
+		flat := rng.Intn(m.total)
+		ti, idx := m.locate(flat)
+		bit := uint(rng.Intn(8))
+		old := m.Tensors[ti].Q[idx]
+		m.Tensors[ti].Q[idx] = old ^ int8(1<<bit) //nolint:gosec // 8-bit flip
+		faults = append(faults, Fault{Tensor: ti, Index: idx, Bit: bit, Old: old})
+	}
+	return faults, nil
+}
+
+// Revert undoes faults injected by FlipBits (apply in any order; last
+// writer wins, so pass the original slice).
+func (m *Model) Revert(faults []Fault) {
+	for i := len(faults) - 1; i >= 0; i-- {
+		f := faults[i]
+		m.Tensors[f.Tensor].Q[f.Index] = f.Old
+	}
+}
+
+func (m *Model) locate(flat int) (tensor, index int) {
+	for ti, t := range m.Tensors {
+		if flat < len(t.Q) {
+			return ti, flat
+		}
+		flat -= len(t.Q)
+	}
+	panic(fmt.Sprintf("quant: flat index %d out of range", flat))
+}

@@ -1,0 +1,234 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/train"
+	"repro/internal/validate"
+)
+
+var quantNet = sync.OnceValue(func() *nn.Network {
+	net := models.Tiny(nn.ReLU, 1, 10, 10, 4, 10, 401)
+	ds := data.Digits(150, 10, 10, 402)
+	if _, err := train.Fit(net, ds, train.Config{
+		Epochs: 5, BatchSize: 16, Optimizer: train.NewAdam(0.003), Seed: 1,
+	}); err != nil {
+		panic(err)
+	}
+	return net
+})
+
+func cloneNet(t *testing.T, net *nn.Network) *nn.Network {
+	t.Helper()
+	m := Quantize(net) // cheap way to get an arch clone? No — use encode/decode.
+	_ = m
+	var buf memBuffer
+	if err := net.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nn.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// memBuffer is a minimal in-memory io.ReadWriter.
+type memBuffer struct{ data []byte }
+
+func (b *memBuffer) Write(p []byte) (int, error) { b.data = append(b.data, p...); return len(p), nil }
+func (b *memBuffer) Read(p []byte) (int, error) {
+	if len(b.data) == 0 {
+		return 0, errEOF
+	}
+	n := copy(p, b.data)
+	b.data = b.data[n:]
+	return n, nil
+}
+
+var errEOF = eofError{}
+
+type eofError struct{}
+
+func (eofError) Error() string { return "EOF" }
+
+func TestQuantizeRoundTripError(t *testing.T) {
+	net := quantNet()
+	m := Quantize(net)
+	if m.NumParams() != net.NumParams() {
+		t.Fatalf("quantised %d of %d params", m.NumParams(), net.NumParams())
+	}
+	worst, err := m.MaxError(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric int8: error bounded by half a step of the widest tensor.
+	maxScale := 0.0
+	for _, tq := range m.Tensors {
+		if tq.Scale > maxScale {
+			maxScale = tq.Scale
+		}
+	}
+	if worst > maxScale/2+1e-12 {
+		t.Fatalf("round-trip error %v exceeds half step %v", worst, maxScale/2)
+	}
+}
+
+func TestQuantizedModelKeepsAccuracy(t *testing.T) {
+	net := quantNet()
+	test := data.Digits(100, 10, 10, 403)
+	accFloat := train.Accuracy(net, test)
+
+	deployed := cloneNet(t, net)
+	m := Quantize(net)
+	if err := m.Dequantize(deployed); err != nil {
+		t.Fatal(err)
+	}
+	accQuant := train.Accuracy(deployed, test)
+	if accQuant < accFloat-0.1 {
+		t.Fatalf("int8 accuracy %.3f far below float %.3f", accQuant, accFloat)
+	}
+}
+
+func TestDequantizeShapeMismatch(t *testing.T) {
+	net := quantNet()
+	m := Quantize(net)
+	other := models.Tiny(nn.ReLU, 1, 8, 8, 2, 10, 404)
+	if err := m.Dequantize(other); err == nil {
+		t.Fatal("mismatched architecture accepted")
+	}
+	if _, err := m.MaxError(other); err == nil {
+		t.Fatal("mismatched architecture accepted by MaxError")
+	}
+}
+
+func TestAllZeroTensorQuantizes(t *testing.T) {
+	net := models.Tiny(nn.ReLU, 1, 8, 8, 2, 10, 405)
+	// Fresh biases are zero: their tensors must survive quantisation.
+	m := Quantize(net)
+	deployed := models.Tiny(nn.ReLU, 1, 8, 8, 2, 10, 406)
+	if err := m.Dequantize(deployed); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < net.NumParams(); i++ {
+		if math.Abs(deployed.ParamAt(i)-net.ParamAt(i)) > 0.1 {
+			t.Fatalf("param %d: %v vs %v", i, deployed.ParamAt(i), net.ParamAt(i))
+		}
+	}
+}
+
+func TestFlipBitsAndRevert(t *testing.T) {
+	net := quantNet()
+	m := Quantize(net)
+	before := make([]int8, len(m.Tensors[0].Q))
+	copy(before, m.Tensors[0].Q)
+
+	rng := rand.New(rand.NewSource(7))
+	faults, err := m.FlipBits(5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 5 {
+		t.Fatalf("%d faults", len(faults))
+	}
+	changed := 0
+	for _, f := range faults {
+		if m.Tensors[f.Tensor].Q[f.Index] != f.Old {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no stored byte changed")
+	}
+	m.Revert(faults)
+	worst, err := m.MaxError(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxScale := 0.0
+	for _, tq := range m.Tensors {
+		if tq.Scale > maxScale {
+			maxScale = tq.Scale
+		}
+	}
+	if worst > maxScale/2+1e-12 {
+		t.Fatal("revert did not restore the image")
+	}
+}
+
+func TestFlipBitsValidation(t *testing.T) {
+	m := Quantize(quantNet())
+	rng := rand.New(rand.NewSource(8))
+	if _, err := m.FlipBits(0, rng); err == nil {
+		t.Fatal("count=0 accepted")
+	}
+	if _, err := m.FlipBits(m.NumParams()+1, rng); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+}
+
+func TestSuiteDetectsMemoryFaults(t *testing.T) {
+	// End to end: a suite generated on the vendor's float model detects
+	// bit flips injected into the deployed accelerator's int8 weight
+	// memory. The reference outputs must come from the *deployed*
+	// (quantised) model — vendor and user compare the same fixed-point
+	// IP (the paper's Fig. 1 ships Y computed on the released IP).
+	net := quantNet()
+	ds := data.Digits(60, 10, 10, 409)
+	opts := core.DefaultOptions(10)
+	res, err := core.SelectFromTraining(net, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deployed := cloneNet(t, net)
+	m := Quantize(net)
+	if err := m.Dequantize(deployed); err != nil {
+		t.Fatal(err)
+	}
+	suite := validate.BuildSuite("quant", deployed, res.Tests, validate.ExactOutputs)
+
+	// Intact deployment passes.
+	rep, err := suite.Validate(validate.LocalIP{Net: deployed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatal("intact quantised IP failed validation")
+	}
+
+	// Memory faults: flip bits, re-deploy, validate.
+	rng := rand.New(rand.NewSource(9))
+	detected := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		faults, err := m.FlipBits(3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Dequantize(deployed); err != nil {
+			t.Fatal(err)
+		}
+		got, err := suite.Detects(validate.LocalIP{Net: deployed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			detected++
+		}
+		m.Revert(faults)
+	}
+	if err := m.Dequantize(deployed); err != nil {
+		t.Fatal(err)
+	}
+	if detected < trials/2 {
+		t.Fatalf("only %d/%d memory-fault trials detected", detected, trials)
+	}
+}

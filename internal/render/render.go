@@ -1,0 +1,144 @@
+// Package render turns image tensors into terminal ASCII art and
+// NetPBM files; the reproduction's stand-in for the paper's Fig. 4
+// image panel comparing real and synthetic training samples.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// ramp maps intensity 0..1 to characters, darkest to brightest.
+const ramp = " .:-=+*#%@"
+
+// grayAt returns the luminance of pixel (i,j) of a [C,H,W] tensor,
+// averaging channels for colour images.
+func grayAt(t *tensor.Tensor, i, j int) float64 {
+	c, h, w := t.Dim(0), t.Dim(1), t.Dim(2)
+	s := 0.0
+	for ch := 0; ch < c; ch++ {
+		s += t.Data()[(ch*h+i)*w+j]
+	}
+	return s / float64(c)
+}
+
+// ASCII renders a [C,H,W] image tensor (values in [0,1]) as ASCII art,
+// one text row per pixel row.
+func ASCII(t *tensor.Tensor) string {
+	if t.Rank() != 3 {
+		panic(fmt.Sprintf("render: ASCII needs a [C,H,W] tensor, got %v", t.Shape()))
+	}
+	h, w := t.Dim(1), t.Dim(2)
+	var b strings.Builder
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			v := grayAt(t, i, j)
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			idx := int(v * float64(len(ramp)-1))
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SideBySide renders several images on a shared set of text rows,
+// separated by a gutter, with a caption line above each column; the
+// layout of Fig. 4's real-vs-synthetic panel.
+func SideBySide(captions []string, images []*tensor.Tensor) string {
+	if len(captions) != len(images) {
+		panic(fmt.Sprintf("render: %d captions for %d images", len(captions), len(images)))
+	}
+	if len(images) == 0 {
+		return ""
+	}
+	blocks := make([][]string, len(images))
+	width := make([]int, len(images))
+	maxRows := 0
+	for i, img := range images {
+		blocks[i] = strings.Split(strings.TrimRight(ASCII(img), "\n"), "\n")
+		width[i] = img.Dim(2)
+		if c := len(captions[i]); c > width[i] {
+			width[i] = c
+		}
+		if len(blocks[i]) > maxRows {
+			maxRows = len(blocks[i])
+		}
+	}
+	var b strings.Builder
+	for i, cap := range captions {
+		fmt.Fprintf(&b, "%-*s", width[i], cap)
+		if i < len(captions)-1 {
+			b.WriteString("  ")
+		}
+	}
+	b.WriteByte('\n')
+	for r := 0; r < maxRows; r++ {
+		for i, block := range blocks {
+			row := ""
+			if r < len(block) {
+				row = block[r]
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], row)
+			if i < len(blocks)-1 {
+				b.WriteString("  ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WritePGM writes a [1,H,W] grayscale tensor as a binary PGM (P5) file.
+func WritePGM(w io.Writer, t *tensor.Tensor) error {
+	if t.Rank() != 3 || t.Dim(0) != 1 {
+		return fmt.Errorf("render: PGM needs a [1,H,W] tensor, got %v", t.Shape())
+	}
+	h, wd := t.Dim(1), t.Dim(2)
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", wd, h); err != nil {
+		return err
+	}
+	buf := make([]byte, h*wd)
+	for i, v := range t.Data() {
+		buf[i] = clampByte(v)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// WritePPM writes a [3,H,W] colour tensor as a binary PPM (P6) file.
+func WritePPM(w io.Writer, t *tensor.Tensor) error {
+	if t.Rank() != 3 || t.Dim(0) != 3 {
+		return fmt.Errorf("render: PPM needs a [3,H,W] tensor, got %v", t.Shape())
+	}
+	h, wd := t.Dim(1), t.Dim(2)
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", wd, h); err != nil {
+		return err
+	}
+	buf := make([]byte, h*wd*3)
+	hw := h * wd
+	for i := 0; i < hw; i++ {
+		for c := 0; c < 3; c++ {
+			buf[i*3+c] = clampByte(t.Data()[c*hw+i])
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func clampByte(v float64) byte {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return 255
+	}
+	return byte(v*255 + 0.5)
+}

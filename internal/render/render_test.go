@@ -1,0 +1,158 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/tensor"
+)
+
+func TestASCIIDimensions(t *testing.T) {
+	img := tensor.New(1, 4, 6)
+	out := ASCII(img)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 4", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 6 {
+			t.Fatalf("line length %d, want 6", len(l))
+		}
+	}
+}
+
+func TestASCIIIntensityMapping(t *testing.T) {
+	img := tensor.FromSlice([]float64{0, 1}, 1, 1, 2)
+	out := strings.TrimRight(ASCII(img), "\n")
+	if out[0] != ' ' {
+		t.Fatalf("zero pixel rendered as %q", out[0])
+	}
+	if out[1] != '@' {
+		t.Fatalf("full pixel rendered as %q", out[1])
+	}
+}
+
+func TestASCIIClampsOutOfRange(t *testing.T) {
+	img := tensor.FromSlice([]float64{-2, 5}, 1, 1, 2)
+	out := strings.TrimRight(ASCII(img), "\n")
+	if out[0] != ' ' || out[1] != '@' {
+		t.Fatalf("out-of-range pixels rendered as %q", out)
+	}
+}
+
+func TestASCIIColorAverages(t *testing.T) {
+	img := tensor.New(3, 1, 1)
+	img.Data()[0] = 1 // R bright, G/B dark → mid gray
+	out := ASCII(img)
+	if out[0] == ' ' || out[0] == '@' {
+		t.Fatalf("colour average rendered as extreme %q", out[0])
+	}
+}
+
+func TestASCIIWrongRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rank-2 tensor accepted")
+		}
+	}()
+	ASCII(tensor.New(4, 4))
+}
+
+func TestSideBySideLayout(t *testing.T) {
+	a := tensor.New(1, 3, 5)
+	b := tensor.New(1, 3, 5)
+	out := SideBySide([]string{"real", "synth"}, []*tensor.Tensor{a, b})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // caption + 3 pixel rows
+		t.Fatalf("%d lines, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "real") || !strings.Contains(lines[0], "synth") {
+		t.Fatalf("caption row %q", lines[0])
+	}
+}
+
+func TestSideBySideMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched captions accepted")
+		}
+	}()
+	SideBySide([]string{"a"}, nil)
+}
+
+func TestSideBySideEmpty(t *testing.T) {
+	if SideBySide(nil, nil) != "" {
+		t.Fatal("empty input should render empty string")
+	}
+}
+
+func TestDigitIsRecognizableInk(t *testing.T) {
+	// Rendering a real digit should produce both background and stroke
+	// characters — a smoke test that ASCII art carries the structure
+	// Fig. 4 wants to show.
+	ds := data.Digits(1, 16, 16, 1)
+	out := ASCII(ds.Samples[0].X)
+	if !strings.Contains(out, " ") {
+		t.Fatal("no background in digit rendering")
+	}
+	dark := strings.Count(out, "@") + strings.Count(out, "%") + strings.Count(out, "#")
+	if dark < 3 {
+		t.Fatalf("only %d bright stroke characters", dark)
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	img := tensor.FromSlice([]float64{0, 0.5, 1, 0.25}, 1, 2, 2)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if !bytes.HasPrefix(raw, []byte("P5\n2 2\n255\n")) {
+		t.Fatalf("bad header: %q", raw[:12])
+	}
+	pix := raw[len(raw)-4:]
+	want := []byte{0, 128, 255, 64}
+	for i := range want {
+		if pix[i] != want[i] {
+			t.Fatalf("pixel %d = %d, want %d", i, pix[i], want[i])
+		}
+	}
+	if err := WritePGM(&buf, tensor.New(3, 2, 2)); err == nil {
+		t.Fatal("colour tensor accepted by PGM")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	img := tensor.New(3, 1, 2)
+	img.Data()[0] = 1 // R of pixel 0
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if !bytes.HasPrefix(raw, []byte("P6\n2 1\n255\n")) {
+		t.Fatalf("bad header: %q", raw[:12])
+	}
+	pix := raw[len(raw)-6:]
+	if pix[0] != 255 || pix[1] != 0 || pix[2] != 0 {
+		t.Fatalf("pixel 0 RGB = %v", pix[:3])
+	}
+	if err := WritePPM(&buf, tensor.New(1, 2, 2)); err == nil {
+		t.Fatal("grayscale tensor accepted by PPM")
+	}
+}
+
+func TestClampByte(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want byte
+	}{{-1, 0}, {0, 0}, {0.5, 128}, {1, 255}, {2, 255}}
+	for _, c := range cases {
+		if got := clampByte(c.in); got != c.want {
+			t.Errorf("clampByte(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

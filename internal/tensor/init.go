@@ -1,0 +1,36 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FillUniform fills t with samples from the uniform distribution on
+// [lo, hi) drawn from rng.
+func (t *Tensor) FillUniform(rng *rand.Rand, lo, hi float64) {
+	for i := range t.data {
+		t.data[i] = lo + rng.Float64()*(hi-lo)
+	}
+}
+
+// FillNormal fills t with samples from N(mean, std²) drawn from rng.
+func (t *Tensor) FillNormal(rng *rand.Rand, mean, std float64) {
+	for i := range t.data {
+		t.data[i] = mean + rng.NormFloat64()*std
+	}
+}
+
+// GlorotUniform fills t with the Glorot/Xavier uniform initialisation for
+// a layer with the given fan-in and fan-out; the standard choice for
+// Tanh/Sigmoid networks (Table I's MNIST model).
+func (t *Tensor) GlorotUniform(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	t.FillUniform(rng, -limit, limit)
+}
+
+// HeNormal fills t with the He/Kaiming normal initialisation for a layer
+// with the given fan-in; the standard choice for ReLU networks (Table I's
+// CIFAR model).
+func (t *Tensor) HeNormal(rng *rand.Rand, fanIn int) {
+	t.FillNormal(rng, 0, math.Sqrt(2.0/float64(fanIn)))
+}

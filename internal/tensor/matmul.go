@@ -1,0 +1,120 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns C = A·B for A of shape [m,k] and B of shape [k,n].
+// The inner loop is ordered i-k-j so B is walked row-contiguously, which
+// is the standard cache-friendly pure-Go GEMM arrangement.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := gemmDims(a, b)
+	c := New(m, n)
+	gemm(c.data, a.data, b.data, m, k, n, false)
+	return c
+}
+
+// MatMulInto computes C = A·B into an existing [m,n] tensor, avoiding the
+// allocation. If accumulate is true it computes C += A·B instead.
+func MatMulInto(c, a, b *Tensor, accumulate bool) {
+	m, k, n := gemmDims(a, b)
+	if c.Rank() != 2 || c.Dim(0) != m || c.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", c.Shape(), m, n))
+	}
+	gemm(c.data, a.data, b.data, m, k, n, accumulate)
+}
+
+func gemmDims(a, b *Tensor) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v × %v", a.Shape(), b.Shape()))
+	}
+	m, k = a.Dim(0), a.Dim(1)
+	if b.Dim(0) != k {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.Shape(), b.Shape()))
+	}
+	return m, k, b.Dim(1)
+}
+
+func gemm(c, a, b []float64, m, k, n int, accumulate bool) {
+	if !accumulate {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : kk*n+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTA returns C = Aᵀ·B for A of shape [k,m] and B of shape [k,n];
+// the weight-gradient product of a dense layer backward pass.
+func MatMulTA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(0) != b.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatMulTA shape mismatch %v × %v", a.Shape(), b.Shape()))
+	}
+	k, m, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	for kk := 0; kk < k; kk++ {
+		arow := a.data[kk*m : kk*m+m]
+		brow := b.data[kk*n : kk*n+n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.data[i*n : i*n+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTB returns C = A·Bᵀ for A of shape [m,k] and B of shape [n,k];
+// the input-gradient product of a dense layer backward pass.
+func MatMulTB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(1) != b.Dim(1) {
+		panic(fmt.Sprintf("tensor: MatMulTB shape mismatch %v × %v", a.Shape(), b.Shape()))
+	}
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : i*k+k]
+		crow := c.data[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : j*k+k]
+			s := 0.0
+			for kk, av := range arow {
+				s += av * brow[kk]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}
+
+// MatVec returns y = A·x for A of shape [m,n] and x of length n.
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Rank() != 2 || x.Size() != a.Dim(1) {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch %v × %v", a.Shape(), x.Shape()))
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	y := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : i*n+n]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.data[j]
+		}
+		y.data[i] = s
+	}
+	return y
+}

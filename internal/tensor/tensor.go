@@ -1,0 +1,288 @@
+// Package tensor implements the dense numeric arrays underlying the DNN
+// engine: shape-checked float64 tensors with the operations the network
+// layers need (elementwise arithmetic, matrix multiplication, im2col for
+// convolution lowering, reductions and random initialisation).
+//
+// Layout is row-major; images use NCHW (batch, channel, height, width).
+// float64 is used throughout so that the numerical gradient checks in
+// internal/nn can verify the analytic backward passes tightly.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float64 array with an explicit shape.
+// The zero value is an empty tensor; use New or FromSlice.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape. A call with no
+// dimensions returns a scalar tensor of one element.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in %v", shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); it panics if the length does not match the shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d)", len(data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Data returns the backing slice. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+
+// SetAt stores v at the given multi-index.
+func (t *Tensor) SetAt(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view of t with a new shape of the same total size.
+// The view shares the backing data.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: t.data}
+}
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i, d := range t.shape {
+		if u.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tensor) mustSameShape(u *Tensor, op string) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, u.shape))
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// AddInPlace sets t += u elementwise.
+func (t *Tensor) AddInPlace(u *Tensor) {
+	t.mustSameShape(u, "add")
+	for i, v := range u.data {
+		t.data[i] += v
+	}
+}
+
+// SubInPlace sets t -= u elementwise.
+func (t *Tensor) SubInPlace(u *Tensor) {
+	t.mustSameShape(u, "sub")
+	for i, v := range u.data {
+		t.data[i] -= v
+	}
+}
+
+// MulInPlace sets t *= u elementwise (Hadamard product).
+func (t *Tensor) MulInPlace(u *Tensor) {
+	t.mustSameShape(u, "mul")
+	for i, v := range u.data {
+		t.data[i] *= v
+	}
+}
+
+// Scale multiplies every element by a.
+func (t *Tensor) Scale(a float64) {
+	for i := range t.data {
+		t.data[i] *= a
+	}
+}
+
+// AddScaled sets t += a*u elementwise; the axpy of SGD updates.
+func (t *Tensor) AddScaled(a float64, u *Tensor) {
+	t.mustSameShape(u, "addScaled")
+	for i, v := range u.data {
+		t.data[i] += a * v
+	}
+}
+
+// Add returns t + u as a new tensor.
+func Add(t, u *Tensor) *Tensor {
+	c := t.Clone()
+	c.AddInPlace(u)
+	return c
+}
+
+// Sub returns t - u as a new tensor.
+func Sub(t, u *Tensor) *Tensor {
+	c := t.Clone()
+	c.SubInPlace(u)
+	return c
+}
+
+// Apply replaces every element x with fn(x).
+func (t *Tensor) Apply(fn func(float64) float64) {
+	for i, v := range t.data {
+		t.data[i] = fn(v)
+	}
+}
+
+// Map returns a new tensor whose elements are fn applied to t's.
+func (t *Tensor) Map(fn func(float64) float64) *Tensor {
+	c := t.Clone()
+	c.Apply(fn)
+	return c
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Argmax returns the flat index of the maximum element.
+func (t *Tensor) Argmax() int {
+	if len(t.data) == 0 {
+		panic("tensor: Argmax of empty tensor")
+	}
+	best, bi := t.data[0], 0
+	for i, v := range t.data[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// Norm2 returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the maximum absolute element value (L∞ norm), 0 if empty.
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Clamp limits every element to [lo, hi].
+func (t *Tensor) Clamp(lo, hi float64) {
+	for i, v := range t.data {
+		if v < lo {
+			t.data[i] = lo
+		} else if v > hi {
+			t.data[i] = hi
+		}
+	}
+}
+
+// HasNaN reports whether any element is NaN or infinite.
+func (t *Tensor) HasNaN() bool {
+	for _, v := range t.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("tensor%v", t.shape)
+}

@@ -1,0 +1,183 @@
+// Package train implements the optimisers and minibatch loop used to fit
+// the reproduction's models: plain SGD with momentum and Adam, a
+// step-decay learning-rate schedule, and accuracy evaluation.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+)
+
+// Optimizer updates network parameters from the accumulated gradients of
+// one minibatch.
+type Optimizer interface {
+	// Step applies one update given the batch size the gradients were
+	// accumulated over.
+	Step(net *nn.Network, batchSize int)
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity [][]float64
+}
+
+// NewSGD returns an SGD optimiser.
+func NewSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step implements Optimizer.
+func (s *SGD) Step(net *nn.Network, batchSize int) {
+	params := net.Params()
+	if s.velocity == nil {
+		s.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float64, p.W.Size())
+		}
+	}
+	inv := 1 / float64(batchSize)
+	for i, p := range params {
+		w, g, v := p.W.Data(), p.Grad.Data(), s.velocity[i]
+		for j := range w {
+			v[j] = s.Momentum*v[j] - s.LR*g[j]*inv
+			w[j] += v[j]
+		}
+	}
+}
+
+// Adam is the Adam optimiser (Kingma & Ba) with standard bias
+// correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  [][]float64
+}
+
+// NewAdam returns an Adam optimiser with the usual defaults for any
+// field left zero (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(net *nn.Network, batchSize int) {
+	params := net.Params()
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, p.W.Size())
+			a.v[i] = make([]float64, p.W.Size())
+		}
+	}
+	a.t++
+	inv := 1 / float64(batchSize)
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		w, g, m, v := p.W.Data(), p.Grad.Data(), a.m[i], a.v[i]
+		for j := range w {
+			gj := g[j] * inv
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*gj
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*gj*gj
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			w[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// Config controls a training run.
+type Config struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	// LRDecay multiplies SGD's learning rate by this factor after each
+	// epoch when nonzero (ignored for Adam).
+	LRDecay float64
+	// Seed drives minibatch shuffling.
+	Seed int64
+	// Verbose writes one line per epoch to Logf when set.
+	Logf func(format string, args ...any)
+}
+
+// Result summarises a training run.
+type Result struct {
+	FinalLoss     float64
+	TrainAccuracy float64
+	Epochs        int
+}
+
+// Fit trains net on ds with softmax cross-entropy. Gradients are
+// accumulated per sample and applied once per minibatch.
+func Fit(net *nn.Network, ds *data.Dataset, cfg Config) (Result, error) {
+	if cfg.Epochs <= 0 {
+		return Result{}, fmt.Errorf("train: epochs must be positive, got %d", cfg.Epochs)
+	}
+	if cfg.BatchSize <= 0 {
+		return Result{}, fmt.Errorf("train: batch size must be positive, got %d", cfg.BatchSize)
+	}
+	if cfg.Optimizer == nil {
+		return Result{}, fmt.Errorf("train: optimizer must be set")
+	}
+	if ds.Len() == 0 {
+		return Result{}, fmt.Errorf("train: empty dataset")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, ds.Len())
+	for i := range order {
+		order[i] = i
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			net.ZeroGrad()
+			for _, idx := range order[start:end] {
+				s := ds.Samples[idx]
+				loss, dLogits := nn.SoftmaxCrossEntropy(net.Forward(s.X), s.Label)
+				net.Backward(dLogits)
+				epochLoss += loss
+			}
+			cfg.Optimizer.Step(net, end-start)
+		}
+		lastLoss = epochLoss / float64(ds.Len())
+		if sgd, ok := cfg.Optimizer.(*SGD); ok && cfg.LRDecay > 0 {
+			sgd.LR *= cfg.LRDecay
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("epoch %d/%d: loss %.4f", epoch+1, cfg.Epochs, lastLoss)
+		}
+		if math.IsNaN(lastLoss) || math.IsInf(lastLoss, 0) {
+			return Result{}, fmt.Errorf("train: loss diverged at epoch %d", epoch+1)
+		}
+	}
+	return Result{
+		FinalLoss:     lastLoss,
+		TrainAccuracy: Accuracy(net, ds),
+		Epochs:        cfg.Epochs,
+	}, nil
+}
+
+// Accuracy returns the fraction of samples net classifies correctly.
+func Accuracy(net *nn.Network, ds *data.Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range ds.Samples {
+		if net.Predict(s.X) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}

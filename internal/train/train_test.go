@@ -1,0 +1,163 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+func TestFitValidatesConfig(t *testing.T) {
+	net := models.Tiny(nn.ReLU, 1, 8, 8, 2, 10, 1)
+	ds := data.Digits(10, 8, 8, 1)
+	cases := []Config{
+		{Epochs: 0, BatchSize: 4, Optimizer: NewSGD(0.1, 0)},
+		{Epochs: 1, BatchSize: 0, Optimizer: NewSGD(0.1, 0)},
+		{Epochs: 1, BatchSize: 4},
+	}
+	for i, cfg := range cases {
+		if _, err := Fit(net, ds, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	empty := &data.Dataset{Classes: 10, C: 1, H: 8, W: 8}
+	if _, err := Fit(net, empty, Config{Epochs: 1, BatchSize: 4, Optimizer: NewSGD(0.1, 0)}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestSGDReducesLossOnTinyProblem(t *testing.T) {
+	net := models.Tiny(nn.Tanh, 1, 8, 8, 3, 10, 2)
+	ds := data.Digits(60, 8, 8, 3)
+	first, err := Fit(net, ds, Config{Epochs: 1, BatchSize: 8, Optimizer: NewSGD(0.05, 0.9), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := Fit(net, ds, Config{Epochs: 8, BatchSize: 8, Optimizer: NewSGD(0.05, 0.9), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.FinalLoss >= first.FinalLoss {
+		t.Fatalf("loss did not fall: %v -> %v", first.FinalLoss, last.FinalLoss)
+	}
+}
+
+func TestAdamTrainsDigitsToHighAccuracy(t *testing.T) {
+	// The integration milestone: a small CNN must learn the procedural
+	// digits well, as the paper's models learn MNIST.
+	net := models.Tiny(nn.ReLU, 1, 12, 12, 6, 10, 4)
+	ds := data.Digits(300, 12, 12, 5)
+	res, err := Fit(net, ds, Config{Epochs: 6, BatchSize: 16, Optimizer: NewAdam(0.002), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainAccuracy < 0.9 {
+		t.Fatalf("train accuracy %.3f, want ≥ 0.9", res.TrainAccuracy)
+	}
+	// Generalisation to a held-out set from the same generator.
+	test := data.Digits(100, 12, 12, 99)
+	if acc := Accuracy(net, test); acc < 0.8 {
+		t.Fatalf("test accuracy %.3f, want ≥ 0.8", acc)
+	}
+}
+
+func TestAdamTrainsObjects(t *testing.T) {
+	// Objects (random foreground/background colours) need the two-block
+	// model; the one-block Tiny net plateaus below 50%.
+	net := models.Small(nn.ReLU, 3, 12, 12, 8, 16, 32, 10, 6)
+	ds := data.Objects(300, 12, 12, 7)
+	res, err := Fit(net, ds, Config{Epochs: 16, BatchSize: 16, Optimizer: NewAdam(0.003), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainAccuracy < 0.6 {
+		t.Fatalf("objects train accuracy %.3f, want ≥ 0.6", res.TrainAccuracy)
+	}
+}
+
+func TestLRDecayApplied(t *testing.T) {
+	net := models.Tiny(nn.ReLU, 1, 8, 8, 2, 10, 8)
+	ds := data.Digits(20, 8, 8, 9)
+	sgd := NewSGD(0.1, 0)
+	if _, err := Fit(net, ds, Config{Epochs: 3, BatchSize: 8, Optimizer: sgd, LRDecay: 0.5, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sgd.LR-0.0125) > 1e-12 {
+		t.Fatalf("LR after 3 epochs of 0.5 decay = %v, want 0.0125", sgd.LR)
+	}
+}
+
+func TestFitReportsDivergence(t *testing.T) {
+	net := models.Tiny(nn.ReLU, 1, 8, 8, 2, 10, 10)
+	ds := data.Digits(20, 8, 8, 11)
+	// A NaN parameter (e.g. from a corrupted checkpoint) must surface as
+	// a divergence error, not silently train on.
+	// The last parameter is the classifier bias: no ReLU downstream to
+	// swallow the NaN (ReLU(NaN) = 0 because NaN > 0 is false).
+	net.SetParamAt(net.NumParams()-1, math.NaN())
+	_, err := Fit(net, ds, Config{Epochs: 1, BatchSize: 4, Optimizer: NewSGD(0.01, 0), Seed: 6})
+	if err == nil {
+		t.Fatal("divergence not reported")
+	}
+}
+
+func TestVerboseLogging(t *testing.T) {
+	net := models.Tiny(nn.ReLU, 1, 8, 8, 2, 10, 12)
+	ds := data.Digits(10, 8, 8, 13)
+	var lines int
+	_, err := Fit(net, ds, Config{
+		Epochs: 2, BatchSize: 4, Optimizer: NewSGD(0.01, 0), Seed: 7,
+		Logf: func(string, ...any) { lines++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != 2 {
+		t.Fatalf("Logf called %d times, want 2", lines)
+	}
+}
+
+func TestAccuracyEmptyDataset(t *testing.T) {
+	net := models.Tiny(nn.ReLU, 1, 8, 8, 2, 10, 14)
+	if Accuracy(net, &data.Dataset{}) != 0 {
+		t.Fatal("accuracy of empty dataset should be 0")
+	}
+}
+
+func TestSGDMomentumDiffersFromPlain(t *testing.T) {
+	ds := data.Digits(40, 8, 8, 15)
+	a := models.Tiny(nn.ReLU, 1, 8, 8, 2, 10, 16)
+	b := models.Tiny(nn.ReLU, 1, 8, 8, 2, 10, 16)
+	if _, err := Fit(a, ds, Config{Epochs: 2, BatchSize: 8, Optimizer: NewSGD(0.05, 0), Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fit(b, ds, Config{Epochs: 2, BatchSize: 8, Optimizer: NewSGD(0.05, 0.9), Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := 0; i < a.NumParams(); i++ {
+		if a.ParamAt(i) != b.ParamAt(i) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("momentum had no effect")
+	}
+}
+
+func TestAdamStateShapes(t *testing.T) {
+	// Two steps on the same network must not panic and must keep
+	// updating (bias correction path).
+	net := models.Tiny(nn.ReLU, 1, 8, 8, 2, 10, 17)
+	ds := data.Digits(8, 8, 8, 18)
+	adam := NewAdam(0.01)
+	if _, err := Fit(net, ds, Config{Epochs: 2, BatchSize: 4, Optimizer: adam, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if adam.t == 0 {
+		t.Fatal("Adam step counter not advanced")
+	}
+}

@@ -1,0 +1,126 @@
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/nn"
+)
+
+// AttackFn applies one parameter perturbation to net and returns it so
+// the trial can be reverted. The campaign driver adapts the concrete
+// attacks in internal/attack to this shape.
+type AttackFn func(net *nn.Network, rng *rand.Rand) (*attack.Perturbation, error)
+
+// DetectionResult summarises a perturbation-detection campaign
+// (one cell of Tables II/III).
+type DetectionResult struct {
+	Trials   int
+	Detected int
+}
+
+// Rate returns the detection rate.
+func (d DetectionResult) Rate() float64 {
+	if d.Trials == 0 {
+		return 0
+	}
+	return float64(d.Detected) / float64(d.Trials)
+}
+
+// String implements fmt.Stringer.
+func (d DetectionResult) String() string {
+	return fmt.Sprintf("%d/%d (%.1f%%)", d.Detected, d.Trials, 100*d.Rate())
+}
+
+// DetectionRate runs trials independent attack-validate-revert rounds:
+// apply the attack to net, replay the suite against the perturbed IP,
+// count a detection when validation fails, restore the parameters. The
+// network is returned to its original state.
+func DetectionRate(net *nn.Network, suite *Suite, atk AttackFn, trials int, seed int64) (DetectionResult, error) {
+	if trials <= 0 {
+		return DetectionResult{}, fmt.Errorf("validate: trials must be positive, got %d", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := DetectionResult{Trials: trials}
+	ip := LocalIP{Net: net}
+	for t := 0; t < trials; t++ {
+		p, err := atk(net, rng)
+		if err != nil {
+			return DetectionResult{}, fmt.Errorf("validate: trial %d attack: %w", t, err)
+		}
+		detected, err := suite.Detects(ip)
+		p.Revert(net)
+		if err != nil {
+			return DetectionResult{}, fmt.Errorf("validate: trial %d: %w", t, err)
+		}
+		if detected {
+			res.Detected++
+		}
+	}
+	return res, nil
+}
+
+// Perturbations draws a population of trials independent perturbations
+// from the attack, reverting each immediately. Detection tables reuse
+// one population across many (suite, size) cells, so the expensive
+// attacks (GDA) run once instead of once per cell.
+func Perturbations(net *nn.Network, atk AttackFn, trials int, seed int64) ([]*attack.Perturbation, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("validate: trials must be positive, got %d", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*attack.Perturbation, 0, trials)
+	for t := 0; t < trials; t++ {
+		p, err := atk(net, rng)
+		if err != nil {
+			return nil, fmt.Errorf("validate: trial %d attack: %w", t, err)
+		}
+		p.Revert(net)
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// PredictDetection returns the analytic detection rate implied by a
+// covered-parameter set: the fraction of perturbations that touch at
+// least one covered parameter. Under exact output comparison on a ReLU
+// network this is the theoretical detection rate (a perturbed parameter
+// with nonzero gradient moves some output, barring exact cancellation),
+// so comparing it against the measured rate validates the paper's whole
+// premise that parameter coverage predicts detection.
+func PredictDetection(covered interface{ Get(int) bool }, perts []*attack.Perturbation) float64 {
+	if len(perts) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, p := range perts {
+		for _, idx := range p.Indices {
+			if covered.Get(idx) {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(perts))
+}
+
+// DetectionRateOver replays the suite against each precomputed
+// perturbation (reapplied and reverted around the replay) and returns
+// the detection rate.
+func DetectionRateOver(net *nn.Network, suite *Suite, perts []*attack.Perturbation) (DetectionResult, error) {
+	res := DetectionResult{Trials: len(perts)}
+	ip := LocalIP{Net: net}
+	for i, p := range perts {
+		p.Reapply(net)
+		detected, err := suite.Detects(ip)
+		p.Revert(net)
+		if err != nil {
+			return DetectionResult{}, fmt.Errorf("validate: trial %d: %w", i, err)
+		}
+		if detected {
+			res.Detected++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package validate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/nn"
+)
+
+func TestDetectsEarlyExitAgreesWithValidate(t *testing.T) {
+	suite := goldenSuite(t, 10, ExactOutputs)
+	net := goldenNet()
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		p, err := attack.RandomNoise(net, 1, 0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := suite.Validate(LocalIP{Net: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, err := suite.Detects(LocalIP{Net: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Revert(net)
+		if det == rep.Passed {
+			t.Fatalf("trial %d: Detects=%v but Validate passed=%v", trial, det, rep.Passed)
+		}
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	suite := goldenSuite(t, 8, ExactOutputs)
+	pre := suite.Prefix(3)
+	if pre.Len() != 3 {
+		t.Fatalf("prefix length %d", pre.Len())
+	}
+	if pre.Mode != suite.Mode || pre.Decimals != suite.Decimals {
+		t.Fatal("prefix lost comparison settings")
+	}
+	if suite.Prefix(100).Len() != 8 {
+		t.Fatal("oversized prefix should clamp")
+	}
+	rep, err := pre.Validate(LocalIP{Net: goldenNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatal("prefix of valid suite failed")
+	}
+}
+
+func TestPerturbationsPopulation(t *testing.T) {
+	net := goldenNet()
+	snap := net.CopyParams()
+	perts, err := Perturbations(net,
+		func(n *nn.Network, rng *rand.Rand) (*attack.Perturbation, error) {
+			return attack.SBA(n, 5, rng)
+		}, 15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perts) != 15 {
+		t.Fatalf("%d perturbations", len(perts))
+	}
+	// Network untouched after drawing the population.
+	for i, v := range snap {
+		if net.ParamAt(i) != v {
+			t.Fatalf("param %d perturbed after population draw", i)
+		}
+	}
+	if _, err := Perturbations(net, nil, 0, 1); err == nil {
+		t.Fatal("trials=0 accepted")
+	}
+}
+
+func TestDetectionRateOverMatchesDetectionRate(t *testing.T) {
+	net := goldenNet()
+	suite := goldenSuite(t, 10, ExactOutputs)
+	atk := func(n *nn.Network, rng *rand.Rand) (*attack.Perturbation, error) {
+		return attack.RandomNoise(n, 2, 0.5, rng)
+	}
+	direct, err := DetectionRate(net, suite, atk, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perts, err := Perturbations(net, atk, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := DetectionRateOver(net, suite, perts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Detected != over.Detected || direct.Trials != over.Trials {
+		t.Fatalf("direct %v vs precomputed %v", direct, over)
+	}
+}
+
+func TestPredictDetectionMatchesMeasured(t *testing.T) {
+	// The paper's premise: parameter coverage predicts detection. On a
+	// ReLU network with exact comparison, the analytic rate (fraction
+	// of perturbations touching a covered parameter) should closely
+	// track the measured rate.
+	net := goldenNet()
+	ds := dataDigits(t)
+	res, err := coreSelect(t, net, ds, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := BuildSuite("pred", net, res.Tests, ExactOutputs)
+	atk := func(n *nn.Network, rng *rand.Rand) (*attack.Perturbation, error) {
+		return attack.RandomNoise(n, 1, 0.5, rng)
+	}
+	perts, err := Perturbations(net, atk, 80, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := DetectionRateOver(net, suite, perts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := PredictDetection(res.Covered, perts)
+	if diff := predicted - measured.Rate(); diff > 0.1 || diff < -0.1 {
+		t.Fatalf("predicted %.3f vs measured %.3f", predicted, measured.Rate())
+	}
+}
+
+func TestPredictDetectionEmpty(t *testing.T) {
+	if PredictDetection(nil, nil) != 0 {
+		t.Fatal("empty population should predict 0")
+	}
+}
+
+// dataDigits returns the digit pool used by the prediction test.
+func dataDigits(t *testing.T) *data.Dataset {
+	t.Helper()
+	return data.Digits(60, 10, 10, 303)
+}
+
+// coreSelect runs Algorithm 1 with default options.
+func coreSelect(t *testing.T, net *nn.Network, ds *data.Dataset, n int) (*core.Result, error) {
+	t.Helper()
+	return core.SelectFromTraining(net, ds, core.DefaultOptions(n))
+}

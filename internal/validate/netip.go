@@ -1,0 +1,158 @@
+package validate
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// This file gives the black-box IP a wire form: the vendor hosts the
+// model behind a TCP endpoint and the user validates over the network,
+// never holding the parameters — the deployment shape of Fig. 1 where
+// only query access exists. The protocol is a stream of gob-encoded
+// request/response pairs per connection.
+
+type queryRequest struct {
+	Input wireTensor
+}
+
+type queryResponse struct {
+	Output wireTensor
+	Err    string
+}
+
+// Server hosts a network as a black-box IP endpoint.
+type Server struct {
+	net      *nn.Network
+	listener net.Listener
+
+	mu sync.Mutex // serialises forward passes (layers cache state)
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// Serve starts serving ip queries on l. It returns immediately; Close
+// stops the server. The network is shared, so queries are serialised.
+func Serve(l net.Listener, network *nn.Network) *Server {
+	s := &Server{net: network, listener: l, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops accepting and waits for handlers to finish. It is safe to
+// call more than once.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		err = s.listener.Close()
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				return // listener failed; nothing to do without a logger
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req queryRequest
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken stream ends the session
+		}
+		var resp queryResponse
+		x, err := fromWire(req.Input)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			out, qerr := s.query(x)
+			if qerr != nil {
+				resp.Err = qerr.Error()
+			} else {
+				resp.Output = toWire(out)
+			}
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) query(x *tensor.Tensor) (out *tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("query rejected: %v", r)
+		}
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.net.Forward(x).Clone(), nil
+}
+
+// RemoteIP is the user-side client of a served IP. It implements IP.
+type RemoteIP struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	mu   sync.Mutex
+}
+
+// Dial connects to a served IP at addr.
+func Dial(addr string) (*RemoteIP, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("validate: dial IP: %w", err)
+	}
+	return &RemoteIP{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Query implements IP over the wire.
+func (r *RemoteIP) Query(x *tensor.Tensor) (*tensor.Tensor, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.enc.Encode(queryRequest{Input: toWire(x)}); err != nil {
+		return nil, fmt.Errorf("validate: send query: %w", err)
+	}
+	var resp queryResponse
+	if err := r.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("validate: receive response: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return fromWire(resp.Output)
+}
+
+// Close closes the connection.
+func (r *RemoteIP) Close() error { return r.conn.Close() }

@@ -1,0 +1,128 @@
+package validate
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/tensor"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, goldenNet())
+	t.Cleanup(func() { srv.Close() })
+	return srv, srv.Addr()
+}
+
+func TestRemoteQueryMatchesLocal(t *testing.T) {
+	_, addr := startServer(t)
+	ip, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ip.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	local := LocalIP{Net: goldenNet()}
+	for trial := 0; trial < 5; trial++ {
+		x := tensor.New(1, 10, 10)
+		x.FillNormal(rng, 0.5, 0.2)
+		x.Clamp(0, 1)
+		want, err := local.Query(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ip.Query(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data() {
+			if want.Data()[i] != got.Data()[i] {
+				t.Fatalf("trial %d: remote output differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestRemoteValidationFlow(t *testing.T) {
+	// The full Fig. 1 flow over the wire: vendor builds and seals a
+	// suite, user opens it and validates the served IP.
+	_, addr := startServer(t)
+	suite := goldenSuite(t, 5, ExactOutputs)
+	ip, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ip.Close()
+	rep, err := suite.Validate(ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("remote validation of intact IP failed: %+v", rep)
+	}
+}
+
+func TestRemoteDetectsAttackedServer(t *testing.T) {
+	net := goldenNet()
+	suite := goldenSuite(t, 10, ExactOutputs)
+	rng := rand.New(rand.NewSource(3))
+	p, err := attack.SBA(net, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Revert(net)
+
+	_, addr := startServer(t) // serves the (attacked) shared network
+	ip, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ip.Close()
+	rep, err := suite.Validate(ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed {
+		t.Fatal("attacked remote IP passed validation")
+	}
+}
+
+func TestRemoteBadInputShape(t *testing.T) {
+	_, addr := startServer(t)
+	ip, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ip.Close()
+	// Wrong input shape: the server must answer with an error, not die.
+	if _, err := ip.Query(tensor.New(2, 3)); err == nil {
+		t.Fatal("bad shape accepted by server")
+	}
+	// The session must still work afterwards.
+	if _, err := ip.Query(tensor.New(1, 10, 10)); err != nil {
+		t.Fatalf("session broken after bad query: %v", err)
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestServerCloseStopsAccepting(t *testing.T) {
+	srv, addr := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("dial succeeded after Close")
+	}
+}

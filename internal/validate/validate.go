@@ -1,0 +1,192 @@
+// Package validate implements the paper's validation scheme (Fig. 1):
+// the IP vendor generates functional tests X, computes reference outputs
+// Y, seals both, and ships them with the black-box IP; the user replays
+// X and compares the IP's outputs Y′ against Y. Any mismatch means the
+// IP's parameters were perturbed in a way the suite activates.
+//
+// The user-side comparison supports three modes: exact output vectors
+// (the paper's "are Y and Y′ identical?"), quantised outputs (fixed
+// decimal places, modelling an IP that exposes fixed-point scores), and
+// labels only (an IP that exposes nothing but the argmax class).
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// IP is the black-box interface an IP user has: feed an input, get the
+// output vector. No parameters, no intermediate results.
+type IP interface {
+	Query(x *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// LocalIP adapts an in-process network to the IP interface.
+type LocalIP struct {
+	Net *nn.Network
+}
+
+// Query implements IP.
+func (ip LocalIP) Query(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return ip.Net.Forward(x).Clone(), nil
+}
+
+// CompareMode selects how reference and observed outputs are compared.
+type CompareMode int
+
+// Comparison modes.
+const (
+	// ExactOutputs requires bit-identical output vectors — the paper's
+	// setting: a digital IP is deterministic, so any difference is a
+	// fault.
+	ExactOutputs CompareMode = iota
+	// QuantizedOutputs compares outputs rounded to Suite.Decimals
+	// places, modelling an IP that exposes fixed-point scores.
+	QuantizedOutputs
+	// LabelsOnly compares only the argmax class.
+	LabelsOnly
+)
+
+// String implements fmt.Stringer.
+func (m CompareMode) String() string {
+	switch m {
+	case ExactOutputs:
+		return "exact"
+	case QuantizedOutputs:
+		return "quantized"
+	case LabelsOnly:
+		return "labels"
+	default:
+		return "unknown"
+	}
+}
+
+// Suite is the vendor's validation artefact: test inputs with their
+// reference outputs.
+type Suite struct {
+	Name     string
+	Inputs   []*tensor.Tensor
+	Outputs  []*tensor.Tensor
+	Mode     CompareMode
+	Decimals int // used by QuantizedOutputs
+}
+
+// BuildSuite runs the vendor side: compute the reference output of every
+// test input on the golden network.
+func BuildSuite(name string, net *nn.Network, tests []*tensor.Tensor, mode CompareMode) *Suite {
+	s := &Suite{Name: name, Mode: mode, Decimals: 6}
+	for _, x := range tests {
+		s.Inputs = append(s.Inputs, x)
+		s.Outputs = append(s.Outputs, net.Forward(x).Clone())
+	}
+	return s
+}
+
+// Report is the outcome of replaying a suite against an IP.
+type Report struct {
+	// Passed is true when every test matched.
+	Passed bool
+	// Mismatches counts failing tests.
+	Mismatches int
+	// FirstFailure is the index of the first failing test, -1 if none.
+	FirstFailure int
+	// Total is the number of tests replayed.
+	Total int
+}
+
+// String implements fmt.Stringer.
+func (r Report) String() string {
+	if r.Passed {
+		return fmt.Sprintf("PASS (%d tests)", r.Total)
+	}
+	return fmt.Sprintf("FAIL (%d/%d mismatched, first at %d)", r.Mismatches, r.Total, r.FirstFailure)
+}
+
+// Validate replays the suite against the IP and compares outputs.
+func (s *Suite) Validate(ip IP) (Report, error) {
+	if len(s.Inputs) != len(s.Outputs) {
+		return Report{}, fmt.Errorf("validate: suite has %d inputs but %d outputs", len(s.Inputs), len(s.Outputs))
+	}
+	rep := Report{Passed: true, FirstFailure: -1, Total: len(s.Inputs)}
+	for i, x := range s.Inputs {
+		got, err := ip.Query(x)
+		if err != nil {
+			return Report{}, fmt.Errorf("validate: query %d: %w", i, err)
+		}
+		if !s.outputsMatch(s.Outputs[i], got) {
+			rep.Mismatches++
+			if rep.FirstFailure < 0 {
+				rep.FirstFailure = i
+			}
+			rep.Passed = false
+		}
+	}
+	return rep, nil
+}
+
+func (s *Suite) outputsMatch(want, got *tensor.Tensor) bool {
+	if want.Size() != got.Size() {
+		return false
+	}
+	switch s.Mode {
+	case LabelsOnly:
+		return want.Argmax() == got.Argmax()
+	case QuantizedOutputs:
+		scale := math.Pow(10, float64(s.Decimals))
+		for i := range want.Data() {
+			if math.Round(want.Data()[i]*scale) != math.Round(got.Data()[i]*scale) {
+				return false
+			}
+		}
+		return true
+	default: // ExactOutputs
+		for i := range want.Data() {
+			if want.Data()[i] != got.Data()[i] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Len returns the number of tests in the suite.
+func (s *Suite) Len() int { return len(s.Inputs) }
+
+// Detects reports whether replaying the suite against the IP exposes
+// any mismatch, returning at the first failing test. Detection
+// campaigns use this instead of Validate: a fault is usually caught by
+// one of the first tests, so early exit saves most of the replay cost.
+func (s *Suite) Detects(ip IP) (bool, error) {
+	if len(s.Inputs) != len(s.Outputs) {
+		return false, fmt.Errorf("validate: suite has %d inputs but %d outputs", len(s.Inputs), len(s.Outputs))
+	}
+	for i, x := range s.Inputs {
+		got, err := ip.Query(x)
+		if err != nil {
+			return false, fmt.Errorf("validate: query %d: %w", i, err)
+		}
+		if !s.outputsMatch(s.Outputs[i], got) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Prefix returns a suite consisting of the first n tests (sharing the
+// underlying tensors). Greedy generators are prefix-consistent, so this
+// is how detection tables grow N without regenerating.
+func (s *Suite) Prefix(n int) *Suite {
+	if n > len(s.Inputs) {
+		n = len(s.Inputs)
+	}
+	return &Suite{
+		Name:     fmt.Sprintf("%s[:%d]", s.Name, n),
+		Inputs:   s.Inputs[:n],
+		Outputs:  s.Outputs[:n],
+		Mode:     s.Mode,
+		Decimals: s.Decimals,
+	}
+}

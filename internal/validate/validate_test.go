@@ -1,0 +1,293 @@
+package validate
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/train"
+)
+
+var goldenNet = sync.OnceValue(func() *nn.Network {
+	net := models.Tiny(nn.ReLU, 1, 10, 10, 4, 10, 301)
+	ds := data.Digits(150, 10, 10, 302)
+	if _, err := train.Fit(net, ds, train.Config{
+		Epochs: 5, BatchSize: 16, Optimizer: train.NewAdam(0.003), Seed: 1,
+	}); err != nil {
+		panic(err)
+	}
+	return net
+})
+
+func goldenSuite(t *testing.T, n int, mode CompareMode) *Suite {
+	t.Helper()
+	net := goldenNet()
+	train := data.Digits(60, 10, 10, 303)
+	res, err := core.SelectFromTraining(net, train, core.DefaultOptions(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildSuite("digits", net, res.Tests, mode)
+}
+
+func TestValidatePassesOnIntactIP(t *testing.T) {
+	suite := goldenSuite(t, 10, ExactOutputs)
+	rep, err := suite.Validate(LocalIP{Net: goldenNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed || rep.Mismatches != 0 || rep.FirstFailure != -1 {
+		t.Fatalf("intact IP failed validation: %+v", rep)
+	}
+	if rep.String() != "PASS (10 tests)" {
+		t.Fatalf("Report.String = %q", rep.String())
+	}
+}
+
+func TestValidateDetectsPerturbation(t *testing.T) {
+	suite := goldenSuite(t, 10, ExactOutputs)
+	net := goldenNet()
+	rng := rand.New(rand.NewSource(2))
+	p, err := attack.SBA(net, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Revert(net)
+	rep, err := suite.Validate(LocalIP{Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed {
+		t.Fatal("SBA perturbation not detected by exact comparison")
+	}
+	if rep.FirstFailure < 0 || rep.Mismatches == 0 {
+		t.Fatalf("inconsistent failure report: %+v", rep)
+	}
+}
+
+func TestCompareModes(t *testing.T) {
+	suite := goldenSuite(t, 5, ExactOutputs)
+	net := goldenNet()
+	// A tiny perturbation on an activated parameter: exact comparison
+	// must catch it; labels-only almost surely must not.
+	idx := -1
+	for i := 0; i < net.NumParams(); i++ {
+		if net.ParamName(i) == "fc.W[0]" {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("fc.W[0] not found")
+	}
+	old := net.ParamAt(idx)
+	net.SetParamAt(idx, old+1e-9)
+	defer net.SetParamAt(idx, old)
+
+	repExact, err := suite.Validate(LocalIP{Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite.Mode = LabelsOnly
+	repLabels, err := suite.Validate(LocalIP{Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite.Mode = QuantizedOutputs
+	suite.Decimals = 3
+	repQuant, err := suite.Validate(LocalIP{Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repLabels.Passed {
+		t.Fatal("1e-9 weight nudge flipped a label; labels mode broken?")
+	}
+	if !repQuant.Passed {
+		t.Fatal("1e-9 weight nudge visible at 3 decimals; quantized mode broken?")
+	}
+	// Exact mode may or may not see a 1e-9 nudge depending on float
+	// cancellation, but a larger one it must.
+	suite.Mode = ExactOutputs
+	net.SetParamAt(idx, old+1e-3)
+	repExact, err = suite.Validate(LocalIP{Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repExact.Passed {
+		t.Fatal("1e-3 nudge on an input-layer-adjacent weight not caught by exact mode")
+	}
+}
+
+func TestCompareModeString(t *testing.T) {
+	if ExactOutputs.String() != "exact" || QuantizedOutputs.String() != "quantized" ||
+		LabelsOnly.String() != "labels" || CompareMode(9).String() != "unknown" {
+		t.Fatal("CompareMode.String mismatch")
+	}
+}
+
+func TestValidateInconsistentSuiteFails(t *testing.T) {
+	suite := goldenSuite(t, 3, ExactOutputs)
+	suite.Outputs = suite.Outputs[:2]
+	if _, err := suite.Validate(LocalIP{Net: goldenNet()}); err == nil {
+		t.Fatal("inconsistent suite accepted")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	suite := goldenSuite(t, 5, ExactOutputs)
+	key := []byte("shared-secret")
+	var buf bytes.Buffer
+	if err := suite.Seal(&buf, key); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenSuite(&buf, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != suite.Len() || got.Name != suite.Name || got.Mode != suite.Mode {
+		t.Fatalf("round trip changed suite: %+v", got)
+	}
+	for i := range suite.Inputs {
+		for j := range suite.Inputs[i].Data() {
+			if got.Inputs[i].Data()[j] != suite.Inputs[i].Data()[j] {
+				t.Fatal("inputs differ after round trip")
+			}
+		}
+		for j := range suite.Outputs[i].Data() {
+			if got.Outputs[i].Data()[j] != suite.Outputs[i].Data()[j] {
+				t.Fatal("outputs differ after round trip")
+			}
+		}
+	}
+	// The unsealed suite still validates the golden IP.
+	rep, err := got.Validate(LocalIP{Net: goldenNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatal("unsealed suite fails on intact IP")
+	}
+}
+
+func TestSealRejectsEmptyKey(t *testing.T) {
+	suite := goldenSuite(t, 2, ExactOutputs)
+	var buf bytes.Buffer
+	if err := suite.Seal(&buf, nil); err == nil {
+		t.Fatal("empty key accepted for sealing")
+	}
+	if _, err := OpenSuite(&buf, nil); err == nil {
+		t.Fatal("empty key accepted for opening")
+	}
+}
+
+func TestOpenDetectsTampering(t *testing.T) {
+	suite := goldenSuite(t, 3, ExactOutputs)
+	key := []byte("k1")
+	var buf bytes.Buffer
+	if err := suite.Seal(&buf, key); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one byte in the middle of the payload.
+	tampered := append([]byte(nil), raw...)
+	tampered[len(tampered)/2] ^= 0xFF
+	if _, err := OpenSuite(bytes.NewReader(tampered), key); err == nil {
+		t.Fatal("tampered suite accepted")
+	}
+	// Wrong key.
+	if _, err := OpenSuite(bytes.NewReader(raw), []byte("k2")); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+	// Truncated stream.
+	if _, err := OpenSuite(bytes.NewReader(raw[:len(raw)-10]), key); err == nil {
+		t.Fatal("truncated suite accepted")
+	}
+	// Intact stream still opens.
+	if _, err := OpenSuite(bytes.NewReader(raw), key); err != nil {
+		t.Fatalf("intact suite rejected: %v", err)
+	}
+}
+
+func TestOpenGarbageFails(t *testing.T) {
+	if _, err := OpenSuite(bytes.NewReader([]byte("short")), []byte("k")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDetectionRateSBA(t *testing.T) {
+	suite := goldenSuite(t, 10, ExactOutputs)
+	net := goldenNet()
+	snap := net.CopyParams()
+	res, err := DetectionRate(net, suite,
+		func(n *nn.Network, rng *rand.Rand) (*attack.Perturbation, error) {
+			return attack.SBA(n, 5, rng)
+		}, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 50 {
+		t.Fatalf("trials = %d", res.Trials)
+	}
+	if res.Rate() < 0.5 {
+		t.Fatalf("SBA detection rate %.2f unexpectedly low for a 10-test suite", res.Rate())
+	}
+	// Network restored after the campaign.
+	for i, v := range snap {
+		if net.ParamAt(i) != v {
+			t.Fatalf("param %d not restored after campaign", i)
+		}
+	}
+}
+
+func TestDetectionRateValidation(t *testing.T) {
+	suite := goldenSuite(t, 2, ExactOutputs)
+	_, err := DetectionRate(goldenNet(), suite,
+		func(n *nn.Network, rng *rand.Rand) (*attack.Perturbation, error) {
+			return attack.SBA(n, 5, rng)
+		}, 0, 1)
+	if err == nil {
+		t.Fatal("trials=0 accepted")
+	}
+}
+
+func TestDetectionResultString(t *testing.T) {
+	d := DetectionResult{Trials: 4, Detected: 3}
+	if d.Rate() != 0.75 {
+		t.Fatalf("Rate = %v", d.Rate())
+	}
+	if d.String() != "3/4 (75.0%)" {
+		t.Fatalf("String = %q", d.String())
+	}
+	if (DetectionResult{}).Rate() != 0 {
+		t.Fatal("empty result rate should be 0")
+	}
+}
+
+func TestMoreTestsDetectMore(t *testing.T) {
+	// The monotone trend of Tables II/III: detection rate grows with
+	// suite size.
+	net := goldenNet()
+	small := goldenSuite(t, 2, ExactOutputs)
+	large := goldenSuite(t, 20, ExactOutputs)
+	atk := func(n *nn.Network, rng *rand.Rand) (*attack.Perturbation, error) {
+		return attack.RandomNoise(n, 3, 0.5, rng)
+	}
+	rs, err := DetectionRate(net, small, atk, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := DetectionRate(net, large, atk, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Rate() < rs.Rate() {
+		t.Fatalf("detection fell with more tests: %d tests %.2f vs %d tests %.2f",
+			small.Len(), rs.Rate(), large.Len(), rl.Rate())
+	}
+}

@@ -1,0 +1,217 @@
+// Package repro is the public API of the reproduction of "On Functional
+// Test Generation for Deep Neural Network IPs" (Luo, Li, Wei, Xu — DATE
+// 2019).
+//
+// The library lets an IP vendor generate a small functional test suite
+// that activates as many network parameters as possible (so parameter
+// tampering propagates to the outputs), seal it, and ship it with a
+// black-box DNN IP; the IP user replays the suite and compares outputs
+// to detect fault-injection attacks.
+//
+// The heavy machinery lives in internal packages and is re-exported
+// here through aliases, so downstream code only imports this package:
+//
+//	net, _ := repro.NewCIFARModel(20, 20, 0.25, 1)
+//	train := repro.Objects(800, 20, 20, 2)
+//	repro.Train(net, train, repro.TrainConfig{Epochs: 8})
+//	suite, _ := repro.GenerateSuite(net, train, 30)
+//	report, _ := suite.Validate(repro.LocalIP{Net: net})
+package repro
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+	"repro/internal/validate"
+)
+
+// Re-exported core types. The aliases give external importers access to
+// the internal implementations through this package's API.
+type (
+	// Tensor is a dense numeric array (images are [C,H,W] in [0,1]).
+	Tensor = tensor.Tensor
+	// Network is a feed-forward CNN with forward/backward passes and a
+	// flat parameter registry.
+	Network = nn.Network
+	// Dataset is a labelled image collection.
+	Dataset = data.Dataset
+	// GenResult is a generated validation set with its coverage curve.
+	GenResult = core.Result
+	// GenOptions configures the test generators.
+	GenOptions = core.Options
+	// Suite is a vendor validation artefact (inputs + reference outputs).
+	Suite = validate.Suite
+	// Report is the outcome of replaying a suite against an IP.
+	Report = validate.Report
+	// IP is the black-box interface an IP user holds.
+	IP = validate.IP
+	// LocalIP adapts an in-process Network to IP.
+	LocalIP = validate.LocalIP
+	// RemoteIP is a TCP client for a served IP.
+	RemoteIP = validate.RemoteIP
+	// Perturbation records an applied parameter attack.
+	Perturbation = attack.Perturbation
+	// CoverageConfig sets the parameter-activation threshold.
+	CoverageConfig = coverage.Config
+)
+
+// Dataset constructors (procedural substitutes for MNIST, CIFAR-10 and
+// the Fig. 2 probe sets; see DESIGN.md for the substitution rationale).
+var (
+	// Digits generates MNIST-like grayscale digit images.
+	Digits = data.Digits
+	// Objects generates CIFAR-like colour object images.
+	Objects = data.Objects
+	// Noise generates Gaussian-noise probe images.
+	Noise = data.Noise
+	// Natural generates out-of-distribution image-like probes.
+	Natural = data.Natural
+)
+
+// NewMNISTModel builds the paper's Table I MNIST architecture (Tanh)
+// for h×w inputs at the given width scale (1 = paper widths).
+func NewMNISTModel(h, w int, scale float64, seed int64) (*Network, error) {
+	return models.MNIST(h, w, scale).Build(seed)
+}
+
+// NewCIFARModel builds the paper's Table I CIFAR-10 architecture (ReLU).
+func NewCIFARModel(h, w int, scale float64, seed int64) (*Network, error) {
+	return models.CIFAR(h, w, scale).Build(seed)
+}
+
+// TrainConfig controls Train.
+type TrainConfig struct {
+	Epochs    int     // default 8
+	BatchSize int     // default 16
+	LR        float64 // default 0.002 (Adam)
+	Seed      int64
+}
+
+// Train fits the network on the dataset with Adam and softmax
+// cross-entropy, returning the final training accuracy.
+func Train(net *Network, ds *Dataset, cfg TrainConfig) (float64, error) {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 8
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.002
+	}
+	res, err := train.Fit(net, ds, train.Config{
+		Epochs:    cfg.Epochs,
+		BatchSize: cfg.BatchSize,
+		Optimizer: train.NewAdam(cfg.LR),
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.TrainAccuracy, nil
+}
+
+// Accuracy returns the network's classification accuracy on ds.
+func Accuracy(net *Network, ds *Dataset) float64 { return train.Accuracy(net, ds) }
+
+// DefaultCoverage returns the activation threshold appropriate for the
+// network's activation functions (exact-nonzero for ReLU, relative ε
+// for Tanh/Sigmoid).
+func DefaultCoverage(net *Network) CoverageConfig { return coverage.DefaultConfig(net) }
+
+// ValidationCoverage returns the fraction of parameters activated by at
+// least one of the test inputs (paper Eq. 4).
+func ValidationCoverage(net *Network, tests []*Tensor) float64 {
+	return coverage.VC(net, tests, coverage.DefaultConfig(net))
+}
+
+// GenerateTests runs the paper's combined method (§IV-D): greedy
+// selection from the training set until its marginal coverage per test
+// drops below gradient-based synthesis, then synthesis.
+func GenerateTests(net *Network, trainSet *Dataset, n int) (*GenResult, error) {
+	opts := core.DefaultOptions(n)
+	opts.Coverage = coverage.DefaultConfig(net)
+	return core.Combined(net, trainSet, opts)
+}
+
+// SelectTests runs Algorithm 1 only (greedy training-set selection).
+func SelectTests(net *Network, trainSet *Dataset, n int) (*GenResult, error) {
+	opts := core.DefaultOptions(n)
+	opts.Coverage = coverage.DefaultConfig(net)
+	return core.SelectFromTraining(net, trainSet, opts)
+}
+
+// SynthesizeTests runs Algorithm 2 only (gradient-based generation).
+func SynthesizeTests(net *Network, inShape []int, classes, n int) (*GenResult, error) {
+	opts := core.DefaultOptions(n)
+	opts.Coverage = coverage.DefaultConfig(net)
+	return core.GradientGenerate(net, inShape, classes, opts)
+}
+
+// GenerateSuite is the full vendor step: generate n tests with the
+// combined method and package them with reference outputs.
+func GenerateSuite(net *Network, trainSet *Dataset, n int) (*Suite, error) {
+	res, err := GenerateTests(net, trainSet, n)
+	if err != nil {
+		return nil, fmt.Errorf("repro: generate suite: %w", err)
+	}
+	return validate.BuildSuite("repro", net, res.Tests, validate.ExactOutputs), nil
+}
+
+// BuildSuite packages arbitrary test inputs with reference outputs.
+func BuildSuite(name string, net *Network, tests []*Tensor) *Suite {
+	return validate.BuildSuite(name, net, tests, validate.ExactOutputs)
+}
+
+// Attack convenience wrappers; each returns the applied perturbation,
+// which Revert undoes.
+
+// AttackSBA applies the single bias attack of Liu et al. [5].
+func AttackSBA(net *Network, magnitude float64, seed int64) (*Perturbation, error) {
+	return attack.SBA(net, magnitude, rand.New(rand.NewSource(seed)))
+}
+
+// AttackGDA applies the gradient descent attack of Liu et al. [5]
+// against a victim input.
+func AttackGDA(net *Network, victim *Tensor, label int, seed int64) (*Perturbation, bool, error) {
+	return attack.GDA(net, victim, label, attack.DefaultGDAConfig(), rand.New(rand.NewSource(seed)))
+}
+
+// AttackRandom perturbs count random parameters with Gaussian noise.
+func AttackRandom(net *Network, count int, sigma float64, seed int64) (*Perturbation, error) {
+	return attack.RandomNoise(net, count, sigma, rand.New(rand.NewSource(seed)))
+}
+
+// AttackBitFlip flips one random float32 bit in count random parameters.
+func AttackBitFlip(net *Network, count int, seed int64) (*Perturbation, error) {
+	return attack.BitFlip(net, count, rand.New(rand.NewSource(seed)))
+}
+
+// Serve hosts the network as a black-box IP on the listener; see
+// validate.Serve.
+var Serve = validate.Serve
+
+// Dial connects to a served IP.
+var Dial = validate.Dial
+
+// OpenSuite opens a sealed suite, verifying integrity.
+var OpenSuite = validate.OpenSuite
+
+// EncodeNetwork / DecodeNetwork serialise models.
+var (
+	DecodeNetwork = nn.Decode
+)
+
+// EncodeNetwork writes the network in gob form.
+func EncodeNetwork(net *Network, w io.Writer) error {
+	return net.Encode(w)
+}

@@ -1,0 +1,164 @@
+package repro_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// facadeModel is a trained tiny CIFAR-style model shared across the
+// facade tests.
+var facadeModel = sync.OnceValue(func() *repro.Network {
+	net, err := repro.NewCIFARModel(16, 16, 0.05, 1)
+	if err != nil {
+		panic(err)
+	}
+	ds := repro.Objects(150, 16, 16, 2)
+	if _, err := repro.Train(net, ds, repro.TrainConfig{Epochs: 4, LR: 0.003, Seed: 3}); err != nil {
+		panic(err)
+	}
+	return net
+})
+
+func TestFacadeEndToEnd(t *testing.T) {
+	net := facadeModel()
+	ds := repro.Objects(60, 16, 16, 4)
+
+	suite, err := repro.GenerateSuite(net, ds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.Len() != 8 {
+		t.Fatalf("suite has %d tests", suite.Len())
+	}
+
+	rep, err := suite.Validate(repro.LocalIP{Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("intact IP failed: %v", rep)
+	}
+
+	p, err := repro.AttackSBA(net, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = suite.Validate(repro.LocalIP{Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Revert(net)
+	if rep.Passed {
+		t.Fatal("SBA not detected by facade flow")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	net := facadeModel()
+	ds := repro.Objects(40, 16, 16, 6)
+
+	sel, err := repro.SelectTests(net, ds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := repro.SynthesizeTests(net, []int{3, 16, 16}, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := repro.GenerateTests(net, ds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]*repro.GenResult{"select": sel, "synth": syn, "combined": comb} {
+		if len(r.Tests) != 5 {
+			t.Fatalf("%s: %d tests", name, len(r.Tests))
+		}
+		if r.FinalCoverage() <= 0 || r.FinalCoverage() > 1 {
+			t.Fatalf("%s: coverage %.4f", name, r.FinalCoverage())
+		}
+	}
+	if vc := repro.ValidationCoverage(net, sel.Tests); vc <= 0 {
+		t.Fatalf("ValidationCoverage = %v", vc)
+	}
+}
+
+func TestFacadeAttacks(t *testing.T) {
+	net := facadeModel()
+	ds := repro.Objects(5, 16, 16, 7)
+	if p, err := repro.AttackRandom(net, 3, 0.5, 8); err != nil {
+		t.Fatal(err)
+	} else {
+		p.Revert(net)
+	}
+	if p, err := repro.AttackBitFlip(net, 2, 9); err != nil {
+		t.Fatal(err)
+	} else {
+		p.Revert(net)
+	}
+	if p, _, err := repro.AttackGDA(net, ds.Samples[0].X, ds.Samples[0].Label, 10); err != nil {
+		t.Fatal(err)
+	} else {
+		p.Revert(net)
+	}
+}
+
+func TestFacadeModelSerialization(t *testing.T) {
+	net := facadeModel()
+	var buf bytes.Buffer
+	if err := repro.EncodeNetwork(net, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := repro.DecodeNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumParams() != net.NumParams() {
+		t.Fatal("round trip lost parameters")
+	}
+}
+
+func TestFacadeSealFlow(t *testing.T) {
+	net := facadeModel()
+	ds := repro.Objects(30, 16, 16, 11)
+	suite, err := repro.GenerateSuite(net, ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("vendor-user-shared-key")
+	var buf bytes.Buffer
+	if err := suite.Seal(&buf, key); err != nil {
+		t.Fatal(err)
+	}
+	got, err := repro.OpenSuite(&buf, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := got.Validate(repro.LocalIP{Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatal("sealed round trip broke the suite")
+	}
+}
+
+func TestFacadeTrainDefaults(t *testing.T) {
+	net, err := repro.NewMNISTModel(16, 16, 0.05, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := repro.Digits(40, 16, 16, 21)
+	acc, err := repro.Train(net, ds, repro.TrainConfig{Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v", acc)
+	}
+	if repro.Accuracy(net, ds) != acc {
+		t.Fatal("Accuracy disagrees with Train result")
+	}
+}
