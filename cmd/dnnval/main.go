@@ -28,6 +28,8 @@ import (
 	"repro/internal/data"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
 	"repro/internal/train"
 	"repro/internal/validate"
 )
@@ -63,6 +65,14 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: dnnval {train|generate|attack|validate|serve|info} [flags]")
 	os.Exit(2)
+}
+
+// splitKernelParallelism divides the machine between the outer worker
+// pool (-parallel) and the tensor kernels beneath it, so nested fan-out
+// cannot oversubscribe the CPU: a serial outer loop gets whole-machine
+// kernels, a whole-machine outer pool gets serial kernels.
+func splitKernelParallelism(outer int) {
+	tensor.SetParallelism(max(1, parallel.Auto()/parallel.Workers(outer)))
 }
 
 func loadModel(path string) (*nn.Network, error) {
@@ -104,8 +114,10 @@ func cmdTrain(args []string) error {
 	epochs := fs.Int("epochs", 8, "training epochs")
 	lr := fs.Float64("lr", 0.002, "Adam learning rate")
 	seed := fs.Int64("seed", 1, "random seed")
+	par := fs.Int("parallel", 1, "training worker goroutines; the default 1 keeps the model a machine-independent function of -seed, >1 is deterministic per (seed, parallel) but depends on the chosen worker count")
 	out := fs.String("o", "model.gob", "output model file")
 	fs.Parse(args)
+	splitKernelParallelism(*par)
 
 	var a models.Arch
 	var ds *data.Dataset
@@ -124,11 +136,12 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	res, err := train.Fit(network, ds, train.Config{
-		Epochs:    *epochs,
-		BatchSize: 16,
-		Optimizer: train.NewAdam(*lr),
-		Seed:      *seed,
-		Logf:      log.Printf,
+		Epochs:      *epochs,
+		BatchSize:   16,
+		Optimizer:   train.NewAdam(*lr),
+		Seed:        *seed,
+		Logf:        log.Printf,
+		Parallelism: *par,
 	})
 	if err != nil {
 		return err
@@ -146,9 +159,11 @@ func cmdGenerate(args []string) error {
 	pool := fs.Int("pool", 300, "training pool size for Algorithm 1")
 	seed := fs.Int64("seed", 1, "random seed")
 	method := fs.String("method", "combined", "generator: combined, select, gradient")
+	par := fs.Int("parallel", parallel.Auto(), "worker goroutines (suite is bit-identical at any value)")
 	key := fs.String("key", "", "seal the suite with this key (hex-free shared secret)")
 	out := fs.String("o", "suite.bin", "output suite file")
 	fs.Parse(args)
+	splitKernelParallelism(*par)
 
 	network, err := loadModel(*model)
 	if err != nil {
@@ -161,6 +176,7 @@ func cmdGenerate(args []string) error {
 	opts := core.DefaultOptions(*n)
 	opts.Coverage = coverage.DefaultConfig(network)
 	opts.Seed = *seed
+	opts.Parallelism = *par
 
 	var res *core.Result
 	switch *method {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/data"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -76,17 +77,30 @@ type Options struct {
 	// coverage; off by default so coverage curves span the full budget
 	// as in Fig. 3.
 	StopOnZeroGain bool
+	// Parallelism is the number of worker goroutines candidate
+	// evaluation fans out across: per-sample activation extraction, the
+	// greedy argmax scan, and per-class synthesis all split their work,
+	// each worker on its own clone of the network. Values <= 1 run
+	// serially. Every parallel path is bit-identical to the serial one
+	// for a fixed Seed, so this is purely a speed knob.
+	Parallelism int
 }
 
 // DefaultOptions returns the options used throughout the evaluation.
+// Parallelism defaults to the whole machine; the generators produce the
+// same suite at any setting.
 func DefaultOptions(maxTests int) Options {
 	return Options{
-		MaxTests: maxTests,
-		Eta:      0.5,
-		Steps:    30,
-		Clamp:    true,
+		MaxTests:    maxTests,
+		Eta:         0.5,
+		Steps:       30,
+		Clamp:       true,
+		Parallelism: parallel.Auto(),
 	}
 }
+
+// workers resolves the Parallelism knob.
+func (o Options) workers() int { return parallel.Workers(o.Parallelism) }
 
 func (o Options) validate() error {
 	if o.MaxTests <= 0 {
@@ -132,8 +146,9 @@ func (r *Result) add(x *tensor.Tensor, label int, src Source, cov float64) {
 
 // SelectFromTraining implements Algorithm 1: iteratively add the
 // training sample with the largest marginal validation-coverage gain
-// (Eq. 7). Per-sample activation sets are computed once up front; each
-// greedy iteration is then pure bitset algebra.
+// (Eq. 7). Per-sample activation sets are computed once up front (fanned
+// out across opts.Parallelism workers); each greedy iteration is then
+// pure bitset algebra, itself scanned in parallel.
 func SelectFromTraining(net *nn.Network, train *data.Dataset, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -141,21 +156,14 @@ func SelectFromTraining(net *nn.Network, train *data.Dataset, opts Options) (*Re
 	if train.Len() == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
-	sets := coverage.ParamSets(net, train, opts.Coverage)
+	workers := opts.workers()
+	sets := coverage.ParamSetsParallel(net, train, opts.Coverage, workers)
 	acc := coverage.NewAccumulator(net.NumParams())
 	used := make([]bool, train.Len())
 	res := &Result{SwitchPoint: -1}
 
 	for len(res.Tests) < opts.MaxTests {
-		best, bestGain := -1, -1
-		for i, s := range sets {
-			if used[i] {
-				continue
-			}
-			if g := acc.Gain(s); g > bestGain {
-				best, bestGain = i, g
-			}
-		}
+		best, bestGain := bestCandidate(sets, used, acc, workers)
 		if best < 0 {
 			break // training set exhausted
 		}
@@ -170,6 +178,57 @@ func SelectFromTraining(net *nn.Network, train *data.Dataset, opts Options) (*Re
 	return res, nil
 }
 
+// minScanPerWorker keeps the greedy argmax scan serial until there are
+// enough candidates per worker for the fan-out to pay for itself. A
+// var, not a const, so tests can force the parallel path on small sets.
+var minScanPerWorker = 256
+
+// bestCandidate returns the unused candidate with the largest marginal
+// gain over acc, and that gain; (-1, -1) when every candidate is used.
+// The scan is partitioned into contiguous chunks; each chunk keeps the
+// first of its equal-gain maxima and the merge walks chunks in index
+// order preferring strictly larger gains, so ties resolve to the lowest
+// index — exactly the serial left-to-right scan's answer.
+func bestCandidate(sets []*bitset.Set, used []bool, acc *coverage.Accumulator, workers int) (int, int) {
+	if byWork := len(sets) / minScanPerWorker; byWork < workers {
+		workers = byWork
+	}
+	workers = parallel.Effective(len(sets), workers)
+	if workers <= 1 {
+		return bestCandidateRange(sets, used, acc, 0, len(sets))
+	}
+	bests := make([]int, workers)
+	gains := make([]int, workers)
+	for w := range bests {
+		// "no candidate", should a worker ever not run; the merge must
+		// never mistake an unwritten slot for candidate 0 with gain 0.
+		bests[w], gains[w] = -1, -1
+	}
+	parallel.For(len(sets), workers, func(w, lo, hi int) {
+		bests[w], gains[w] = bestCandidateRange(sets, used, acc, lo, hi)
+	})
+	best, bestGain := -1, -1
+	for w := 0; w < workers; w++ {
+		if bests[w] >= 0 && gains[w] > bestGain {
+			best, bestGain = bests[w], gains[w]
+		}
+	}
+	return best, bestGain
+}
+
+func bestCandidateRange(sets []*bitset.Set, used []bool, acc *coverage.Accumulator, lo, hi int) (int, int) {
+	best, bestGain := -1, -1
+	for i := lo; i < hi; i++ {
+		if used[i] {
+			continue
+		}
+		if g := acc.Gain(sets[i]); g > bestGain {
+			best, bestGain = i, g
+		}
+	}
+	return best, bestGain
+}
+
 // residualNet returns a copy of net whose *activated* parameters are
 // zeroed, leaving only the still-unactivated parameters — the "network
 // consisting of the un-activated parameters" that Algorithm 2 targets.
@@ -180,45 +239,33 @@ func residualNet(net *nn.Network, covered *bitset.Set) *nn.Network {
 			vals[i] = 0
 		}
 	}
-	clone := cloneArchitecture(net)
+	clone := net.CloneArchitecture()
 	clone.SetParams(vals)
 	return clone
-}
-
-// cloneArchitecture builds a structurally identical network with fresh
-// (zero) parameters.
-func cloneArchitecture(net *nn.Network) *nn.Network {
-	layers := make([]nn.Layer, 0, len(net.LayerStack))
-	for _, l := range net.LayerStack {
-		switch t := l.(type) {
-		case *nn.Conv2D:
-			layers = append(layers, nn.NewConv2D(t.LayerName, t.InC, t.InH, t.InW, t.OutC, t.K, t.Stride, t.Pad))
-		case *nn.Dense:
-			layers = append(layers, nn.NewDense(t.LayerName, t.In, t.Out))
-		case *nn.MaxPool2D:
-			layers = append(layers, nn.NewMaxPool2D(t.LayerName, t.C, t.H, t.W, t.K, t.Stride))
-		case *nn.Activate:
-			layers = append(layers, nn.NewActivate(t.LayerName, t.Fn))
-		case *nn.Flatten:
-			layers = append(layers, nn.NewFlatten(t.LayerName))
-		case *nn.ScaleShift:
-			layers = append(layers, nn.NewScaleShift(t.LayerName, t.A, t.B))
-		default:
-			panic(fmt.Sprintf("core: cannot clone layer type %T", l))
-		}
-	}
-	return nn.NewNetwork(layers...)
 }
 
 // Synthesize runs Algorithm 2's inner loop (lines 5–11): T gradient
 // steps on the input so that target classifies it as class label,
 // starting from zeros (paper) or Gaussian noise.
 func Synthesize(target *nn.Network, inShape []int, label int, opts Options, rng *rand.Rand) *tensor.Tensor {
+	return synthSteps(target, synthInit(inShape, opts, rng), label, opts)
+}
+
+// synthInit returns Algorithm 2's starting input, consuming rng exactly
+// when (and only when) the serial path would.
+func synthInit(inShape []int, opts Options, rng *rand.Rand) *tensor.Tensor {
 	x := tensor.New(inShape...)
 	if opts.Init == GaussianInit {
 		x.FillNormal(rng, 0.5, 0.25)
 		x.Clamp(0, 1)
 	}
+	return x
+}
+
+// synthSteps runs the T gradient steps of Algorithm 2 on x in place and
+// returns it. It mutates target's gradient accumulators and layer
+// caches, so concurrent callers need their own clone of target.
+func synthSteps(target *nn.Network, x *tensor.Tensor, label int, opts Options) *tensor.Tensor {
 	for t := 0; t < opts.Steps; t++ {
 		target.ZeroGrad()
 		logits := target.Forward(x)
@@ -230,6 +277,35 @@ func Synthesize(target *nn.Network, inShape []int, label int, opts Options, rng 
 		}
 	}
 	return x
+}
+
+// synthesizeBatch synthesises one input per class c in [0,classes)
+// against target. The rng draws happen serially in class order — the
+// identical stream to calling Synthesize class by class — and the
+// gradient-descent work then fans out across workers, each on its own
+// clone of target, so the outputs are bit-identical to the serial loop.
+func synthesizeBatch(target *nn.Network, inShape []int, classes int, opts Options, rng *rand.Rand) []*tensor.Tensor {
+	xs := make([]*tensor.Tensor, classes)
+	for c := range xs {
+		xs[c] = synthInit(inShape, opts, rng)
+	}
+	workers := parallel.Effective(classes, opts.workers())
+	if workers <= 1 {
+		for c := range xs {
+			synthSteps(target, xs[c], c, opts)
+		}
+		return xs
+	}
+	clones := make([]*nn.Network, workers)
+	for w := range clones {
+		clones[w] = target.Clone()
+	}
+	parallel.For(classes, workers, func(w, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			synthSteps(clones[w], xs[c], c, opts)
+		}
+	})
+	return xs
 }
 
 // GradientGenerate implements Algorithm 2: per round, synthesise one
@@ -270,11 +346,17 @@ func SynthesisFrom(net *nn.Network, inShape []int, classes int, opts Options, st
 		if dry && opts.Init == ZeroInit {
 			roundOpts.Init = GaussianInit
 		}
+		// One round synthesises classes inputs, truncated to the budget
+		// exactly as the serial per-class loop would be; the synthesis and
+		// the full-network activation extraction both fan out across the
+		// worker pool, and the accumulator merge stays in class order.
+		take := min(classes, opts.MaxTests-len(res.Tests))
+		xs := synthesizeBatch(residual, inShape, take, roundOpts, rng)
+		sets := coverage.ParamSetsOf(net, xs, opts.Coverage, opts.workers())
 		roundGain := 0
-		for c := 0; c < classes && len(res.Tests) < opts.MaxTests; c++ {
-			x := Synthesize(residual, inShape, c, roundOpts, rng)
-			roundGain += acc.Add(coverage.ParamActivation(net, x, opts.Coverage))
-			res.add(x, c, FromSynthesis, acc.Coverage())
+		for c := 0; c < take; c++ {
+			roundGain += acc.Add(sets[c])
+			res.add(xs[c], c, FromSynthesis, acc.Coverage())
 		}
 		dry = roundGain == 0
 	}
@@ -298,38 +380,26 @@ func Combined(net *nn.Network, train *data.Dataset, opts Options) (*Result, erro
 	inShape := []int{train.C, train.H, train.W}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
-	sets := coverage.ParamSets(net, train, opts.Coverage)
+	workers := opts.workers()
+	sets := coverage.ParamSetsParallel(net, train, opts.Coverage, workers)
 	acc := coverage.NewAccumulator(net.NumParams())
 	used := make([]bool, train.Len())
 	res := &Result{SwitchPoint: -1}
 
 	for len(res.Tests) < opts.MaxTests {
-		best, bestGain := -1, -1
-		for i, s := range sets {
-			if used[i] {
-				continue
-			}
-			if g := acc.Gain(s); g > bestGain {
-				best, bestGain = i, g
-			}
-		}
+		best, bestGain := bestCandidate(sets, used, acc, workers)
 
 		// Probe Algorithm 2 on the current residual network to estimate
-		// its marginal coverage per test (§IV-D's switch criterion).
+		// its marginal coverage per test (§IV-D's switch criterion). The
+		// per-class synthesis and activation extraction fan out; the
+		// probe accumulator merges in class order, as serially.
 		residual := residualNet(net, acc.Set())
-		type probe struct {
-			x     *tensor.Tensor
-			set   *bitset.Set
-			label int
-		}
-		probes := make([]probe, 0, classes)
+		xs := synthesizeBatch(residual, inShape, classes, opts, rng)
+		probeSets := coverage.ParamSetsOf(net, xs, opts.Coverage, workers)
 		probeAcc := acc.Clone()
 		probeGain := 0
 		for c := 0; c < classes; c++ {
-			x := Synthesize(residual, inShape, c, opts, rng)
-			s := coverage.ParamActivation(net, x, opts.Coverage)
-			probeGain += probeAcc.Add(s)
-			probes = append(probes, probe{x: x, set: s, label: c})
+			probeGain += probeAcc.Add(probeSets[c])
 		}
 		gainPerSynthetic := float64(probeGain) / float64(classes)
 
@@ -342,12 +412,9 @@ func Combined(net *nn.Network, train *data.Dataset, opts Options) (*Result, erro
 
 		// Switch: Algorithm 2 takes over, starting with the probe batch.
 		res.SwitchPoint = len(res.Tests)
-		for _, p := range probes {
-			if len(res.Tests) >= opts.MaxTests {
-				break
-			}
-			acc.Add(p.set)
-			res.add(p.x, p.label, FromSynthesis, acc.Coverage())
+		for c := 0; c < classes && len(res.Tests) < opts.MaxTests; c++ {
+			acc.Add(probeSets[c])
+			res.add(xs[c], c, FromSynthesis, acc.Coverage())
 		}
 		if remaining := opts.MaxTests - len(res.Tests); remaining > 0 {
 			tailOpts := opts
@@ -356,8 +423,9 @@ func Combined(net *nn.Network, train *data.Dataset, opts Options) (*Result, erro
 			if err != nil {
 				return nil, err
 			}
+			tailSets := coverage.ParamSetsOf(net, tail.Tests, opts.Coverage, workers)
 			for i := range tail.Tests {
-				acc.Add(coverage.ParamActivation(net, tail.Tests[i], opts.Coverage))
+				acc.Add(tailSets[i])
 				res.add(tail.Tests[i], tail.Labels[i], FromSynthesis, acc.Coverage())
 			}
 		}
@@ -379,14 +447,20 @@ func RandomSelect(net *nn.Network, train *data.Dataset, opts Options) (*Result, 
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	perm := rng.Perm(train.Len())
+	picks := perm[:min(opts.MaxTests, len(perm))]
 	acc := coverage.NewAccumulator(net.NumParams())
 	res := &Result{SwitchPoint: -1}
-	for _, idx := range perm {
-		if len(res.Tests) >= opts.MaxTests {
-			break
-		}
+	// Activation extraction for the whole pick fans out across workers;
+	// the union then accumulates in pick order, so the curve matches the
+	// serial loop exactly.
+	xs := make([]*tensor.Tensor, len(picks))
+	for j, idx := range picks {
+		xs[j] = train.Samples[idx].X
+	}
+	sets := coverage.ParamSetsOf(net, xs, opts.Coverage, opts.workers())
+	for j, idx := range picks {
 		s := train.Samples[idx]
-		acc.Add(coverage.ParamActivation(net, s.X, opts.Coverage))
+		acc.Add(sets[j])
 		res.add(s.X, s.Label, FromTraining, acc.Coverage())
 	}
 	res.Covered = acc.Set()
@@ -408,11 +482,9 @@ func NeuronGreedy(net *nn.Network, train *data.Dataset, ncfg coverage.NeuronConf
 	}
 	inShape := []int{train.C, train.H, train.W}
 	nNeurons := coverage.NumNeurons(net, inShape)
+	workers := opts.workers()
 
-	neuronSets := make([]*bitset.Set, train.Len())
-	for i, s := range train.Samples {
-		neuronSets[i] = coverage.NeuronActivation(net, s.X, ncfg)
-	}
+	neuronSets := coverage.NeuronSets(net, train, ncfg, workers)
 	used := make([]bool, train.Len())
 	nAcc := coverage.NewAccumulator(nNeurons)
 	pAcc := coverage.NewAccumulator(net.NumParams())
@@ -428,15 +500,7 @@ func NeuronGreedy(net *nn.Network, train *data.Dataset, ncfg coverage.NeuronConf
 	}
 
 	for len(res.Tests) < opts.MaxTests {
-		best, bestGain := -1, 0
-		for i, s := range neuronSets {
-			if used[i] {
-				continue
-			}
-			if g := nAcc.Gain(s); g > bestGain {
-				best, bestGain = i, g
-			}
-		}
+		best, bestGain := bestCandidate(neuronSets, used, nAcc, workers)
 		if best < 0 || bestGain == 0 {
 			break // neuron coverage saturated
 		}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/data"
+)
+
+// resultsBitIdentical asserts two generator results are exactly equal:
+// same tests (bitwise), labels, sources, curve and covered set. This is
+// the contract of Options.Parallelism — a pure speed knob.
+func resultsBitIdentical(t *testing.T, name string, got, want *Result) {
+	t.Helper()
+	if len(got.Tests) != len(want.Tests) {
+		t.Fatalf("%s: %d tests, want %d", name, len(got.Tests), len(want.Tests))
+	}
+	if got.SwitchPoint != want.SwitchPoint {
+		t.Fatalf("%s: switch point %d, want %d", name, got.SwitchPoint, want.SwitchPoint)
+	}
+	for i := range want.Tests {
+		if got.Labels[i] != want.Labels[i] {
+			t.Fatalf("%s: test %d label %d, want %d", name, i, got.Labels[i], want.Labels[i])
+		}
+		if got.Sources[i] != want.Sources[i] {
+			t.Fatalf("%s: test %d source %v, want %v", name, i, got.Sources[i], want.Sources[i])
+		}
+		if got.Curve[i] != want.Curve[i] {
+			t.Fatalf("%s: curve[%d] = %v, want %v", name, i, got.Curve[i], want.Curve[i])
+		}
+		g, w := got.Tests[i].Data(), want.Tests[i].Data()
+		if len(g) != len(w) {
+			t.Fatalf("%s: test %d size %d, want %d", name, i, len(g), len(w))
+		}
+		for j := range w {
+			if g[j] != w[j] {
+				t.Fatalf("%s: test %d element %d = %v, want %v (parallel suite must be bit-identical)",
+					name, i, j, g[j], w[j])
+			}
+		}
+	}
+	if !got.Covered.Equal(want.Covered) {
+		t.Fatalf("%s: covered sets differ: %v vs %v", name, got.Covered, want.Covered)
+	}
+}
+
+func parallelOpts(n, workers int) Options {
+	opts := DefaultOptions(n)
+	opts.Seed = 7
+	opts.Steps = 8
+	opts.Parallelism = workers
+	return opts
+}
+
+func TestSelectFromTrainingParallelBitIdentical(t *testing.T) {
+	net := trainedDigitsNet()
+	ds := digitsTrainSet()
+	serial, err := SelectFromTraining(net, ds, parallelOpts(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 7} {
+		par, err := SelectFromTraining(net, ds, parallelOpts(10, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsBitIdentical(t, "SelectFromTraining", par, serial)
+	}
+}
+
+func TestCombinedParallelBitIdentical(t *testing.T) {
+	net := trainedDigitsNet()
+	ds := digitsTrainSet()
+	for _, init := range []InitMode{ZeroInit, GaussianInit} {
+		serialOpts := parallelOpts(12, 1)
+		serialOpts.Init = init
+		serial, err := Combined(net, ds, serialOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parOpts := parallelOpts(12, 4)
+		parOpts.Init = init
+		par, err := Combined(net, ds, parOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsBitIdentical(t, "Combined", par, serial)
+	}
+}
+
+func TestGradientGenerateParallelBitIdentical(t *testing.T) {
+	net := trainedDigitsNet()
+	inShape := []int{1, 12, 12}
+	for _, init := range []InitMode{ZeroInit, GaussianInit} {
+		// 17 is deliberately not a multiple of 10 classes, so the final
+		// synthesis round is truncated mid-batch.
+		serialOpts := parallelOpts(17, 1)
+		serialOpts.Init = init
+		serial, err := GradientGenerate(net, inShape, 10, serialOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parOpts := parallelOpts(17, 4)
+		parOpts.Init = init
+		par, err := GradientGenerate(net, inShape, 10, parOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsBitIdentical(t, "GradientGenerate", par, serial)
+	}
+}
+
+func TestRandomSelectParallelBitIdentical(t *testing.T) {
+	net := trainedDigitsNet()
+	ds := digitsTrainSet()
+	serial, err := RandomSelect(net, ds, parallelOpts(15, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RandomSelect(net, ds, parallelOpts(15, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsBitIdentical(t, "RandomSelect", par, serial)
+}
+
+func TestNeuronGreedyParallelBitIdentical(t *testing.T) {
+	net := trainedDigitsNet()
+	ds := digitsTrainSet()
+	ncfg := coverage.NeuronConfig{}
+	serial, err := NeuronGreedy(net, ds, ncfg, parallelOpts(12, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NeuronGreedy(net, ds, ncfg, parallelOpts(12, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsBitIdentical(t, "NeuronGreedy", par, serial)
+}
+
+// TestBestCandidateMatchesSerialScan drives the parallel argmax helper
+// directly over a crafted tie-heavy input: ties must resolve to the
+// lowest index at every worker count, like a serial left-to-right scan.
+func TestBestCandidateMatchesSerialScan(t *testing.T) {
+	net := trainedDigitsNet()
+	ds := data.Digits(40, 12, 12, 55)
+	sets := coverage.ParamSets(net, ds, coverage.Config{})
+	used := make([]bool, len(sets))
+	acc := coverage.NewAccumulator(net.NumParams())
+
+	// Drop the serial-fallback threshold so the parallel scan actually
+	// runs on this small candidate set.
+	prev := minScanPerWorker
+	minScanPerWorker = 1
+	t.Cleanup(func() { minScanPerWorker = prev })
+
+	for round := 0; round < 10; round++ {
+		wantBest, wantGain := bestCandidateRange(sets, used, acc, 0, len(sets))
+		for _, workers := range []int{2, 3, 8, 64} {
+			gotBest, gotGain := bestCandidate(sets, used, acc, workers)
+			if gotBest != wantBest || gotGain != wantGain {
+				t.Fatalf("round %d workers %d: parallel pick (%d,%d), serial pick (%d,%d)",
+					round, workers, gotBest, gotGain, wantBest, wantGain)
+			}
+		}
+		if wantBest < 0 {
+			break
+		}
+		used[wantBest] = true
+		acc.Add(sets[wantBest])
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/data"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -82,11 +83,50 @@ func ParamActivation(net *nn.Network, x *tensor.Tensor, cfg Config) *bitset.Set 
 // ParamSets computes the activation set of every sample in ds; the
 // precomputation step of the greedy selector (Algorithm 1).
 func ParamSets(net *nn.Network, ds *data.Dataset, cfg Config) []*bitset.Set {
-	sets := make([]*bitset.Set, ds.Len())
-	for i, s := range ds.Samples {
-		sets[i] = ParamActivation(net, s.X, cfg)
+	return ParamSetsParallel(net, ds, cfg, 1)
+}
+
+// ParamSetsParallel is ParamSets fanned out across workers. Each worker
+// runs forward/backward passes on its own clone of net (layers cache
+// per-input state, so a network cannot be shared), and writes results
+// into the i-th slot of the output, so the result is identical to the
+// serial loop — sample i's activation set depends only on the parameter
+// values, which every clone shares bitwise.
+func ParamSetsParallel(net *nn.Network, ds *data.Dataset, cfg Config, workers int) []*bitset.Set {
+	return paramSets(net, func(i int) *tensor.Tensor { return ds.Samples[i].X }, ds.Len(), cfg, workers)
+}
+
+// ParamSetsOf computes the activation set of each input tensor, fanning
+// out across workers like ParamSetsParallel.
+func ParamSetsOf(net *nn.Network, xs []*tensor.Tensor, cfg Config, workers int) []*bitset.Set {
+	return paramSets(net, func(i int) *tensor.Tensor { return xs[i] }, len(xs), cfg, workers)
+}
+
+func paramSets(net *nn.Network, input func(int) *tensor.Tensor, n int, cfg Config, workers int) []*bitset.Set {
+	sets := make([]*bitset.Set, n)
+	workers = parallel.Effective(n, parallel.Workers(workers))
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			sets[i] = ParamActivation(net, input(i), cfg)
+		}
+		return sets
 	}
+	clones := workerClones(net, workers)
+	parallel.For(n, workers, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sets[i] = ParamActivation(clones[w], input(i), cfg)
+		}
+	})
 	return sets
+}
+
+// workerClones returns one deep copy of net per worker.
+func workerClones(net *nn.Network, workers int) []*nn.Network {
+	clones := make([]*nn.Network, workers)
+	for w := range clones {
+		clones[w] = net.Clone()
+	}
+	return clones
 }
 
 // VC returns the validation coverage of a set of test inputs: the

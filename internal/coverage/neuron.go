@@ -4,7 +4,9 @@ import (
 	"math"
 
 	"repro/internal/bitset"
+	"repro/internal/data"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -68,6 +70,28 @@ func NeuronActivation(net *nn.Network, x *tensor.Tensor, cfg NeuronConfig) *bits
 		}
 	}
 	return set
+}
+
+// NeuronSets computes the neuron-activation set of every sample in ds,
+// fanning out across workers with per-worker network clones; the
+// precomputation step of the neuron-greedy baseline. Results are
+// identical to the serial loop at any worker count.
+func NeuronSets(net *nn.Network, ds *data.Dataset, cfg NeuronConfig, workers int) []*bitset.Set {
+	sets := make([]*bitset.Set, ds.Len())
+	workers = parallel.Effective(ds.Len(), parallel.Workers(workers))
+	if workers <= 1 {
+		for i, s := range ds.Samples {
+			sets[i] = NeuronActivation(net, s.X, cfg)
+		}
+		return sets
+	}
+	clones := workerClones(net, workers)
+	parallel.For(ds.Len(), workers, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sets[i] = NeuronActivation(clones[w], ds.Samples[i].X, cfg)
+		}
+	})
+	return sets
 }
 
 // NeuronCoverage returns the fraction of neurons fired by at least one

@@ -29,7 +29,7 @@ type AblationSwitchRow struct {
 // RunAblationSwitch evaluates adaptive, never (pure Algorithm 1),
 // immediate (pure Algorithm 2) and fixed-k policies.
 func RunAblationSwitch(s *Setup, budget int, fixed []int) (*AblationSwitch, error) {
-	opts := core.DefaultOptions(budget)
+	opts := s.GenOptions(budget)
 	opts.Coverage = s.Cov
 	opts.Seed = s.Params.Seed + 700
 
@@ -104,7 +104,7 @@ type AblationInit struct {
 
 // RunAblationInit evaluates both initialisation modes.
 func RunAblationInit(s *Setup, budget int) (*AblationInit, error) {
-	opts := core.DefaultOptions(budget)
+	opts := s.GenOptions(budget)
 	opts.Coverage = s.Cov
 	opts.Seed = s.Params.Seed + 800
 
@@ -184,7 +184,7 @@ type AblationCompareRow struct {
 // RunAblationCompare builds one combined suite and replays the same
 // attack population under each comparison mode.
 func RunAblationCompare(s *Setup, suiteSize, trials int) (*AblationCompare, error) {
-	opts := core.DefaultOptions(suiteSize)
+	opts := s.GenOptions(suiteSize)
 	opts.Coverage = s.Cov
 	opts.Seed = s.Params.Seed + 900
 	res, err := core.Combined(s.Net, s.Select, opts)

@@ -81,7 +81,7 @@ func RunDetection(s *Setup, p DetectionParams) (*DetectionTable, error) {
 		}
 	}
 
-	opts := core.DefaultOptions(maxN)
+	opts := s.GenOptions(maxN)
 	opts.Coverage = s.Cov
 	opts.Seed = s.Params.Seed + 600
 

@@ -26,7 +26,7 @@ type Fig3 struct {
 
 // RunFig3 generates all four curves with the given test budget.
 func RunFig3(s *Setup, budget int) (*Fig3, error) {
-	opts := core.DefaultOptions(budget)
+	opts := s.GenOptions(budget)
 	opts.Coverage = s.Cov
 	opts.Seed = s.Params.Seed + 400
 

@@ -28,7 +28,7 @@ type Fig4 struct {
 // RunFig4 synthesises one sample per class on the setup's network.
 func RunFig4(s *Setup, steps int) *Fig4 {
 	rng := rand.New(rand.NewSource(s.Params.Seed + 500))
-	opts := core.DefaultOptions(1)
+	opts := s.GenOptions(1)
 	opts.Steps = steps
 	opts.Coverage = s.Cov
 

@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/data"
 	"repro/internal/models"
@@ -34,6 +35,12 @@ type Params struct {
 	LR     float64
 	// Seed fixes every random choice.
 	Seed int64
+	// Parallelism, when positive, bounds the worker goroutines used for
+	// training and suite generation (1 forces both fully serial). Zero
+	// keeps the defaults: serial training — so a testbed's trained
+	// weights are a function of Seed alone, machine-independent — and
+	// whole-machine generation, which is bit-identical to serial.
+	Parallelism int
 }
 
 // DefaultMNISTParams returns the experiment-quality MNIST-substitute
@@ -76,6 +83,18 @@ type Setup struct {
 	Params   Params
 }
 
+// GenOptions returns the generator options every experiment driver
+// starts from: the setup's budgeted defaults, honouring the testbed's
+// Parallelism override. Generation is bit-identical at any worker
+// count, so the knob only changes wall-clock time.
+func (s *Setup) GenOptions(maxTests int) core.Options {
+	opts := core.DefaultOptions(maxTests)
+	if s.Params.Parallelism > 0 {
+		opts.Parallelism = s.Params.Parallelism
+	}
+	return opts
+}
+
 // NewMNISTSetup trains the MNIST-substitute testbed.
 func NewMNISTSetup(p Params) (*Setup, error) {
 	arch := models.MNIST(p.H, p.W, p.Scale)
@@ -96,10 +115,11 @@ func newSetup(name string, arch models.Arch, ds *data.Dataset, p Params) (*Setup
 		return nil, fmt.Errorf("experiments: build %s: %w", name, err)
 	}
 	res, err := train.Fit(net, ds, train.Config{
-		Epochs:    p.Epochs,
-		BatchSize: 16,
-		Optimizer: train.NewAdam(p.LR),
-		Seed:      p.Seed,
+		Epochs:      p.Epochs,
+		BatchSize:   16,
+		Optimizer:   train.NewAdam(p.LR),
+		Seed:        p.Seed,
+		Parallelism: p.Parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: train %s: %w", name, err)

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func cloneTestNet(t *testing.T) *Network {
+	t.Helper()
+	net := NewNetwork(
+		NewConv2D("conv1", 1, 8, 8, 2, 3, 1, 1),
+		NewActivate("relu1", ReLU),
+		NewMaxPool2D("pool1", 2, 8, 8, 2, 2),
+		NewFlatten("flat"),
+		NewDense("fc", 2*4*4, 3),
+	)
+	rng := rand.New(rand.NewSource(9))
+	for _, p := range net.Params() {
+		p.W.FillNormal(rng, 0, 0.5)
+	}
+	return net
+}
+
+func TestCloneMatchesAndIsIndependent(t *testing.T) {
+	net := cloneTestNet(t)
+	clone := net.Clone()
+
+	if clone.NumParams() != net.NumParams() {
+		t.Fatalf("clone has %d params, want %d", clone.NumParams(), net.NumParams())
+	}
+	x := tensor.New(1, 8, 8)
+	x.FillUniform(rand.New(rand.NewSource(3)), 0, 1)
+	a, b := net.Forward(x), clone.Forward(x)
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatalf("clone forward diverges at logit %d: %v vs %v", i, a.Data()[i], b.Data()[i])
+		}
+	}
+
+	// Mutating the clone must not touch the original.
+	clone.SetParamAt(0, 123.5)
+	if net.ParamAt(0) == 123.5 {
+		t.Fatal("clone shares parameter storage with the original")
+	}
+}
+
+func TestSyncParamsFrom(t *testing.T) {
+	net := cloneTestNet(t)
+	clone := net.CloneArchitecture()
+	clone.SyncParamsFrom(net)
+	for i := 0; i < net.NumParams(); i++ {
+		if clone.ParamAt(i) != net.ParamAt(i) {
+			t.Fatalf("param %d not synced", i)
+		}
+	}
+}
+
+func TestAddGradsFrom(t *testing.T) {
+	net := cloneTestNet(t)
+	w1, w2 := net.Clone(), net.Clone()
+	x := tensor.New(1, 8, 8)
+	x.FillUniform(rand.New(rand.NewSource(5)), 0, 1)
+
+	// Serial reference: both samples accumulated into one network.
+	net.ZeroGrad()
+	net.Forward(x)
+	net.Backward(OnesLike(net.Forward(x)))
+
+	// Worker form: one sample per clone, merged.
+	w1.ZeroGrad()
+	w1.Backward(OnesLike(w1.Forward(x)))
+	w2.ZeroGrad()
+	merged := net.CloneArchitecture()
+	merged.ZeroGrad()
+	merged.AddGradsFrom(w1)
+	merged.AddGradsFrom(w2)
+	for i := 0; i < net.NumParams(); i++ {
+		if merged.GradAt(i) != w1.GradAt(i) {
+			t.Fatalf("grad %d: merged %v, want %v (w2 contributed zero)", i, merged.GradAt(i), w1.GradAt(i))
+		}
+	}
+}
+
+func TestSyncParamsFromMismatchPanics(t *testing.T) {
+	net := cloneTestNet(t)
+	other := NewNetwork(NewDense("fc", 4, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SyncParamsFrom across architectures did not panic")
+		}
+	}()
+	other.SyncParamsFrom(net)
+}

@@ -1,0 +1,78 @@
+// Package parallel provides the worker-pool primitives shared by the
+// tensor, coverage, core and train layers. Everything in the repo that
+// fans work out across goroutines goes through For, so the partitioning
+// rules (contiguous, ordered, deterministic) are stated once and relied
+// on everywhere: chunk w covers indexes strictly before chunk w+1, which
+// lets callers merge per-worker results in worker order and obtain the
+// same answer as a serial left-to-right scan.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Auto returns the parallelism used when a knob is left at "use the
+// whole machine": runtime.NumCPU.
+func Auto() int { return runtime.NumCPU() }
+
+// Workers clamps a Parallelism knob to an effective worker count.
+// Values below 1 mean serial.
+func Workers(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// For partitions [0,n) into exactly Effective(n, workers) contiguous
+// non-empty chunks and calls fn(worker, start, end) once per chunk,
+// concurrently when more than one worker is effective. Every worker id
+// in [0,Effective(n,workers)) runs exactly once — callers pre-size
+// per-worker state with Effective and may read every slot after For
+// returns — and chunk w covers indexes strictly before chunk w+1. The
+// serial case calls fn inline, so the fast path allocates nothing. For
+// returns only after every chunk has finished.
+func For(n, workers int, fn func(worker, start, end int)) {
+	workers = effective(n, workers)
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	// Balanced split: base items per worker, the first rem workers take
+	// one extra. workers <= n guarantees every chunk is non-empty.
+	base, rem := n/workers, n%workers
+	var wg sync.WaitGroup
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + base
+		if w < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// effective returns the worker count For will actually use for n items:
+// never more workers than items, never less than one.
+func effective(n, workers int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Effective is the exported form of the clamp For applies, for callers
+// that must pre-size per-worker state (network clones, partial sums).
+func Effective(n, workers int) int { return effective(n, workers) }

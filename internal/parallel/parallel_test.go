@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, workers := range []int{-1, 0, 1, 2, 3, 8, 2000} {
+			hits := make([]int32, n)
+			For(n, workers, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerIDsDenseAndOrdered(t *testing.T) {
+	// 10/6 is the ceil-chunking trap: ceil(10/6)=2 would cover [0,10) in
+	// only 5 chunks, starving worker 5. The balanced split must run
+	// every effective worker exactly once on a non-empty chunk.
+	for _, c := range []struct{ n, workers int }{{100, 7}, {10, 6}, {7, 7}, {9, 4}} {
+		eff := Effective(c.n, c.workers)
+		lo := make([]int, eff)
+		hi := make([]int, eff)
+		seen := make([]int32, eff)
+		For(c.n, c.workers, func(w, l, h int) {
+			atomic.AddInt32(&seen[w], 1)
+			lo[w], hi[w] = l, h
+		})
+		prev := 0
+		for w := 0; w < eff; w++ {
+			if seen[w] != 1 {
+				t.Fatalf("n=%d workers=%d: worker %d ran %d times, want exactly once", c.n, c.workers, w, seen[w])
+			}
+			if lo[w] != prev {
+				t.Fatalf("n=%d workers=%d: worker %d starts at %d, want %d (chunks must be ordered)", c.n, c.workers, w, lo[w], prev)
+			}
+			if hi[w] <= lo[w] {
+				t.Fatalf("n=%d workers=%d: worker %d got empty chunk [%d,%d)", c.n, c.workers, w, lo[w], hi[w])
+			}
+			prev = hi[w]
+		}
+		if prev != c.n {
+			t.Fatalf("n=%d workers=%d: chunks end at %d, want %d", c.n, c.workers, prev, c.n)
+		}
+	}
+}
+
+func TestForSerialRunsInline(t *testing.T) {
+	calls := 0
+	For(5, 1, func(w, lo, hi int) {
+		calls++
+		if w != 0 || lo != 0 || hi != 5 {
+			t.Fatalf("serial chunk = (%d,%d,%d), want (0,0,5)", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("serial path called fn %d times", calls)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{-3, 1}, {0, 1}, {1, 1}, {4, 4}} {
+		if got := Workers(c.in); got != c.want {
+			t.Fatalf("Workers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if Auto() < 1 {
+		t.Fatal("Auto() < 1")
+	}
+}
+
+func TestEffective(t *testing.T) {
+	for _, c := range []struct{ n, workers, want int }{
+		{10, 4, 4}, {3, 8, 3}, {0, 8, 1}, {5, 0, 1},
+	} {
+		if got := Effective(c.n, c.workers); got != c.want {
+			t.Fatalf("Effective(%d,%d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}

@@ -1,6 +1,53 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// Parallelism of the matrix kernels. Every product here is partitioned
+// into disjoint row panels of the output, and each panel is computed
+// with exactly the instruction sequence of the serial kernel, so the
+// parallel results are bit-identical to serial at any worker count. The
+// knob therefore defaults to the whole machine.
+var matmulWorkers atomic.Int64
+
+// gemmMinFlopsPerWorker is the serial-fallback threshold: a product is
+// split only into panels worth at least this many multiply-adds, so
+// small products (where goroutine handoff would dominate) stay on the
+// inline serial path. A var, not a const, so tests can force the
+// parallel path on tiny shapes.
+var gemmMinFlopsPerWorker = 64 * 1024
+
+func init() { matmulWorkers.Store(int64(parallel.Auto())) }
+
+// SetParallelism bounds the worker goroutines the matrix kernels may
+// use. Values below 1 force the serial path. It is safe to call
+// concurrently with running kernels; in-flight products finish with the
+// worker count they started with.
+func SetParallelism(n int) { matmulWorkers.Store(int64(parallel.Workers(n))) }
+
+// Parallelism returns the current matrix-kernel worker bound.
+func Parallelism() int { return int(matmulWorkers.Load()) }
+
+// kernelWorkers sizes the pool for an [m,n] output costing flops
+// multiply-adds: never more workers than output rows, and at least
+// gemmMinFlopsPerWorker of work per worker.
+func kernelWorkers(rows, flops int) int {
+	w := Parallelism()
+	if byWork := flops / gemmMinFlopsPerWorker; byWork < w {
+		w = byWork
+	}
+	if w > rows {
+		w = rows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // MatMul returns C = A·B for A of shape [m,k] and B of shape [k,n].
 // The inner loop is ordered i-k-j so B is walked row-contiguously, which
@@ -33,13 +80,27 @@ func gemmDims(a, b *Tensor) (m, k, n int) {
 	return m, k, b.Dim(1)
 }
 
+// gemm computes C (+)= A·B, fanning row panels of C out across the
+// worker pool when the product is large enough to pay for it. Workers
+// own disjoint row panels and each row is produced by the same
+// float64 operation sequence as the serial kernel, so results do not
+// depend on the worker count.
 func gemm(c, a, b []float64, m, k, n int, accumulate bool) {
+	workers := kernelWorkers(m, m*k*n)
+	parallel.For(m, workers, func(_, lo, hi int) {
+		gemmRows(c, a, b, lo, hi, k, n, accumulate)
+	})
+}
+
+// gemmRows is the serial kernel over the row panel [lo,hi) of C.
+func gemmRows(c, a, b []float64, lo, hi, k, n int, accumulate bool) {
 	if !accumulate {
-		for i := range c[:m*n] {
-			c[i] = 0
+		panel := c[lo*n : hi*n]
+		for i := range panel {
+			panel[i] = 0
 		}
 	}
-	for i := 0; i < m; i++ {
+	for i := lo; i < hi; i++ {
 		arow := a[i*k : i*k+k]
 		crow := c[i*n : i*n+n]
 		for kk, av := range arow {
@@ -55,26 +116,33 @@ func gemm(c, a, b []float64, m, k, n int, accumulate bool) {
 }
 
 // MatMulTA returns C = Aᵀ·B for A of shape [k,m] and B of shape [k,n];
-// the weight-gradient product of a dense layer backward pass.
+// the weight-gradient product of a dense layer backward pass. Row panels
+// of C (columns of A) are independent, and every C row accumulates its
+// kk terms in ascending order exactly as the serial kernel does, so the
+// parallel path is bit-identical.
 func MatMulTA(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(0) != b.Dim(0) {
 		panic(fmt.Sprintf("tensor: MatMulTA shape mismatch %v × %v", a.Shape(), b.Shape()))
 	}
 	k, m, n := a.Dim(0), a.Dim(1), b.Dim(1)
 	c := New(m, n)
-	for kk := 0; kk < k; kk++ {
-		arow := a.data[kk*m : kk*m+m]
-		brow := b.data[kk*n : kk*n+n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := c.data[i*n : i*n+n]
-			for j, bv := range brow {
-				crow[j] += av * bv
+	workers := kernelWorkers(m, m*k*n)
+	parallel.For(m, workers, func(_, lo, hi int) {
+		for kk := 0; kk < k; kk++ {
+			arow := a.data[kk*m : kk*m+m]
+			brow := b.data[kk*n : kk*n+n]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := c.data[i*n : i*n+n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return c
 }
 
@@ -86,18 +154,21 @@ func MatMulTB(a, b *Tensor) *Tensor {
 	}
 	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
 	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : i*k+k]
-		crow := c.data[i*n : i*n+n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : j*k+k]
-			s := 0.0
-			for kk, av := range arow {
-				s += av * brow[kk]
+	workers := kernelWorkers(m, m*k*n)
+	parallel.For(m, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : i*k+k]
+			crow := c.data[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				brow := b.data[j*k : j*k+k]
+				s := 0.0
+				for kk, av := range arow {
+					s += av * brow[kk]
+				}
+				crow[j] = s
 			}
-			crow[j] = s
 		}
-	}
+	})
 	return c
 }
 
@@ -108,13 +179,16 @@ func MatVec(a, x *Tensor) *Tensor {
 	}
 	m, n := a.Dim(0), a.Dim(1)
 	y := New(m)
-	for i := 0; i < m; i++ {
-		row := a.data[i*n : i*n+n]
-		s := 0.0
-		for j, v := range row {
-			s += v * x.data[j]
+	workers := kernelWorkers(m, m*n)
+	parallel.For(m, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.data[i*n : i*n+n]
+			s := 0.0
+			for j, v := range row {
+				s += v * x.data[j]
+			}
+			y.data[i] = s
 		}
-		y.data[i] = s
-	}
+	})
 	return y
 }

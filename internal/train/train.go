@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 )
 
 // Optimizer updates network parameters from the accumulated gradients of
@@ -103,6 +104,14 @@ type Config struct {
 	Seed int64
 	// Verbose writes one line per epoch to Logf when set.
 	Logf func(format string, args ...any)
+	// Parallelism is the number of worker goroutines each minibatch's
+	// gradient accumulation fans out across, every worker forwarding and
+	// backpropagating its contiguous slice of the batch on its own clone
+	// of the network. Values <= 1 keep the exact serial path. The
+	// parallel path is deterministic for a fixed Seed and Parallelism
+	// (workers merge in index order) but is not bit-identical to serial,
+	// because per-sample gradient additions associate differently.
+	Parallelism int
 }
 
 // Result summarises a training run.
@@ -132,6 +141,21 @@ func Fit(net *nn.Network, ds *data.Dataset, cfg Config) (Result, error) {
 	for i := range order {
 		order[i] = i
 	}
+
+	// Per-worker network clones for minibatch-parallel gradient
+	// accumulation, created once and re-synced from the main network
+	// after every optimizer step.
+	workers := parallel.Effective(cfg.BatchSize, parallel.Workers(cfg.Parallelism))
+	var clones []*nn.Network
+	var workerLoss []float64
+	if workers > 1 {
+		clones = make([]*nn.Network, workers)
+		for w := range clones {
+			clones[w] = net.Clone()
+		}
+		workerLoss = make([]float64, workers)
+	}
+
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -142,11 +166,38 @@ func Fit(net *nn.Network, ds *data.Dataset, cfg Config) (Result, error) {
 				end = len(order)
 			}
 			net.ZeroGrad()
-			for _, idx := range order[start:end] {
-				s := ds.Samples[idx]
-				loss, dLogits := nn.SoftmaxCrossEntropy(net.Forward(s.X), s.Label)
-				net.Backward(dLogits)
-				epochLoss += loss
+			batch := order[start:end]
+			if workers > 1 {
+				for _, c := range clones {
+					c.SyncParamsFrom(net)
+					c.ZeroGrad()
+				}
+				for w := range workerLoss {
+					workerLoss[w] = 0
+				}
+				parallel.For(len(batch), workers, func(w, lo, hi int) {
+					for _, idx := range batch[lo:hi] {
+						s := ds.Samples[idx]
+						loss, dLogits := nn.SoftmaxCrossEntropy(clones[w].Forward(s.X), s.Label)
+						clones[w].Backward(dLogits)
+						workerLoss[w] += loss
+					}
+				})
+				// Merge in worker (= batch) order: deterministic for a
+				// fixed Seed and Parallelism.
+				for _, c := range clones {
+					net.AddGradsFrom(c)
+				}
+				for _, l := range workerLoss {
+					epochLoss += l
+				}
+			} else {
+				for _, idx := range batch {
+					s := ds.Samples[idx]
+					loss, dLogits := nn.SoftmaxCrossEntropy(net.Forward(s.X), s.Label)
+					net.Backward(dLogits)
+					epochLoss += loss
+				}
 			}
 			cfg.Optimizer.Step(net, end-start)
 		}

@@ -1,0 +1,72 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+func parallelTestbed(t *testing.T) (*nn.Network, *data.Dataset) {
+	t.Helper()
+	net, err := models.CIFAR(16, 16, 0.05).Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, data.Objects(90, 16, 16, 11)
+}
+
+func fitOnce(t *testing.T, parallelism int) *nn.Network {
+	t.Helper()
+	net, ds := parallelTestbed(t)
+	_, err := Fit(net, ds, Config{
+		Epochs:      2,
+		BatchSize:   16,
+		Optimizer:   NewAdam(0.002),
+		Seed:        5,
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestFitParallelDeterministic: the parallel trainer must be a pure
+// function of (seed, parallelism) — two runs at the same worker count
+// produce bit-identical parameters.
+func TestFitParallelDeterministic(t *testing.T) {
+	a := fitOnce(t, 4)
+	b := fitOnce(t, 4)
+	for i := 0; i < a.NumParams(); i++ {
+		if a.ParamAt(i) != b.ParamAt(i) {
+			t.Fatalf("param %d differs between identical parallel runs: %v vs %v",
+				i, a.ParamAt(i), b.ParamAt(i))
+		}
+	}
+}
+
+// TestFitParallelConverges: the parallel trainer must actually learn —
+// same testbed, same budget, accuracy in the same band as serial.
+func TestFitParallelConverges(t *testing.T) {
+	serial := fitOnce(t, 1)
+	par := fitOnce(t, 4)
+	_, ds := parallelTestbed(t)
+	accSerial, accPar := Accuracy(serial, ds), Accuracy(par, ds)
+	if accPar < accSerial-0.15 {
+		t.Fatalf("parallel training accuracy %.3f far below serial %.3f", accPar, accSerial)
+	}
+}
+
+// TestFitParallelismOneIsSerialPath: Parallelism 1 and 0 must both take
+// the exact serial path and produce bit-identical results.
+func TestFitParallelismOneIsSerialPath(t *testing.T) {
+	a := fitOnce(t, 0)
+	b := fitOnce(t, 1)
+	for i := 0; i < a.NumParams(); i++ {
+		if a.ParamAt(i) != b.ParamAt(i) {
+			t.Fatalf("param %d differs between Parallelism 0 and 1", i)
+		}
+	}
+}

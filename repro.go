@@ -94,6 +94,10 @@ type TrainConfig struct {
 	BatchSize int     // default 16
 	LR        float64 // default 0.002 (Adam)
 	Seed      int64
+	// Parallelism fans each minibatch's gradient accumulation out
+	// across this many workers; <= 1 is serial. Deterministic for a
+	// fixed (Seed, Parallelism).
+	Parallelism int
 }
 
 // Train fits the network on the dataset with Adam and softmax
@@ -109,10 +113,11 @@ func Train(net *Network, ds *Dataset, cfg TrainConfig) (float64, error) {
 		cfg.LR = 0.002
 	}
 	res, err := train.Fit(net, ds, train.Config{
-		Epochs:    cfg.Epochs,
-		BatchSize: cfg.BatchSize,
-		Optimizer: train.NewAdam(cfg.LR),
-		Seed:      cfg.Seed,
+		Epochs:      cfg.Epochs,
+		BatchSize:   cfg.BatchSize,
+		Optimizer:   train.NewAdam(cfg.LR),
+		Seed:        cfg.Seed,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return 0, err
@@ -195,6 +200,12 @@ func AttackRandom(net *Network, count int, sigma float64, seed int64) (*Perturba
 func AttackBitFlip(net *Network, count int, seed int64) (*Perturbation, error) {
 	return attack.BitFlip(net, count, rand.New(rand.NewSource(seed)))
 }
+
+// SetKernelParallelism bounds the worker goroutines the tensor matrix
+// kernels may use (default: the whole machine). The kernels partition
+// output rows, so results are bit-identical at any setting; values
+// below 1 force fully serial kernels.
+var SetKernelParallelism = tensor.SetParallelism
 
 // Serve hosts the network as a black-box IP on the listener; see
 // validate.Serve.
