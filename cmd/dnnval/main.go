@@ -29,7 +29,6 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/parallel"
-	"repro/internal/tensor"
 	"repro/internal/train"
 	"repro/internal/validate"
 )
@@ -65,14 +64,6 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: dnnval {train|generate|attack|validate|serve|info} [flags]")
 	os.Exit(2)
-}
-
-// splitKernelParallelism divides the machine between the outer worker
-// pool (-parallel) and the tensor kernels beneath it, so nested fan-out
-// cannot oversubscribe the CPU: a serial outer loop gets whole-machine
-// kernels, a whole-machine outer pool gets serial kernels.
-func splitKernelParallelism(outer int) {
-	tensor.SetParallelism(max(1, parallel.Auto()/parallel.Workers(outer)))
 }
 
 func loadModel(path string) (*nn.Network, error) {
@@ -117,7 +108,6 @@ func cmdTrain(args []string) error {
 	par := fs.Int("parallel", 1, "training worker goroutines; the default 1 keeps the model a machine-independent function of -seed, >1 is deterministic per (seed, parallel) but depends on the chosen worker count")
 	out := fs.String("o", "model.gob", "output model file")
 	fs.Parse(args)
-	splitKernelParallelism(*par)
 
 	var a models.Arch
 	var ds *data.Dataset
@@ -160,10 +150,10 @@ func cmdGenerate(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	method := fs.String("method", "combined", "generator: combined, select, gradient")
 	par := fs.Int("parallel", parallel.Auto(), "worker goroutines (suite is bit-identical at any value)")
+	batch := fs.Int("batch", 0, "evaluation batch size per worker: 0 = default, 1 = per-sample (suite is bit-identical at any value)")
 	key := fs.String("key", "", "seal the suite with this key (hex-free shared secret)")
 	out := fs.String("o", "suite.bin", "output suite file")
 	fs.Parse(args)
-	splitKernelParallelism(*par)
 
 	network, err := loadModel(*model)
 	if err != nil {
@@ -177,6 +167,7 @@ func cmdGenerate(args []string) error {
 	opts.Coverage = coverage.DefaultConfig(network)
 	opts.Seed = *seed
 	opts.Parallelism = *par
+	opts.Batch = *batch
 
 	var res *core.Result
 	switch *method {

@@ -15,12 +15,10 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"time"
 
 	"repro/internal/attack"
 	"repro/internal/experiments"
-	"repro/internal/tensor"
 	"repro/internal/validate"
 )
 
@@ -33,14 +31,10 @@ func main() {
 	budget := flag.Int("budget", 60, "test budget for the Fig. 3 curves")
 	probes := flag.Int("probes", 100, "probe images per Fig. 2 set")
 	par := flag.Int("parallel", 0, "worker goroutines for training and generation (0 = serial training + whole-machine generation; generated suites are bit-identical at any value)")
+	batch := flag.Int("batch", 0, "evaluation batch size per worker for suite generation (0 = default batch, 1 = per-sample; suites are bit-identical at any value)")
 	flag.Parse()
 
 	start := time.Now()
-	if *par > 0 {
-		// Split the machine between the outer worker pools and the tensor
-		// kernels beneath them so nested fan-out cannot oversubscribe.
-		tensor.SetParallelism(max(1, runtime.NumCPU() / *par))
-	}
 	mp, cp := experiments.DefaultMNISTParams(), experiments.DefaultCIFARParams()
 	if *fast {
 		mp, cp = experiments.FastMNISTParams(), experiments.FastCIFARParams()
@@ -55,6 +49,7 @@ func main() {
 		}
 	}
 	mp.Parallelism, cp.Parallelism = *par, *par
+	mp.Batch, cp.Batch = *batch, *batch
 
 	fmt.Println("== Reproduction of: On Functional Test Generation for DNN IPs (DATE 2019) ==")
 	fmt.Printf("configuration: fast=%v trials=%d budget=%d probes=%d\n\n", *fast, *trials, *budget, *probes)

@@ -32,6 +32,14 @@ func benchOpts(n, workers int) Options {
 	return opts
 }
 
+// benchBatchOpts additionally pins the evaluation batch size; batch 1 is
+// the per-sample reference path.
+func benchBatchOpts(n, workers, batch int) Options {
+	opts := benchOpts(n, workers)
+	opts.Batch = batch
+	return opts
+}
+
 // benchSelect measures Algorithm 1 suite generation end to end
 // (activation precompute + greedy selection) at a fixed worker count.
 func benchSelect(b *testing.B, workers int) {
@@ -74,22 +82,82 @@ func benchCombined(b *testing.B, workers int) {
 func BenchmarkCombinedSerial(b *testing.B)   { benchCombined(b, 1) }
 func BenchmarkCombinedParallel(b *testing.B) { benchCombined(b, parallel.Auto()) }
 
-func benchParamSets(b *testing.B, workers int) {
+func benchParamSets(b *testing.B, workers, batch int) {
 	bed := benchBed()
 	cfg := coverage.DefaultConfig(bed.net)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sets := coverage.ParamSetsParallel(bed.net, bed.ds, cfg, workers)
+		sets := coverage.ParamSetsParallel(bed.net, bed.ds, cfg, workers, batch)
 		if len(sets) != bed.ds.Len() {
 			b.Fatal("bad sets")
 		}
 	}
 }
 
-// BenchmarkParamSetsSerial vs ...Parallel isolates the dominant cost of
-// Algorithm 1: one forward/backward pass per candidate.
-func BenchmarkParamSetsSerial(b *testing.B)   { benchParamSets(b, 1) }
-func BenchmarkParamSetsParallel(b *testing.B) { benchParamSets(b, parallel.Auto()) }
+// BenchmarkParamSetsSerial is the fully serial reference (one worker,
+// per-sample). The PerSample vs Batched pair is the headline comparison
+// for the batched engine on the coverage hot loop — identical
+// (whole-machine) worker count, batch 1 vs the default evaluation
+// batch; PerSample doubles as the parallel-workers measurement.
+func BenchmarkParamSetsSerial(b *testing.B)    { benchParamSets(b, 1, 1) }
+func BenchmarkParamSetsPerSample(b *testing.B) { benchParamSets(b, parallel.Auto(), 1) }
+func BenchmarkParamSetsBatched(b *testing.B) {
+	benchParamSets(b, parallel.Auto(), coverage.DefaultBatch)
+}
+
+// BenchmarkParamSetsSerialBatched measures the batched engine without
+// worker fan-out: the speedup here is pure GEMM batching.
+func BenchmarkParamSetsSerialBatched(b *testing.B) {
+	benchParamSets(b, 1, coverage.DefaultBatch)
+}
+
+// BenchmarkSelectPerSample vs ...Batched covers Algorithm 1 end to end
+// (activation precompute + lazy-greedy selection) at the two batch
+// settings.
+func BenchmarkSelectPerSample(b *testing.B) {
+	benchSelectOpts(b, benchBatchOpts(20, parallel.Auto(), 1))
+}
+func BenchmarkSelectBatched(b *testing.B) {
+	benchSelectOpts(b, benchBatchOpts(20, parallel.Auto(), coverage.DefaultBatch))
+}
+
+func benchSelectOpts(b *testing.B, opts Options) {
+	bed := benchBed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SelectFromTraining(bed.net, bed.ds, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tests) != opts.MaxTests {
+			b.Fatal("bad suite")
+		}
+	}
+}
+
+// BenchmarkSynthesisPerSample vs ...Batched isolates Algorithm 2's
+// gradient-descent loop, whose forward/backward passes fuse into batched
+// GEMMs across the per-class inputs.
+func BenchmarkSynthesisPerSample(b *testing.B) {
+	benchSynthesisOpts(b, benchBatchOpts(20, parallel.Auto(), 1))
+}
+func BenchmarkSynthesisBatched(b *testing.B) {
+	benchSynthesisOpts(b, benchBatchOpts(20, parallel.Auto(), coverage.DefaultBatch))
+}
+
+func benchSynthesisOpts(b *testing.B, opts Options) {
+	bed := benchBed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := GradientGenerate(bed.net, []int{1, 12, 12}, 10, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tests) != 20 {
+			b.Fatal("bad suite")
+		}
+	}
+}
 
 func benchSynthesis(b *testing.B, workers int) {
 	bed := benchBed()

@@ -78,17 +78,30 @@ type Options struct {
 	// as in Fig. 3.
 	StopOnZeroGain bool
 	// Parallelism is the number of worker goroutines candidate
-	// evaluation fans out across: per-sample activation extraction, the
-	// greedy argmax scan, and per-class synthesis all split their work,
-	// each worker on its own clone of the network. Values <= 1 run
-	// serially. Every parallel path is bit-identical to the serial one
-	// for a fixed Seed, so this is purely a speed knob.
+	// evaluation fans out across: activation extraction and per-class
+	// synthesis split their work, each worker on its own clone of the
+	// network. Values <= 1 run serially. Every parallel path is
+	// bit-identical to the serial one for a fixed Seed, so this is
+	// purely a speed knob.
 	Parallelism int
+	// Batch is the evaluation batch size within each worker: activation
+	// extraction and synthesis stack up to Batch inputs and run the
+	// batched forward/backward engine on them, turning per-sample matrix
+	// products into large per-layer GEMMs. Zero selects per-workload
+	// defaults — synthesis runs at coverage.DefaultBatch (its batched
+	// input-only backward measures ~20% faster), while activation
+	// extraction stays per-sample (its per-sample ∇θ backward dominates
+	// and measures no win from batching); 1 forces the per-sample path
+	// everywhere; larger values apply to both workloads. Batched
+	// evaluation is bit-identical to per-sample at any size, so this too
+	// is purely a speed knob.
+	Batch int
 }
 
 // DefaultOptions returns the options used throughout the evaluation.
-// Parallelism defaults to the whole machine; the generators produce the
-// same suite at any setting.
+// Parallelism defaults to the whole machine and Batch to the
+// per-workload defaults; the generators produce the same suite at any
+// setting.
 func DefaultOptions(maxTests int) Options {
 	return Options{
 		MaxTests:    maxTests,
@@ -101,6 +114,26 @@ func DefaultOptions(maxTests int) Options {
 
 // workers resolves the Parallelism knob.
 func (o Options) workers() int { return parallel.Workers(o.Parallelism) }
+
+// extractionBatch resolves the Batch knob for activation extraction:
+// per-sample unless an explicit batch was requested (negatives mean
+// "unset", like zero).
+func (o Options) extractionBatch() int {
+	if o.Batch <= 0 {
+		return 1
+	}
+	return o.Batch
+}
+
+// synthesisBatch resolves the Batch knob for input synthesis: the
+// default evaluation batch unless an explicit batch was requested
+// (negatives mean "unset", like zero).
+func (o Options) synthesisBatch() int {
+	if o.Batch <= 0 {
+		return coverage.DefaultBatch
+	}
+	return o.Batch
+}
 
 func (o Options) validate() error {
 	if o.MaxTests <= 0 {
@@ -147,8 +180,9 @@ func (r *Result) add(x *tensor.Tensor, label int, src Source, cov float64) {
 // SelectFromTraining implements Algorithm 1: iteratively add the
 // training sample with the largest marginal validation-coverage gain
 // (Eq. 7). Per-sample activation sets are computed once up front (fanned
-// out across opts.Parallelism workers); each greedy iteration is then
-// pure bitset algebra, itself scanned in parallel.
+// out across opts.Parallelism workers, batched within each); the greedy
+// iterations then run on a lazy-greedy priority queue whose picks are
+// bit-identical to a serial left-to-right rescan.
 func SelectFromTraining(net *nn.Network, train *data.Dataset, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -157,13 +191,14 @@ func SelectFromTraining(net *nn.Network, train *data.Dataset, opts Options) (*Re
 		return nil, fmt.Errorf("core: empty training set")
 	}
 	workers := opts.workers()
-	sets := coverage.ParamSetsParallel(net, train, opts.Coverage, workers)
+	sets := coverage.ParamSetsParallel(net, train, opts.Coverage, workers, opts.extractionBatch())
 	acc := coverage.NewAccumulator(net.NumParams())
 	used := make([]bool, train.Len())
+	scan := newGreedyScanner(sets, acc, workers)
 	res := &Result{SwitchPoint: -1}
 
 	for len(res.Tests) < opts.MaxTests {
-		best, bestGain := bestCandidate(sets, used, acc, workers)
+		best, bestGain := scan.next(acc, used)
 		if best < 0 {
 			break // training set exhausted
 		}
@@ -178,44 +213,10 @@ func SelectFromTraining(net *nn.Network, train *data.Dataset, opts Options) (*Re
 	return res, nil
 }
 
-// minScanPerWorker keeps the greedy argmax scan serial until there are
-// enough candidates per worker for the fan-out to pay for itself. A
-// var, not a const, so tests can force the parallel path on small sets.
-var minScanPerWorker = 256
-
-// bestCandidate returns the unused candidate with the largest marginal
-// gain over acc, and that gain; (-1, -1) when every candidate is used.
-// The scan is partitioned into contiguous chunks; each chunk keeps the
-// first of its equal-gain maxima and the merge walks chunks in index
-// order preferring strictly larger gains, so ties resolve to the lowest
-// index — exactly the serial left-to-right scan's answer.
-func bestCandidate(sets []*bitset.Set, used []bool, acc *coverage.Accumulator, workers int) (int, int) {
-	if byWork := len(sets) / minScanPerWorker; byWork < workers {
-		workers = byWork
-	}
-	workers = parallel.Effective(len(sets), workers)
-	if workers <= 1 {
-		return bestCandidateRange(sets, used, acc, 0, len(sets))
-	}
-	bests := make([]int, workers)
-	gains := make([]int, workers)
-	for w := range bests {
-		// "no candidate", should a worker ever not run; the merge must
-		// never mistake an unwritten slot for candidate 0 with gain 0.
-		bests[w], gains[w] = -1, -1
-	}
-	parallel.For(len(sets), workers, func(w, lo, hi int) {
-		bests[w], gains[w] = bestCandidateRange(sets, used, acc, lo, hi)
-	})
-	best, bestGain := -1, -1
-	for w := 0; w < workers; w++ {
-		if bests[w] >= 0 && gains[w] > bestGain {
-			best, bestGain = bests[w], gains[w]
-		}
-	}
-	return best, bestGain
-}
-
+// bestCandidateRange is the serial left-to-right reference scan over
+// [lo,hi): the unused candidate with the largest gain, ties to the
+// lowest index. The greedy scanner must match it pick for pick; tests
+// hold the two against each other.
 func bestCandidateRange(sets []*bitset.Set, used []bool, acc *coverage.Accumulator, lo, hi int) (int, int) {
 	best, bestGain := -1, -1
 	for i := lo; i < hi; i++ {
@@ -279,21 +280,64 @@ func synthSteps(target *nn.Network, x *tensor.Tensor, label int, opts Options) *
 	return x
 }
 
+// synthStepsBatch runs the T gradient steps of Algorithm 2 on a stack
+// of inputs simultaneously, xs[i] targeting class firstLabel+i. Each
+// step is one batched forward/backward pass, so the per-class matrix
+// products fuse into large per-layer GEMMs; every input row evolves by
+// exactly the per-sample operation sequence, so the synthesised inputs
+// are bit-identical to running synthSteps class by class.
+func synthStepsBatch(target *nn.Network, xs []*tensor.Tensor, firstLabel int, opts Options) {
+	x := tensor.Stack(xs)
+	labels := make([]int, len(xs))
+	for i := range labels {
+		labels[i] = firstLabel + i
+	}
+	for t := 0; t < opts.Steps; t++ {
+		logits := target.ForwardBatch(x)
+		_, dLogits := nn.SoftmaxCrossEntropyBatch(logits, labels)
+		// Synthesis never reads parameter gradients, so the input-only
+		// backward skips the dW/db work entirely (the per-sample path
+		// computes and discards it); the dx rows are bit-identical.
+		dx := target.BackwardBatchInput(dLogits)
+		x.AddScaled(-opts.Eta, dx)
+		if opts.Clamp {
+			x.Clamp(0, 1)
+		}
+	}
+	sz := xs[0].Size()
+	for i := range xs {
+		copy(xs[i].Data(), x.Data()[i*sz:(i+1)*sz])
+	}
+}
+
 // synthesizeBatch synthesises one input per class c in [0,classes)
 // against target. The rng draws happen serially in class order — the
 // identical stream to calling Synthesize class by class — and the
 // gradient-descent work then fans out across workers, each on its own
-// clone of target, so the outputs are bit-identical to the serial loop.
+// clone of target and each running its contiguous class chunk through
+// the batched engine, so the outputs are bit-identical to the serial
+// per-class loop at any worker count and batch size.
 func synthesizeBatch(target *nn.Network, inShape []int, classes int, opts Options, rng *rand.Rand) []*tensor.Tensor {
 	xs := make([]*tensor.Tensor, classes)
 	for c := range xs {
 		xs[c] = synthInit(inShape, opts, rng)
 	}
+	bsz := opts.synthesisBatch()
+	run := func(net *nn.Network, lo, hi int) {
+		for s := lo; s < hi; s += bsz {
+			e := min(s+bsz, hi)
+			if bsz <= 1 || e-s == 1 {
+				for c := s; c < e; c++ {
+					synthSteps(net, xs[c], c, opts)
+				}
+				continue
+			}
+			synthStepsBatch(net, xs[s:e], s, opts)
+		}
+	}
 	workers := parallel.Effective(classes, opts.workers())
 	if workers <= 1 {
-		for c := range xs {
-			synthSteps(target, xs[c], c, opts)
-		}
+		run(target, 0, classes)
 		return xs
 	}
 	clones := make([]*nn.Network, workers)
@@ -301,9 +345,7 @@ func synthesizeBatch(target *nn.Network, inShape []int, classes int, opts Option
 		clones[w] = target.Clone()
 	}
 	parallel.For(classes, workers, func(w, lo, hi int) {
-		for c := lo; c < hi; c++ {
-			synthSteps(clones[w], xs[c], c, opts)
-		}
+		run(clones[w], lo, hi)
 	})
 	return xs
 }
@@ -352,7 +394,7 @@ func SynthesisFrom(net *nn.Network, inShape []int, classes int, opts Options, st
 		// worker pool, and the accumulator merge stays in class order.
 		take := min(classes, opts.MaxTests-len(res.Tests))
 		xs := synthesizeBatch(residual, inShape, take, roundOpts, rng)
-		sets := coverage.ParamSetsOf(net, xs, opts.Coverage, opts.workers())
+		sets := coverage.ParamSetsOf(net, xs, opts.Coverage, opts.workers(), opts.extractionBatch())
 		roundGain := 0
 		for c := 0; c < take; c++ {
 			roundGain += acc.Add(sets[c])
@@ -381,13 +423,14 @@ func Combined(net *nn.Network, train *data.Dataset, opts Options) (*Result, erro
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	workers := opts.workers()
-	sets := coverage.ParamSetsParallel(net, train, opts.Coverage, workers)
+	sets := coverage.ParamSetsParallel(net, train, opts.Coverage, workers, opts.extractionBatch())
 	acc := coverage.NewAccumulator(net.NumParams())
 	used := make([]bool, train.Len())
+	scan := newGreedyScanner(sets, acc, workers)
 	res := &Result{SwitchPoint: -1}
 
 	for len(res.Tests) < opts.MaxTests {
-		best, bestGain := bestCandidate(sets, used, acc, workers)
+		best, bestGain := scan.next(acc, used)
 
 		// Probe Algorithm 2 on the current residual network to estimate
 		// its marginal coverage per test (§IV-D's switch criterion). The
@@ -395,7 +438,7 @@ func Combined(net *nn.Network, train *data.Dataset, opts Options) (*Result, erro
 		// probe accumulator merges in class order, as serially.
 		residual := residualNet(net, acc.Set())
 		xs := synthesizeBatch(residual, inShape, classes, opts, rng)
-		probeSets := coverage.ParamSetsOf(net, xs, opts.Coverage, workers)
+		probeSets := coverage.ParamSetsOf(net, xs, opts.Coverage, workers, opts.extractionBatch())
 		probeAcc := acc.Clone()
 		probeGain := 0
 		for c := 0; c < classes; c++ {
@@ -423,7 +466,7 @@ func Combined(net *nn.Network, train *data.Dataset, opts Options) (*Result, erro
 			if err != nil {
 				return nil, err
 			}
-			tailSets := coverage.ParamSetsOf(net, tail.Tests, opts.Coverage, workers)
+			tailSets := coverage.ParamSetsOf(net, tail.Tests, opts.Coverage, workers, opts.extractionBatch())
 			for i := range tail.Tests {
 				acc.Add(tailSets[i])
 				res.add(tail.Tests[i], tail.Labels[i], FromSynthesis, acc.Coverage())
@@ -457,7 +500,7 @@ func RandomSelect(net *nn.Network, train *data.Dataset, opts Options) (*Result, 
 	for j, idx := range picks {
 		xs[j] = train.Samples[idx].X
 	}
-	sets := coverage.ParamSetsOf(net, xs, opts.Coverage, opts.workers())
+	sets := coverage.ParamSetsOf(net, xs, opts.Coverage, opts.workers(), opts.extractionBatch())
 	for j, idx := range picks {
 		s := train.Samples[idx]
 		acc.Add(sets[j])
@@ -484,10 +527,11 @@ func NeuronGreedy(net *nn.Network, train *data.Dataset, ncfg coverage.NeuronConf
 	nNeurons := coverage.NumNeurons(net, inShape)
 	workers := opts.workers()
 
-	neuronSets := coverage.NeuronSets(net, train, ncfg, workers)
+	neuronSets := coverage.NeuronSets(net, train, ncfg, workers, opts.extractionBatch())
 	used := make([]bool, train.Len())
 	nAcc := coverage.NewAccumulator(nNeurons)
 	pAcc := coverage.NewAccumulator(net.NumParams())
+	scan := newGreedyScanner(neuronSets, nAcc, workers)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res := &Result{SwitchPoint: -1}
 
@@ -500,7 +544,7 @@ func NeuronGreedy(net *nn.Network, train *data.Dataset, ncfg coverage.NeuronConf
 	}
 
 	for len(res.Tests) < opts.MaxTests {
-		best, bestGain := bestCandidate(neuronSets, used, nAcc, workers)
+		best, bestGain := scan.next(nAcc, used)
 		if best < 0 || bestGain == 0 {
 			break // neuron coverage saturated
 		}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/bitset"
+	"repro/internal/coverage"
+	"repro/internal/parallel"
+)
+
+// greedyScanner implements lazy-greedy (CELF) candidate selection for
+// the submodular coverage objective. The naive selector rescans every
+// unused candidate each iteration — O(N·budget) bitset work; the scanner
+// keeps candidates in a max-heap of cached marginal gains. Because the
+// covered set only grows, a cached gain can only overstate the true
+// gain, so popping the heap top, recomputing its gain and re-inserting
+// until a freshly-computed entry surfaces yields the exact greedy pick
+// in O(N + budget·log N) typical work.
+//
+// Ties resolve to the lowest candidate index, exactly like the serial
+// left-to-right scan: the heap orders equal gains by ascending index,
+// and any lower-index candidate whose cached gain ties or beats the
+// eventual winner's is popped — and therefore refreshed and re-ranked —
+// before the winner can surface. Suite selection therefore stays
+// bit-identical to the serial rescan at any worker count.
+type greedyScanner struct {
+	sets    []*bitset.Set
+	entries []scanEntry
+	round   int
+}
+
+// scanEntry is one candidate with its cached marginal gain; the gain is
+// exact when round matches the scanner's current selection round.
+type scanEntry struct {
+	gain, idx, round int
+}
+
+// newGreedyScanner builds the scanner over the candidate activation
+// sets, computing the initial exact gains against acc fanned out across
+// workers.
+func newGreedyScanner(sets []*bitset.Set, acc *coverage.Accumulator, workers int) *greedyScanner {
+	g := &greedyScanner{
+		sets:    sets,
+		entries: make([]scanEntry, len(sets)),
+	}
+	workers = parallel.Effective(len(sets), parallel.Workers(workers))
+	parallel.For(len(sets), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.entries[i] = scanEntry{gain: acc.Gain(sets[i]), idx: i, round: 0}
+		}
+	})
+	heap.Init(g)
+	return g
+}
+
+// next returns the unused candidate with the largest marginal gain over
+// acc (ties to the lowest index) and that gain, or (-1, -1) when every
+// candidate is used. The caller is expected to mark the returned
+// candidate used and add its set to acc — next assumes acc has only
+// grown between calls.
+func (g *greedyScanner) next(acc *coverage.Accumulator, used []bool) (int, int) {
+	for len(g.entries) > 0 {
+		e := g.entries[0]
+		if used[e.idx] {
+			heap.Pop(g)
+			continue
+		}
+		if e.round == g.round {
+			// Fresh gain at the top: every other candidate's cached gain
+			// is an upper bound that ranks at or below this entry, so
+			// this is the serial scan's pick.
+			heap.Pop(g)
+			g.round++
+			return e.idx, e.gain
+		}
+		e.gain = acc.Gain(g.sets[e.idx])
+		e.round = g.round
+		g.entries[0] = e
+		heap.Fix(g, 0)
+	}
+	return -1, -1
+}
+
+// heap.Interface: a max-heap on gain, ties broken by ascending index so
+// equal-gain candidates surface in serial scan order.
+func (g *greedyScanner) Len() int { return len(g.entries) }
+func (g *greedyScanner) Less(i, j int) bool {
+	a, b := g.entries[i], g.entries[j]
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	return a.idx < b.idx
+}
+func (g *greedyScanner) Swap(i, j int) { g.entries[i], g.entries[j] = g.entries[j], g.entries[i] }
+func (g *greedyScanner) Push(x any)    { g.entries = append(g.entries, x.(scanEntry)) }
+func (g *greedyScanner) Pop() any {
+	old := g.entries
+	n := len(old)
+	e := old[n-1]
+	g.entries = old[:n-1]
+	return e
+}

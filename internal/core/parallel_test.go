@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/coverage"
@@ -50,6 +51,65 @@ func parallelOpts(n, workers int) Options {
 	opts.Steps = 8
 	opts.Parallelism = workers
 	return opts
+}
+
+// TestSuiteBatchBitIdentical is the batched-engine counterpart of the
+// worker-count tests: for every generator, the suite produced with
+// batched evaluation must equal the per-sample serial suite bit for bit
+// at B ∈ {1, 8, odd} and worker counts {1, 4}.
+func TestSuiteBatchBitIdentical(t *testing.T) {
+	net := trainedDigitsNet()
+	ds := digitsTrainSet()
+	inShape := []int{1, 12, 12}
+
+	serialOpts := parallelOpts(10, 1)
+	serialOpts.Batch = 1 // per-sample reference path
+
+	type gen struct {
+		name string
+		run  func(Options) (*Result, error)
+	}
+	gens := []gen{
+		{"SelectFromTraining", func(o Options) (*Result, error) { return SelectFromTraining(net, ds, o) }},
+		{"Combined", func(o Options) (*Result, error) { return Combined(net, ds, o) }},
+		{"GradientGenerate", func(o Options) (*Result, error) { return GradientGenerate(net, inShape, 10, o) }},
+	}
+	for _, g := range gens {
+		serial, err := g.run(serialOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			for _, batch := range []int{1, 5, 8, 32} {
+				opts := parallelOpts(10, workers)
+				opts.Batch = batch
+				got, err := g.run(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resultsBitIdentical(t, fmt.Sprintf("%s workers=%d batch=%d", g.name, workers, batch), got, serial)
+			}
+		}
+	}
+
+	// NeuronGreedy separately (extra config): its batched neuron-set
+	// extraction must also be bit-identical to the per-sample path.
+	ncfg := coverage.NeuronConfig{}
+	serial, err := NeuronGreedy(net, ds, ncfg, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		for _, batch := range []int{5, 8, 32} {
+			opts := parallelOpts(10, workers)
+			opts.Batch = batch
+			got, err := NeuronGreedy(net, ds, ncfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsBitIdentical(t, fmt.Sprintf("NeuronGreedy workers=%d batch=%d", workers, batch), got, serial)
+		}
+	}
 }
 
 func TestSelectFromTrainingParallelBitIdentical(t *testing.T) {
@@ -139,35 +199,59 @@ func TestNeuronGreedyParallelBitIdentical(t *testing.T) {
 	resultsBitIdentical(t, "NeuronGreedy", par, serial)
 }
 
-// TestBestCandidateMatchesSerialScan drives the parallel argmax helper
-// directly over a crafted tie-heavy input: ties must resolve to the
-// lowest index at every worker count, like a serial left-to-right scan.
-func TestBestCandidateMatchesSerialScan(t *testing.T) {
+// TestGreedyScannerMatchesSerialScan drives the lazy-greedy priority
+// queue to exhaustion over a tie-heavy candidate set: every pick must
+// match the serial left-to-right rescan, including resolving equal
+// gains to the lowest index, at several init worker counts.
+func TestGreedyScannerMatchesSerialScan(t *testing.T) {
 	net := trainedDigitsNet()
 	ds := data.Digits(40, 12, 12, 55)
 	sets := coverage.ParamSets(net, ds, coverage.Config{})
-	used := make([]bool, len(sets))
-	acc := coverage.NewAccumulator(net.NumParams())
 
-	// Drop the serial-fallback threshold so the parallel scan actually
-	// runs on this small candidate set.
-	prev := minScanPerWorker
-	minScanPerWorker = 1
-	t.Cleanup(func() { minScanPerWorker = prev })
-
-	for round := 0; round < 10; round++ {
-		wantBest, wantGain := bestCandidateRange(sets, used, acc, 0, len(sets))
-		for _, workers := range []int{2, 3, 8, 64} {
-			gotBest, gotGain := bestCandidate(sets, used, acc, workers)
+	for _, workers := range []int{1, 3, 8} {
+		used := make([]bool, len(sets))
+		acc := coverage.NewAccumulator(net.NumParams())
+		scan := newGreedyScanner(sets, acc, workers)
+		for round := 0; ; round++ {
+			wantBest, wantGain := bestCandidateRange(sets, used, acc, 0, len(sets))
+			gotBest, gotGain := scan.next(acc, used)
 			if gotBest != wantBest || gotGain != wantGain {
-				t.Fatalf("round %d workers %d: parallel pick (%d,%d), serial pick (%d,%d)",
+				t.Fatalf("round %d workers %d: lazy pick (%d,%d), serial pick (%d,%d)",
 					round, workers, gotBest, gotGain, wantBest, wantGain)
 			}
+			if wantBest < 0 {
+				break
+			}
+			used[wantBest] = true
+			acc.Add(sets[wantBest])
 		}
-		if wantBest < 0 {
+	}
+}
+
+// TestGreedyScannerSkipsExternallyUsed covers the neuron-greedy shape:
+// candidates marked used outside the scanner must never be returned.
+func TestGreedyScannerSkipsExternallyUsed(t *testing.T) {
+	net := trainedDigitsNet()
+	ds := data.Digits(20, 12, 12, 56)
+	sets := coverage.ParamSets(net, ds, coverage.Config{})
+	used := make([]bool, len(sets))
+	acc := coverage.NewAccumulator(net.NumParams())
+	scan := newGreedyScanner(sets, acc, 1)
+
+	// Mark even candidates used behind the scanner's back.
+	for i := 0; i < len(sets); i += 2 {
+		used[i] = true
+	}
+	for {
+		want, wantGain := bestCandidateRange(sets, used, acc, 0, len(sets))
+		got, gotGain := scan.next(acc, used)
+		if got != want || gotGain != wantGain {
+			t.Fatalf("lazy pick (%d,%d), serial pick (%d,%d)", got, gotGain, want, wantGain)
+		}
+		if want < 0 {
 			break
 		}
-		used[wantBest] = true
-		acc.Add(sets[wantBest])
+		used[want] = true
+		acc.Add(sets[want])
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/data"
 	"repro/internal/nn"
-	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -58,40 +57,79 @@ func NeuronActivation(net *nn.Network, x *tensor.Tensor, cfg NeuronConfig) *bits
 	set := bitset.New(total)
 	idx := 0
 	for _, o := range outs {
-		for _, v := range o.out.Data() {
-			fired := v > cfg.Threshold
-			if o.saturating {
-				fired = math.Abs(v) > cfg.Threshold
-			}
-			if fired {
-				set.Set(idx)
-			}
-			idx++
-		}
+		idx = fillFired(set, idx, o.out.Data(), o.saturating, cfg)
 	}
 	return set
 }
 
-// NeuronSets computes the neuron-activation set of every sample in ds,
-// fanning out across workers with per-worker network clones; the
-// precomputation step of the neuron-greedy baseline. Results are
-// identical to the serial loop at any worker count.
-func NeuronSets(net *nn.Network, ds *data.Dataset, cfg NeuronConfig, workers int) []*bitset.Set {
-	sets := make([]*bitset.Set, ds.Len())
-	workers = parallel.Effective(ds.Len(), parallel.Workers(workers))
-	if workers <= 1 {
-		for i, s := range ds.Samples {
-			sets[i] = NeuronActivation(net, s.X, cfg)
+// fillFired sets one bit per activation value starting at idx and
+// returns the index after the last value; the single definition of the
+// firing criterion, shared by the per-sample and batched extractors so
+// they cannot drift apart.
+func fillFired(set *bitset.Set, idx int, vals []float64, saturating bool, cfg NeuronConfig) int {
+	for _, v := range vals {
+		fired := v > cfg.Threshold
+		if saturating {
+			fired = math.Abs(v) > cfg.Threshold
 		}
-		return sets
+		if fired {
+			set.Set(idx)
+		}
+		idx++
 	}
-	clones := workerClones(net, workers)
-	parallel.For(ds.Len(), workers, func(w, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			sets[i] = NeuronActivation(clones[w], ds.Samples[i].X, cfg)
+	return idx
+}
+
+// NeuronSets computes the neuron-activation set of every sample in ds,
+// fanning out across workers with per-worker network clones and batching
+// within each worker (neuron coverage needs only forward activations, so
+// the whole extraction rides the batched forward pass); the
+// precomputation step of the neuron-greedy baseline. Results are
+// identical to the serial per-sample loop at any worker count and batch
+// size (batch <= 1 forces the per-sample path).
+func NeuronSets(net *nn.Network, ds *data.Dataset, cfg NeuronConfig, workers, batch int) []*bitset.Set {
+	sets := make([]*bitset.Set, ds.Len())
+	input := func(i int) *tensor.Tensor { return ds.Samples[i].X }
+	workerBatches(net, input, ds.Len(), workers, batch, func(clone *nn.Network, xs []*tensor.Tensor, start int) {
+		if len(xs) == 1 {
+			sets[start] = NeuronActivation(clone, xs[0], cfg)
+			return
 		}
+		neuronSetsBatch(clone, xs, cfg, sets[start:start+len(xs)])
 	})
 	return sets
+}
+
+// neuronSetsBatch fills out with each input's fired-neuron set from one
+// batched forward pass. Batched activations are bit-identical to
+// per-sample ones and each sample's bits are filled in the same layer
+// and element order as NeuronActivation, so the sets are identical to
+// the per-sample path.
+func neuronSetsBatch(net *nn.Network, xs []*tensor.Tensor, cfg NeuronConfig, out []*bitset.Set) {
+	type actOut struct {
+		out        *tensor.Tensor
+		saturating bool
+	}
+	var outs []actOut
+	cur := tensor.Stack(xs)
+	for _, l := range net.LayerStack {
+		cur = l.(nn.BatchLayer).ForwardBatch(cur)
+		if a, ok := l.(*nn.Activate); ok {
+			outs = append(outs, actOut{out: cur, saturating: a.Fn.Saturating()})
+		}
+	}
+	total := 0
+	for _, o := range outs {
+		total += o.out.Size() / len(xs)
+	}
+	for b := range xs {
+		set := bitset.New(total)
+		idx := 0
+		for _, o := range outs {
+			idx = fillFired(set, idx, o.out.Sample(b).Data(), o.saturating, cfg)
+		}
+		out[b] = set
+	}
 }
 
 // NeuronCoverage returns the fraction of neurons fired by at least one

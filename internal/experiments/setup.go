@@ -41,6 +41,10 @@ type Params struct {
 	// weights are a function of Seed alone, machine-independent — and
 	// whole-machine generation, which is bit-identical to serial.
 	Parallelism int
+	// Batch, when positive, sets the evaluation batch size of suite
+	// generation (1 forces the per-sample path). Zero keeps the default
+	// batch. Generation is bit-identical at any value.
+	Batch int
 }
 
 // DefaultMNISTParams returns the experiment-quality MNIST-substitute
@@ -85,12 +89,15 @@ type Setup struct {
 
 // GenOptions returns the generator options every experiment driver
 // starts from: the setup's budgeted defaults, honouring the testbed's
-// Parallelism override. Generation is bit-identical at any worker
-// count, so the knob only changes wall-clock time.
+// Parallelism and Batch overrides. Generation is bit-identical at any
+// worker count and batch size, so the knobs only change wall-clock time.
 func (s *Setup) GenOptions(maxTests int) core.Options {
 	opts := core.DefaultOptions(maxTests)
 	if s.Params.Parallelism > 0 {
 		opts.Parallelism = s.Params.Parallelism
+	}
+	if s.Params.Batch > 0 {
+		opts.Batch = s.Params.Batch
 	}
 	return opts
 }

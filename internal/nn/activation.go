@@ -85,6 +85,8 @@ type Activate struct {
 	Fn        Activation
 
 	in, out *tensor.Tensor // cached for the backward pass
+
+	inB, outB *tensor.Tensor // cached batch state of the last ForwardBatch
 }
 
 // NewActivate constructs an activation layer.
@@ -95,6 +97,14 @@ func NewActivate(name string, fn Activation) *Activate {
 // Forward implements Layer.
 func (a *Activate) Forward(x *tensor.Tensor) *tensor.Tensor {
 	a.in = x
+	a.out = a.activate(x)
+	return a.out
+}
+
+// activate returns Fn applied elementwise to x as a new tensor; the
+// shared kernel of the per-sample and batched forward passes (the ops
+// are per-element, so batching cannot change any value).
+func (a *Activate) activate(x *tensor.Tensor) *tensor.Tensor {
 	out := x.Clone()
 	switch a.Fn {
 	case ReLU:
@@ -116,34 +126,36 @@ func (a *Activate) Forward(x *tensor.Tensor) *tensor.Tensor {
 			return leakySlope * v
 		})
 	}
-	a.out = out
 	return out
 }
 
 // Backward implements Layer.
 func (a *Activate) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	return a.backwardWith(dOut, a.in.Data(), a.out.Data())
+}
+
+// backwardWith is the elementwise backward kernel against explicit
+// cached forward slices, shared by the per-sample, batched and
+// per-sample-of-batch paths.
+func (a *Activate) backwardWith(dOut *tensor.Tensor, in, out []float64) *tensor.Tensor {
 	dx := dOut.Clone()
 	dd := dx.Data()
 	switch a.Fn {
 	case ReLU:
-		in := a.in.Data()
 		for i := range dd {
 			if in[i] <= 0 {
 				dd[i] = 0
 			}
 		}
 	case Tanh:
-		out := a.out.Data()
 		for i := range dd {
 			dd[i] *= 1 - out[i]*out[i]
 		}
 	case Sigmoid:
-		out := a.out.Data()
 		for i := range dd {
 			dd[i] *= out[i] * (1 - out[i])
 		}
 	case LeakyReLU:
-		in := a.in.Data()
 		for i := range dd {
 			if in[i] <= 0 {
 				dd[i] *= leakySlope

@@ -1,0 +1,450 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// This file adds the real batch dimension to the engine. Every layer
+// implements BatchLayer: ForwardBatch/BackwardBatch operate on [B, ...]
+// tensors (sample blocks contiguous, row-major), and BackwardSample
+// backpropagates one sample of the last ForwardBatch on its own.
+//
+// The batched paths are *bit-identical* to the per-sample ones:
+//
+//   - Batched products reuse the serial GEMM kernels with the batch
+//     folded into rows or columns, so every output cell is produced by
+//     exactly the per-sample instruction sequence (same accumulation
+//     order, same zero-skips, multiplication operand order immaterial).
+//   - Parameter gradients accumulate across the batch in ascending
+//     sample order, the order of the serial per-sample loop.
+//
+// This is what lets the coverage engine and the suite generators batch
+// candidate evaluation while preserving the bit-identical-suite
+// guarantee established in PR 1, and composes with the worker pool:
+// batch inside a worker, workers across batches.
+
+// BatchLayer is a Layer that can evaluate a whole [B, ...] batch at
+// once. All layers in this package implement it.
+type BatchLayer interface {
+	Layer
+	// ForwardBatch computes the layer output for a [B, ...] batch and
+	// caches whatever the batched backward passes need.
+	ForwardBatch(x *tensor.Tensor) *tensor.Tensor
+	// BackwardBatch consumes the [B, ...] gradient with respect to the
+	// last ForwardBatch's output, accumulates parameter gradients across
+	// the batch in ascending sample order, and returns the [B, ...]
+	// gradient with respect to the input.
+	BackwardBatch(dOut *tensor.Tensor) *tensor.Tensor
+	// BackwardSample backpropagates sample b of the last ForwardBatch:
+	// dOut is that sample's (batchless) output gradient, parameter
+	// gradients accumulate exactly as the per-sample Backward would, and
+	// the sample's input gradient is returned. The coverage extractor
+	// uses it to pull per-sample ∇θ out of one batched forward pass.
+	BackwardSample(b int, dOut *tensor.Tensor) *tensor.Tensor
+	// BackwardBatchInput is BackwardBatch without parameter-gradient
+	// accumulation: the same bit-identical [B, ...] input gradient with
+	// the dW/db work skipped — the right backward for input synthesis,
+	// which never reads parameter gradients.
+	BackwardBatchInput(dOut *tensor.Tensor) *tensor.Tensor
+	// ReleaseBatchState drops whatever per-batch caches the layer keeps
+	// between ForwardBatch and the batched backward passes; the next
+	// ForwardBatch rebuilds them.
+	ReleaseBatchState()
+}
+
+// batchDim returns the leading (batch) dimension of x.
+func batchDim(x *tensor.Tensor, name string) int {
+	if x.Rank() < 2 {
+		panic(fmt.Sprintf("nn: %s batch input must have a leading batch dimension, got %v", name, x.Shape()))
+	}
+	return x.Dim(0)
+}
+
+// ForwardBatch runs the full stack over a [B, ...] batch and returns the
+// [B, classes] logits. Every logits row is bit-identical to Forward on
+// that sample alone.
+func (n *Network) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range n.LayerStack {
+		bl, ok := l.(BatchLayer)
+		if !ok {
+			panic(fmt.Sprintf("nn: layer %s (%T) does not support batched evaluation", l.Name(), l))
+		}
+		x = bl.ForwardBatch(x)
+	}
+	return x
+}
+
+// BackwardBatch propagates a [B, classes] logits gradient through the
+// stack (after a ForwardBatch), accumulating parameter gradients across
+// the batch in ascending sample order — the exact sequence of the serial
+// per-sample loop — and returns the [B, ...] input gradient.
+func (n *Network) BackwardBatch(dLogits *tensor.Tensor) *tensor.Tensor {
+	d := dLogits
+	for i := len(n.LayerStack) - 1; i >= 0; i-- {
+		d = n.LayerStack[i].(BatchLayer).BackwardBatch(d)
+	}
+	return d
+}
+
+// BackwardSample propagates one sample's logits gradient through the
+// stack against the caches of the last ForwardBatch, accumulating that
+// sample's parameter gradients only. Combined with ZeroGrad per sample
+// it yields the same per-sample ∇θ as a per-sample Forward+Backward.
+func (n *Network) BackwardSample(b int, dLogits *tensor.Tensor) *tensor.Tensor {
+	d := dLogits
+	for i := len(n.LayerStack) - 1; i >= 0; i-- {
+		d = n.LayerStack[i].(BatchLayer).BackwardSample(b, d)
+	}
+	return d
+}
+
+// BackwardBatchInput propagates a [B, classes] logits gradient through
+// the stack like BackwardBatch but skips all parameter-gradient work;
+// the returned input gradient is bit-identical. Input synthesis uses it
+// — Algorithm 2 descends on the input and never reads ∇θ.
+func (n *Network) BackwardBatchInput(dLogits *tensor.Tensor) *tensor.Tensor {
+	d := dLogits
+	for i := len(n.LayerStack) - 1; i >= 0; i-- {
+		d = n.LayerStack[i].(BatchLayer).BackwardBatchInput(d)
+	}
+	return d
+}
+
+// ReleaseBatchState drops the per-batch caches the batched passes keep
+// on each layer (im2col matrices, activation inputs/outputs, pooling
+// winner indexes). Call it after a batched workload when the network
+// lives on — serialized, served per-sample — so the last batch's caches
+// do not pin heap; the next ForwardBatch rebuilds them. A pending
+// BackwardBatch/BackwardSample must run before releasing.
+func (n *Network) ReleaseBatchState() {
+	for _, l := range n.LayerStack {
+		if bl, ok := l.(BatchLayer); ok {
+			bl.ReleaseBatchState()
+		}
+	}
+}
+
+// PredictBatch runs one batched forward pass and returns the argmax
+// class of every sample's logits.
+func (n *Network) PredictBatch(x *tensor.Tensor) []int {
+	logits := n.ForwardBatch(x)
+	b := logits.Dim(0)
+	out := make([]int, b)
+	for i := 0; i < b; i++ {
+		out[i] = logits.Sample(i).Argmax()
+	}
+	return out
+}
+
+// --- Conv2D ---
+
+// ForwardBatch implements BatchLayer. The whole batch is lowered with
+// Im2ColBatch into one [C*K*K, B*OutH*OutW] matrix and convolved as a
+// single wide MatMul — the "one large GEMM per layer" the batched
+// engine exists for. Every output column is computed by the per-sample
+// kernel sequence, so the result is bit-identical to per-sample Forward.
+func (c *Conv2D) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC || x.Dim(2) != c.InH || x.Dim(3) != c.InW {
+		panic(fmt.Sprintf("nn: %s expects batch input [B %d %d %d], got %v", c.LayerName, c.InC, c.InH, c.InW, x.Shape()))
+	}
+	b := x.Dim(0)
+	c.batchB = b
+	c.colBatch = tensor.Im2ColBatch(x, c.geom)
+	wide := tensor.MatMul(c.Weight.W, c.colBatch) // [OutC, B*OutH*OutW]
+	hw := c.geom.OutH * c.geom.OutW
+	wd := wide.Data()
+	for o := 0; o < c.OutC; o++ {
+		bias := c.Bias.W.Data()[o]
+		row := wd[o*b*hw : (o+1)*b*hw]
+		for i := range row {
+			row[i] += bias
+		}
+	}
+	// Permute [OutC, B*hw] to [B, OutC, hw] so sample blocks are
+	// contiguous for the next layer; pure data movement.
+	out := tensor.New(b, c.OutC, c.geom.OutH, c.geom.OutW)
+	od := out.Data()
+	for o := 0; o < c.OutC; o++ {
+		for s := 0; s < b; s++ {
+			copy(od[(s*c.OutC+o)*hw:(s*c.OutC+o+1)*hw], wd[(o*b+s)*hw:(o*b+s+1)*hw])
+		}
+	}
+	return out
+}
+
+// ReleaseBatchState implements BatchLayer.
+func (c *Conv2D) ReleaseBatchState() {
+	c.colBatch, c.colScratch, c.batchB = nil, nil, 0
+}
+
+// sampleCol gathers sample b's column block of the cached Im2ColBatch
+// matrix into a contiguous scratch [C*K*K, OutH*OutW] tensor — the exact
+// matrix Im2Col produces for that sample, restored to the cache-friendly
+// per-sample layout the gradient kernels want.
+func (c *Conv2D) sampleCol(b, hw int) *tensor.Tensor {
+	rows := c.InC * c.K * c.K
+	stride := c.batchB * hw
+	cb := c.colBatch.Data()
+	if cap(c.colScratch) < rows*hw {
+		c.colScratch = make([]float64, rows*hw)
+	}
+	scratch := c.colScratch[:rows*hw]
+	for i := 0; i < rows; i++ {
+		copy(scratch[i*hw:(i+1)*hw], cb[i*stride+b*hw:i*stride+(b+1)*hw])
+	}
+	return tensor.FromSlice(scratch, rows, hw)
+}
+
+// BackwardSample implements BatchLayer. Sample b's im2col block is
+// gathered back into contiguous form and the per-sample gradient
+// products run on it exactly as Backward does, so gradients are
+// bit-identical to Forward+Backward on that sample alone.
+func (c *Conv2D) BackwardSample(b int, dOut *tensor.Tensor) *tensor.Tensor {
+	hw := c.geom.OutH * c.geom.OutW
+	d2 := dOut.Reshape(c.OutC, hw)
+	// dW += d2 · col_bᵀ.
+	tensor.MatMulTBInto(c.Weight.Grad, d2, c.sampleCol(b, hw), true)
+	// db += row sums of dOut.
+	bd := c.Bias.Grad.Data()
+	dd := d2.Data()
+	for o := 0; o < c.OutC; o++ {
+		s := 0.0
+		for _, v := range dd[o*hw : o*hw+hw] {
+			s += v
+		}
+		bd[o] += s
+	}
+	// dX = Col2Im(Wᵀ · dOut).
+	dcol := tensor.MatMulTA(c.Weight.W, d2)
+	return tensor.Col2Im(dcol, c.geom)
+}
+
+// BackwardBatch implements BatchLayer. Convolution weight gradients must
+// accumulate per sample to stay bit-identical to the serial loop (the
+// per-sample partial sums associate differently from one long reduction),
+// so the batch walks samples in ascending order; each sample's products
+// are full-size GEMMs already.
+func (c *Conv2D) BackwardBatch(dOut *tensor.Tensor) *tensor.Tensor {
+	b := batchDim(dOut, c.LayerName)
+	dx := tensor.New(b, c.InC, c.InH, c.InW)
+	sz := c.InC * c.InH * c.InW
+	for s := 0; s < b; s++ {
+		dxs := c.BackwardSample(s, dOut.Sample(s))
+		copy(dx.Data()[s*sz:(s+1)*sz], dxs.Data())
+	}
+	return dx
+}
+
+// BackwardBatchInput implements BatchLayer: the dX chain only, skipping
+// the weight and bias gradients.
+func (c *Conv2D) BackwardBatchInput(dOut *tensor.Tensor) *tensor.Tensor {
+	b := batchDim(dOut, c.LayerName)
+	hw := c.geom.OutH * c.geom.OutW
+	dx := tensor.New(b, c.InC, c.InH, c.InW)
+	sz := c.InC * c.InH * c.InW
+	for s := 0; s < b; s++ {
+		d2 := dOut.Sample(s).Reshape(c.OutC, hw)
+		dxs := tensor.Col2Im(tensor.MatMulTA(c.Weight.W, d2), c.geom)
+		copy(dx.Data()[s*sz:(s+1)*sz], dxs.Data())
+	}
+	return dx
+}
+
+// --- Dense ---
+
+// ForwardBatch implements BatchLayer: one [B,In]×[Out,In]ᵀ GEMM. Each
+// output row runs the per-sample MatVec dot-product sequence, so rows
+// are bit-identical to per-sample Forward.
+func (d *Dense) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	b := batchDim(x, d.LayerName)
+	if x.Size() != b*d.In {
+		panic(fmt.Sprintf("nn: %s expects %d inputs per sample, got %v", d.LayerName, d.In, x.Shape()))
+	}
+	d.xBatch = x.Reshape(b, d.In)
+	out := tensor.MatMulTB(d.xBatch, d.Weight.W) // [B, Out]
+	od, bd := out.Data(), d.Bias.W.Data()
+	for s := 0; s < b; s++ {
+		row := od[s*d.Out : (s+1)*d.Out]
+		for o, bv := range bd {
+			row[o] += bv
+		}
+	}
+	return out
+}
+
+// BackwardBatch implements BatchLayer. dW = dOutᵀ·X accumulates every
+// weight cell's per-sample terms in ascending sample order with the
+// per-sample zero-skip (the MatMulTA kernel), dX = dOut·W computes every
+// sample's input-gradient row with the per-sample kernel sequence, and
+// the bias gradient walks samples in order — all bit-identical to the
+// serial per-sample accumulation loop.
+func (d *Dense) BackwardBatch(dOut *tensor.Tensor) *tensor.Tensor {
+	b := batchDim(dOut, d.LayerName)
+	if dOut.Size() != b*d.Out {
+		panic(fmt.Sprintf("nn: %s backward expects %d grads per sample, got %v", d.LayerName, d.Out, dOut.Shape()))
+	}
+	d2 := dOut.Reshape(b, d.Out)
+	tensor.MatMulTAInto(d.Weight.Grad, d2, d.xBatch, true)
+	do, bg := d2.Data(), d.Bias.Grad.Data()
+	for s := 0; s < b; s++ {
+		for o := 0; o < d.Out; o++ {
+			bg[o] += do[s*d.Out+o]
+		}
+	}
+	return tensor.MatMul(d2, d.Weight.W) // [B, In]
+}
+
+// BackwardSample implements BatchLayer: the per-sample backward loops
+// against sample b's cached input row.
+func (d *Dense) BackwardSample(b int, dOut *tensor.Tensor) *tensor.Tensor {
+	return d.backwardWith(dOut, d.xBatch.Sample(b).Data())
+}
+
+// ReleaseBatchState implements BatchLayer.
+func (d *Dense) ReleaseBatchState() { d.xBatch = nil }
+
+// BackwardBatchInput implements BatchLayer: dX = dOut·W only.
+func (d *Dense) BackwardBatchInput(dOut *tensor.Tensor) *tensor.Tensor {
+	b := batchDim(dOut, d.LayerName)
+	return tensor.MatMul(dOut.Reshape(b, d.Out), d.Weight.W)
+}
+
+// --- MaxPool2D ---
+
+// ForwardBatch implements BatchLayer: the window scan runs per sample
+// (pooling has no useful batched matrix form), caching each sample's
+// winner indexes for the batched backward passes.
+func (m *MaxPool2D) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != m.C || x.Dim(2) != m.H || x.Dim(3) != m.W {
+		panic(fmt.Sprintf("nn: %s expects batch input [B %d %d %d], got %v", m.LayerName, m.C, m.H, m.W, x.Shape()))
+	}
+	b := x.Dim(0)
+	m.batchB = b
+	oh, ow := m.geom.OutH, m.geom.OutW
+	outSz := m.C * oh * ow
+	inSz := m.C * m.H * m.W
+	out := tensor.New(b, m.C, oh, ow)
+	if cap(m.argmaxB) < b*outSz {
+		m.argmaxB = make([]int, b*outSz)
+	}
+	m.argmaxB = m.argmaxB[:b*outSz]
+	xd, od := x.Data(), out.Data()
+	for s := 0; s < b; s++ {
+		m.poolSample(xd[s*inSz:(s+1)*inSz], od[s*outSz:(s+1)*outSz], m.argmaxB[s*outSz:(s+1)*outSz])
+	}
+	return out
+}
+
+// BackwardBatch implements BatchLayer.
+func (m *MaxPool2D) BackwardBatch(dOut *tensor.Tensor) *tensor.Tensor {
+	b := batchDim(dOut, m.LayerName)
+	outSz := m.C * m.geom.OutH * m.geom.OutW
+	inSz := m.C * m.H * m.W
+	if dOut.Size() != b*outSz {
+		panic(fmt.Sprintf("nn: %s batch backward size %d, want %d", m.LayerName, dOut.Size(), b*outSz))
+	}
+	dx := tensor.New(b, m.C, m.H, m.W)
+	dd, dxd := dOut.Data(), dx.Data()
+	for s := 0; s < b; s++ {
+		scatterPool(dxd[s*inSz:(s+1)*inSz], dd[s*outSz:(s+1)*outSz], m.argmaxB[s*outSz:(s+1)*outSz])
+	}
+	return dx
+}
+
+// ReleaseBatchState implements BatchLayer.
+func (m *MaxPool2D) ReleaseBatchState() { m.argmaxB, m.batchB = nil, 0 }
+
+// BackwardBatchInput implements BatchLayer (pooling has no parameters).
+func (m *MaxPool2D) BackwardBatchInput(dOut *tensor.Tensor) *tensor.Tensor {
+	return m.BackwardBatch(dOut)
+}
+
+// BackwardSample implements BatchLayer.
+func (m *MaxPool2D) BackwardSample(b int, dOut *tensor.Tensor) *tensor.Tensor {
+	outSz := m.C * m.geom.OutH * m.geom.OutW
+	dx := tensor.New(m.C, m.H, m.W)
+	scatterPool(dx.Data(), dOut.Data(), m.argmaxB[b*outSz:(b+1)*outSz])
+	return dx
+}
+
+// --- Activate ---
+
+// ForwardBatch implements BatchLayer; the activation is elementwise, so
+// the batched pass is the per-sample pass over a longer slice.
+func (a *Activate) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	a.inB = x
+	a.outB = a.activate(x)
+	return a.outB
+}
+
+// BackwardBatch implements BatchLayer.
+func (a *Activate) BackwardBatch(dOut *tensor.Tensor) *tensor.Tensor {
+	return a.backwardWith(dOut, a.inB.Data(), a.outB.Data())
+}
+
+// ReleaseBatchState implements BatchLayer.
+func (a *Activate) ReleaseBatchState() { a.inB, a.outB = nil, nil }
+
+// BackwardBatchInput implements BatchLayer (activations have no
+// parameters).
+func (a *Activate) BackwardBatchInput(dOut *tensor.Tensor) *tensor.Tensor {
+	return a.BackwardBatch(dOut)
+}
+
+// BackwardSample implements BatchLayer.
+func (a *Activate) BackwardSample(b int, dOut *tensor.Tensor) *tensor.Tensor {
+	n := dOut.Size()
+	return a.backwardWith(dOut, a.inB.Data()[b*n:(b+1)*n], a.outB.Data()[b*n:(b+1)*n])
+}
+
+// --- ScaleShift ---
+
+// ForwardBatch implements BatchLayer; the affine map is elementwise and
+// stateless, so the per-sample pass applies unchanged.
+func (s *ScaleShift) ForwardBatch(x *tensor.Tensor) *tensor.Tensor { return s.Forward(x) }
+
+// BackwardBatch implements BatchLayer.
+func (s *ScaleShift) BackwardBatch(dOut *tensor.Tensor) *tensor.Tensor { return s.Backward(dOut) }
+
+// BackwardBatchInput implements BatchLayer.
+func (s *ScaleShift) BackwardBatchInput(dOut *tensor.Tensor) *tensor.Tensor {
+	return s.Backward(dOut)
+}
+
+// ReleaseBatchState implements BatchLayer (ScaleShift keeps no state).
+func (s *ScaleShift) ReleaseBatchState() {}
+
+// BackwardSample implements BatchLayer.
+func (s *ScaleShift) BackwardSample(_ int, dOut *tensor.Tensor) *tensor.Tensor {
+	return s.Backward(dOut)
+}
+
+// --- Flatten ---
+
+// ForwardBatch implements BatchLayer: [B, d1, d2, ...] becomes
+// [B, d1*d2*...], a reshape of shared data.
+func (f *Flatten) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	b := batchDim(x, f.LayerName)
+	f.inShapeB = append(f.inShapeB[:0], x.Shape()...)
+	return x.Reshape(b, x.Size()/b)
+}
+
+// BackwardBatch implements BatchLayer.
+func (f *Flatten) BackwardBatch(dOut *tensor.Tensor) *tensor.Tensor {
+	return dOut.Reshape(f.inShapeB...)
+}
+
+// BackwardBatchInput implements BatchLayer.
+func (f *Flatten) BackwardBatchInput(dOut *tensor.Tensor) *tensor.Tensor {
+	return f.BackwardBatch(dOut)
+}
+
+// ReleaseBatchState implements BatchLayer.
+func (f *Flatten) ReleaseBatchState() { f.inShapeB = nil }
+
+// BackwardSample implements BatchLayer.
+func (f *Flatten) BackwardSample(_ int, dOut *tensor.Tensor) *tensor.Tensor {
+	return dOut.Reshape(f.inShapeB[1:]...)
+}

@@ -18,6 +18,10 @@ type Conv2D struct {
 	geom            tensor.ConvGeom
 
 	col *tensor.Tensor // cached im2col of the last input
+
+	colBatch   *tensor.Tensor // cached Im2ColBatch of the last batch input
+	batchB     int            // batch size of the last ForwardBatch
+	colScratch []float64      // contiguous per-sample column block scratch
 }
 
 // NewConv2D constructs a convolution for a fixed input geometry.
@@ -76,7 +80,7 @@ func (c *Conv2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	hw := c.geom.OutH * c.geom.OutW
 	d2 := dOut.Reshape(c.OutC, hw)
 	// dW += dOut · colᵀ
-	c.Weight.Grad.AddInPlace(tensor.MatMulTB(d2, c.col))
+	tensor.MatMulTBInto(c.Weight.Grad, d2, c.col, true)
 	// db += row sums of dOut
 	bd := c.Bias.Grad.Data()
 	dd := d2.Data()
@@ -104,7 +108,8 @@ type Dense struct {
 	In, Out      int
 	Weight, Bias *Param
 
-	x *tensor.Tensor // cached input
+	x      *tensor.Tensor // cached input
+	xBatch *tensor.Tensor // cached [B,In] input of the last ForwardBatch
 }
 
 // NewDense constructs a fully connected layer.
@@ -144,9 +149,14 @@ func (d *Dense) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	if dOut.Size() != d.Out {
 		panic(fmt.Sprintf("nn: %s backward expects %d grads, got %v", d.LayerName, d.Out, dOut.Shape()))
 	}
+	return d.backwardWith(dOut, d.x.Data())
+}
+
+// backwardWith is the per-sample backward against an explicit cached
+// input slice, shared by Backward and BackwardSample.
+func (d *Dense) backwardWith(dOut *tensor.Tensor, xd []float64) *tensor.Tensor {
 	do := dOut.Data()
 	wg := d.Weight.Grad.Data()
-	xd := d.x.Data()
 	for o := 0; o < d.Out; o++ {
 		g := do[o]
 		if g != 0 {
@@ -184,6 +194,7 @@ func (d *Dense) Name() string { return d.LayerName }
 type Flatten struct {
 	LayerName string
 	inShape   []int
+	inShapeB  []int // input shape of the last ForwardBatch (incl. batch dim)
 }
 
 // NewFlatten constructs a flatten layer.

@@ -8,13 +8,59 @@ import (
 )
 
 // Softmax returns the softmax of a logits vector, computed with the
-// max-subtraction trick for numerical stability.
+// max-subtraction trick for numerical stability. The degenerate case of
+// all logits at -Inf (reachable after extreme synthesis steps drives
+// every class score to nothing) used to divide by a meaningless sum and
+// poison downstream gradients with NaN; it now yields the uniform
+// distribution, the limit of softmax as every logit falls together.
+// Genuinely corrupted logits (NaN, +Inf) still propagate NaN so that
+// divergence detection keeps firing.
 func Softmax(logits *tensor.Tensor) *tensor.Tensor {
-	m := logits.Max()
-	out := logits.Map(func(v float64) float64 { return math.Exp(v - m) })
-	s := out.Sum()
-	out.Scale(1 / s)
+	out := tensor.New(logits.Shape()...)
+	softmaxRow(out.Data(), logits.Data())
 	return out
+}
+
+// softmaxRow writes softmax(src) into dst with the same operation
+// sequence for every caller (per-sample and batched rows), guarding the
+// degenerate all--Inf / zero-sum case with a uniform fallback.
+func softmaxRow(dst, src []float64) {
+	m := src[0]
+	for _, v := range src[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	s := 0.0
+	for i, v := range src {
+		e := math.Exp(v - m)
+		dst[i] = e
+		s += e
+	}
+	// m finite guarantees s >= exp(0) = 1, so the degenerate cases are
+	// m = -Inf (all logits -Inf, exp(-Inf - -Inf) = NaN) and an exact
+	// zero sum; both mean "no class preferred at all". A NaN logit can
+	// hide behind m = -Inf (NaN > -Inf is false), so corrupted rows are
+	// screened out first and keep propagating NaN.
+	if math.IsInf(m, -1) || s == 0 {
+		for _, v := range src {
+			if math.IsNaN(v) {
+				for i := range dst {
+					dst[i] = math.NaN()
+				}
+				return
+			}
+		}
+		u := 1 / float64(len(dst))
+		for i := range dst {
+			dst[i] = u
+		}
+		return
+	}
+	inv := 1 / s
+	for i := range dst {
+		dst[i] *= inv
+	}
 }
 
 // SoftmaxCrossEntropy returns the cross-entropy loss of the logits
@@ -31,6 +77,30 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (loss float64, dLogit
 	d := p // reuse: dLogits = p - onehot
 	d.Data()[label] -= 1
 	return loss, d
+}
+
+// SoftmaxCrossEntropyBatch is SoftmaxCrossEntropy over a [B, classes]
+// logits batch: per-sample losses and the [B, classes] loss gradient.
+// Every row runs the per-sample operation sequence, so the results are
+// bit-identical to calling SoftmaxCrossEntropy sample by sample.
+func SoftmaxCrossEntropyBatch(logits *tensor.Tensor, labels []int) (losses []float64, dLogits *tensor.Tensor) {
+	if logits.Rank() != 2 || logits.Dim(0) != len(labels) {
+		panic(fmt.Sprintf("nn: logits %v do not match %d labels", logits.Shape(), len(labels)))
+	}
+	b, k := logits.Dim(0), logits.Dim(1)
+	losses = make([]float64, b)
+	d := tensor.New(b, k)
+	ld, dd := logits.Data(), d.Data()
+	for s, label := range labels {
+		if label < 0 || label >= k {
+			panic(fmt.Sprintf("nn: label %d out of range for %d logits", label, k))
+		}
+		row := dd[s*k : (s+1)*k]
+		softmaxRow(row, ld[s*k:(s+1)*k])
+		losses[s] = -math.Log(math.Max(row[label], 1e-300))
+		row[label] -= 1
+	}
+	return losses, d
 }
 
 // MSE returns the mean squared error between a prediction vector and a

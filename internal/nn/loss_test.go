@@ -53,6 +53,70 @@ func TestSoftmaxNumericalStability(t *testing.T) {
 	}
 }
 
+// TestSoftmaxDegenerateLogits is the regression test for the
+// divide-by-degenerate-sum bug: all--Inf logits (reachable after
+// extreme synthesis steps) used to propagate NaN into the cross-entropy
+// gradient. The guard yields the uniform distribution and finite
+// gradients for that case, while genuinely corrupted logits (NaN, +Inf)
+// still propagate NaN so divergence detection keeps firing.
+func TestSoftmaxDegenerateLogits(t *testing.T) {
+	allInf := []float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	z := tensor.FromSlice(append([]float64(nil), allInf...), 3)
+	p := Softmax(z)
+	if p.HasNaN() {
+		t.Fatalf("all--Inf softmax produced NaN/Inf: %v", p.Data())
+	}
+	for _, v := range p.Data() {
+		if v != 1.0/3 {
+			t.Fatalf("all--Inf softmax: want uniform fallback, got %v", p.Data())
+		}
+	}
+	loss, d := SoftmaxCrossEntropy(z, 1)
+	if math.IsNaN(loss) || d.HasNaN() {
+		t.Fatalf("all--Inf cross-entropy propagated NaN: loss=%v d=%v", loss, d.Data())
+	}
+
+	for name, logits := range map[string][]float64{
+		"one +inf":            {1, math.Inf(1), 2},
+		"nan logit":           {1, math.NaN(), 2},
+		"nan hidden by -infs": {math.Inf(-1), math.NaN(), math.Inf(-1)},
+	} {
+		if !Softmax(tensor.FromSlice(logits, 3)).HasNaN() {
+			t.Fatalf("%s: corrupted logits must keep propagating NaN", name)
+		}
+	}
+}
+
+// TestSoftmaxBatchMatchesPerSample pins the batched loss to the
+// per-sample one bit for bit, including on a degenerate row.
+func TestSoftmaxBatchMatchesPerSample(t *testing.T) {
+	rows := [][]float64{
+		{0.3, -1.2, 2.5},
+		{1000, 999, 998},
+		{math.Inf(-1), math.Inf(-1), math.Inf(-1)},
+		{-4, 0, 4},
+	}
+	labels := []int{2, 0, 1, 1}
+	flat := make([]float64, 0, len(rows)*3)
+	for _, r := range rows {
+		flat = append(flat, r...)
+	}
+	logits := tensor.FromSlice(flat, len(rows), 3)
+	losses, d := SoftmaxCrossEntropyBatch(logits, labels)
+	for b, r := range rows {
+		wantLoss, wantD := SoftmaxCrossEntropy(tensor.FromSlice(append([]float64(nil), r...), 3), labels[b])
+		if losses[b] != wantLoss {
+			t.Fatalf("row %d: batch loss %v, want %v", b, losses[b], wantLoss)
+		}
+		got := d.Sample(b).Data()
+		for i := range wantD.Data() {
+			if got[i] != wantD.Data()[i] {
+				t.Fatalf("row %d: batch dLogits[%d] = %v, want %v", b, i, got[i], wantD.Data()[i])
+			}
+		}
+	}
+}
+
 func TestCrossEntropyHandChecked(t *testing.T) {
 	z := tensor.FromSlice([]float64{0, 0}, 2)
 	loss, d := SoftmaxCrossEntropy(z, 0)

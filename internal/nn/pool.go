@@ -15,6 +15,9 @@ type MaxPool2D struct {
 	K, Stride int
 	geom      tensor.ConvGeom
 	argmax    []int // flat input index chosen for each output cell
+
+	argmaxB []int // per-sample winner indexes of the last ForwardBatch
+	batchB  int   // batch size of the last ForwardBatch
 }
 
 // NewMaxPool2D constructs a max pooling layer for a fixed input geometry.
@@ -37,7 +40,15 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 		m.argmax = make([]int, m.C*oh*ow)
 	}
 	m.argmax = m.argmax[:m.C*oh*ow]
-	xd, od := x.Data(), out.Data()
+	m.poolSample(x.Data(), out.Data(), m.argmax)
+	return out
+}
+
+// poolSample runs the max-pooling window scan over one sample's data,
+// writing outputs and winner indexes (relative to the sample); the shared
+// kernel of the per-sample and batched forward passes.
+func (m *MaxPool2D) poolSample(xd, od []float64, argmax []int) {
+	oh, ow := m.geom.OutH, m.geom.OutW
 	oi2 := 0
 	for c := 0; c < m.C; c++ {
 		chanBase := c * m.H * m.W
@@ -58,25 +69,30 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 					}
 				}
 				od[oi2] = best
-				m.argmax[oi2] = bi
+				argmax[oi2] = bi
 				oi2++
 			}
 		}
 	}
-	return out
 }
 
 // Backward implements Layer.
 func (m *MaxPool2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	dx := tensor.New(m.C, m.H, m.W)
-	dd, dxd := dOut.Data(), dx.Data()
+	dd := dOut.Data()
 	if len(dd) != len(m.argmax) {
 		panic(fmt.Sprintf("nn: %s backward size %d, want %d", m.LayerName, len(dd), len(m.argmax)))
 	}
-	for i, g := range dd {
-		dxd[m.argmax[i]] += g
-	}
+	scatterPool(dx.Data(), dd, m.argmax)
 	return dx
+}
+
+// scatterPool routes each output gradient back to the input cell that won
+// its window.
+func scatterPool(dxd, dd []float64, argmax []int) {
+	for i, g := range dd {
+		dxd[argmax[i]] += g
+	}
 }
 
 // Params implements Layer.

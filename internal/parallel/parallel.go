@@ -10,7 +10,19 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// activeWorkers counts the worker goroutines currently running inside
+// multi-worker For regions, machine-wide. Nested fan-out (a batched GEMM
+// inside a coverage worker) consults it to size itself to the share of
+// the machine that is actually free instead of oversubscribing.
+var activeWorkers atomic.Int64
+
+// Active returns the number of worker goroutines currently running
+// inside multi-worker For regions. Zero means no fan-out is in flight
+// and a kernel may use the whole machine.
+func Active() int { return int(activeWorkers.Load()) }
 
 // Auto returns the parallelism used when a knob is left at "use the
 // whole machine": runtime.NumCPU.
@@ -34,12 +46,29 @@ func Workers(n int) int {
 // serial case calls fn inline, so the fast path allocates nothing. For
 // returns only after every chunk has finished.
 func For(n, workers int, fn func(worker, start, end int)) {
+	forWorkers(n, workers, fn, true)
+}
+
+// ForUncounted is For without registering its workers in the Active
+// count. Leaf kernels that size themselves from Active (the tensor GEMM
+// family) fan out through it, so concurrently running sibling kernels
+// see only the outer worker-pool fan-out — not each other — and each
+// computes its stable fair share of the machine.
+func ForUncounted(n, workers int, fn func(worker, start, end int)) {
+	forWorkers(n, workers, fn, false)
+}
+
+func forWorkers(n, workers int, fn func(worker, start, end int), counted bool) {
 	workers = effective(n, workers)
 	if workers <= 1 {
 		if n > 0 {
 			fn(0, 0, n)
 		}
 		return
+	}
+	if counted {
+		activeWorkers.Add(int64(workers))
+		defer activeWorkers.Add(-int64(workers))
 	}
 	// Balanced split: base items per worker, the first rem workers take
 	// one extra. workers <= n guarantees every chunk is non-empty.

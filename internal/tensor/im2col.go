@@ -63,6 +63,54 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 	return out
 }
 
+// Im2ColBatch lowers a [B,C,H,W] batch into a [C*KH*KW, B*OutH*OutW]
+// matrix: sample b's receptive-field columns occupy the contiguous
+// column block [b*OutH*OutW, (b+1)*OutH*OutW), each filled with exactly
+// the values Im2Col produces for that sample. A convolution over the
+// whole batch then becomes a single wide MatMul with the weight matrix,
+// and every output column is produced by the same operation sequence as
+// the per-sample product, so batched convolution is bit-identical to
+// per-sample convolution.
+func Im2ColBatch(x *Tensor, g ConvGeom) *Tensor {
+	if x.Rank() != 4 || x.Dim(1) != g.C || x.Dim(2) != g.H || x.Dim(3) != g.W {
+		panic(fmt.Sprintf("tensor: Im2ColBatch input %v does not match geometry %+v", x.Shape(), g))
+	}
+	batch := x.Dim(0)
+	rows := g.C * g.KH * g.KW
+	sampleCols := g.OutH * g.OutW
+	cols := batch * sampleCols
+	out := New(rows, cols)
+	xd, od := x.Data(), out.Data()
+	sampleSize := g.C * g.H * g.W
+	for b := 0; b < batch; b++ {
+		xs := xd[b*sampleSize : (b+1)*sampleSize]
+		colBase := b * sampleCols
+		for c := 0; c < g.C; c++ {
+			for ki := 0; ki < g.KH; ki++ {
+				for kj := 0; kj < g.KW; kj++ {
+					row := (c*g.KH+ki)*g.KW + kj
+					base := row*cols + colBase
+					for oi := 0; oi < g.OutH; oi++ {
+						ii := oi*g.Stride + ki - g.Pad
+						if ii < 0 || ii >= g.H {
+							continue // stays zero
+						}
+						xrow := xs[(c*g.H+ii)*g.W:]
+						orow := od[base+oi*g.OutW:]
+						for oj := 0; oj < g.OutW; oj++ {
+							jj := oj*g.Stride + kj - g.Pad
+							if jj >= 0 && jj < g.W {
+								orow[oj] = xrow[jj]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Col2Im scatters a [C*KH*KW, OutH*OutW] column matrix back into a
 // [C,H,W] tensor, accumulating overlapping contributions. It is the
 // adjoint of Im2Col and is used for the convolution input gradient.

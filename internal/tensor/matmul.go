@@ -33,10 +33,20 @@ func SetParallelism(n int) { matmulWorkers.Store(int64(parallel.Workers(n))) }
 func Parallelism() int { return int(matmulWorkers.Load()) }
 
 // kernelWorkers sizes the pool for an [m,n] output costing flops
-// multiply-adds: never more workers than output rows, and at least
-// gemmMinFlopsPerWorker of work per worker.
+// multiply-adds: never more workers than output rows, at least
+// gemmMinFlopsPerWorker of work per worker, and — when the product runs
+// inside an already fanned-out worker pool (batched evaluation inside a
+// coverage or training worker) — no more than this kernel's share of the
+// machine, so nested fan-out cannot oversubscribe the CPU. Worker count
+// never changes results (panels are bit-identical to serial), so the
+// sizing is purely a throughput decision.
 func kernelWorkers(rows, flops int) int {
 	w := Parallelism()
+	if outer := parallel.Active(); outer > 1 {
+		if w = w / outer; w < 1 {
+			w = 1
+		}
+	}
 	if byWork := flops / gemmMinFlopsPerWorker; byWork < w {
 		w = byWork
 	}
@@ -87,7 +97,7 @@ func gemmDims(a, b *Tensor) (m, k, n int) {
 // depend on the worker count.
 func gemm(c, a, b []float64, m, k, n int, accumulate bool) {
 	workers := kernelWorkers(m, m*k*n)
-	parallel.For(m, workers, func(_, lo, hi int) {
+	parallel.ForUncounted(m, workers, func(_, lo, hi int) {
 		gemmRows(c, a, b, lo, hi, k, n, accumulate)
 	})
 }
@@ -121,13 +131,40 @@ func gemmRows(c, a, b []float64, lo, hi, k, n int, accumulate bool) {
 // kk terms in ascending order exactly as the serial kernel does, so the
 // parallel path is bit-identical.
 func MatMulTA(a, b *Tensor) *Tensor {
+	k, m, n := gemmTADims(a, b)
+	c := New(m, n)
+	gemmTA(c, a, b, k, m, n)
+	return c
+}
+
+// MatMulTAInto computes C += Aᵀ·B into an existing [m,n] tensor (or
+// C = Aᵀ·B when accumulate is false). The batched dense backward uses the
+// accumulate form: with A = dOut [B,Out] and B = X [B,In], every weight
+// gradient cell receives its per-sample terms in ascending sample order,
+// exactly the sequence of the per-sample accumulation loop, so the
+// batched gradients are bit-identical to the serial path.
+func MatMulTAInto(c, a, b *Tensor, accumulate bool) {
+	k, m, n := gemmTADims(a, b)
+	if c.Rank() != 2 || c.Dim(0) != m || c.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulTAInto dst shape %v, want [%d %d]", c.Shape(), m, n))
+	}
+	if !accumulate {
+		c.Zero()
+	}
+	gemmTA(c, a, b, k, m, n)
+}
+
+func gemmTADims(a, b *Tensor) (k, m, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(0) != b.Dim(0) {
 		panic(fmt.Sprintf("tensor: MatMulTA shape mismatch %v × %v", a.Shape(), b.Shape()))
 	}
-	k, m, n := a.Dim(0), a.Dim(1), b.Dim(1)
-	c := New(m, n)
+	return a.Dim(0), a.Dim(1), b.Dim(1)
+}
+
+// gemmTA accumulates Aᵀ·B into c, which holds the starting values.
+func gemmTA(c, a, b *Tensor, k, m, n int) {
 	workers := kernelWorkers(m, m*k*n)
-	parallel.For(m, workers, func(_, lo, hi int) {
+	parallel.ForUncounted(m, workers, func(_, lo, hi int) {
 		for kk := 0; kk < k; kk++ {
 			arow := a.data[kk*m : kk*m+m]
 			brow := b.data[kk*n : kk*n+n]
@@ -143,19 +180,41 @@ func MatMulTA(a, b *Tensor) *Tensor {
 			}
 		}
 	})
-	return c
 }
 
 // MatMulTB returns C = A·Bᵀ for A of shape [m,k] and B of shape [n,k];
 // the input-gradient product of a dense layer backward pass.
 func MatMulTB(a, b *Tensor) *Tensor {
+	m, k, n := gemmTBDims(a, b)
+	c := New(m, n)
+	gemmTB(c, a, b, m, k, n, false)
+	return c
+}
+
+// MatMulTBInto computes C += A·Bᵀ into an existing [m,n] tensor (or
+// C = A·Bᵀ when accumulate is false). Every output cell is one scalar
+// dot product added to the destination in a single operation — the same
+// sequence as MatMulTB followed by an elementwise add — so accumulating
+// layer gradients through it is bit-identical to the allocate-then-add
+// form.
+func MatMulTBInto(c, a, b *Tensor, accumulate bool) {
+	m, k, n := gemmTBDims(a, b)
+	if c.Rank() != 2 || c.Dim(0) != m || c.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulTBInto dst shape %v, want [%d %d]", c.Shape(), m, n))
+	}
+	gemmTB(c, a, b, m, k, n, accumulate)
+}
+
+func gemmTBDims(a, b *Tensor) (m, k, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(1) != b.Dim(1) {
 		panic(fmt.Sprintf("tensor: MatMulTB shape mismatch %v × %v", a.Shape(), b.Shape()))
 	}
-	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
-	c := New(m, n)
+	return a.Dim(0), a.Dim(1), b.Dim(0)
+}
+
+func gemmTB(c, a, b *Tensor, m, k, n int, accumulate bool) {
 	workers := kernelWorkers(m, m*k*n)
-	parallel.For(m, workers, func(_, lo, hi int) {
+	parallel.ForUncounted(m, workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.data[i*k : i*k+k]
 			crow := c.data[i*n : i*n+n]
@@ -165,11 +224,14 @@ func MatMulTB(a, b *Tensor) *Tensor {
 				for kk, av := range arow {
 					s += av * brow[kk]
 				}
-				crow[j] = s
+				if accumulate {
+					crow[j] += s
+				} else {
+					crow[j] = s
+				}
 			}
 		}
 	})
-	return c
 }
 
 // MatVec returns y = A·x for A of shape [m,n] and x of length n.
@@ -180,7 +242,7 @@ func MatVec(a, x *Tensor) *Tensor {
 	m, n := a.Dim(0), a.Dim(1)
 	y := New(m)
 	workers := kernelWorkers(m, m*n)
-	parallel.For(m, workers, func(_, lo, hi int) {
+	parallel.ForUncounted(m, workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := a.data[i*n : i*n+n]
 			s := 0.0

@@ -108,6 +108,46 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	return &Tensor{shape: s, data: t.data}
 }
 
+// Sample returns a view of block b along the leading dimension: for a
+// [B, d1, d2, ...] tensor it is the [d1, d2, ...] slice of sample b,
+// sharing the backing data. Row-major layout makes every such block
+// contiguous, so the view allocates only a header.
+func (t *Tensor) Sample(b int) *Tensor {
+	if len(t.shape) == 0 {
+		panic("tensor: Sample of a scalar tensor")
+	}
+	n := t.shape[0]
+	if b < 0 || b >= n {
+		panic(fmt.Sprintf("tensor: sample %d out of range for shape %v", b, t.shape))
+	}
+	sz := 1
+	for _, d := range t.shape[1:] {
+		sz *= d
+	}
+	s := make([]int, len(t.shape)-1)
+	copy(s, t.shape[1:])
+	return &Tensor{shape: s, data: t.data[b*sz : (b+1)*sz : (b+1)*sz]}
+}
+
+// Stack copies the given same-shaped tensors into one new batch tensor
+// with a leading dimension of len(xs); the entry point of every batched
+// forward pass. It panics on an empty list or a shape mismatch.
+func Stack(xs []*Tensor) *Tensor {
+	if len(xs) == 0 {
+		panic("tensor: Stack of no tensors")
+	}
+	shape := append([]int{len(xs)}, xs[0].shape...)
+	out := New(shape...)
+	sz := xs[0].Size()
+	for b, x := range xs {
+		if !x.SameShape(xs[0]) {
+			panic(fmt.Sprintf("tensor: Stack shape mismatch %v vs %v", x.shape, xs[0].shape))
+		}
+		copy(out.data[b*sz:(b+1)*sz], x.data)
+	}
+	return out
+}
+
 // SameShape reports whether t and u have identical shapes.
 func (t *Tensor) SameShape(u *Tensor) bool {
 	if len(t.shape) != len(u.shape) {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/parallel"
+	"repro/internal/tensor"
 )
 
 // Optimizer updates network parameters from the accumulated gradients of
@@ -112,6 +113,12 @@ type Config struct {
 	// (workers merge in index order) but is not bit-identical to serial,
 	// because per-sample gradient additions associate differently.
 	Parallelism int
+	// PerSample forces the legacy sample-at-a-time forward/backward loop
+	// instead of batched minibatch evaluation. The batched path
+	// accumulates every gradient cell's per-sample terms in the same
+	// order as the loop, so both paths produce bit-identical models; the
+	// knob exists for equivalence tests and benchmarks.
+	PerSample bool
 }
 
 // Result summarises a training run.
@@ -121,8 +128,38 @@ type Result struct {
 	Epochs        int
 }
 
-// Fit trains net on ds with softmax cross-entropy. Gradients are
-// accumulated per sample and applied once per minibatch.
+// gradChunk accumulates the softmax cross-entropy gradients of the
+// given samples into net and returns the per-sample losses in order.
+// One batched forward/backward pass covers the whole chunk; parameter
+// gradients accumulate in ascending sample order with the per-sample
+// operation sequence, and losses come back individually so callers can
+// reduce them with the associativity of the old sample-at-a-time loop —
+// both paths therefore produce bit-identical models and reported loss.
+func gradChunk(net *nn.Network, ds *data.Dataset, idxs []int, perSample bool) []float64 {
+	if perSample || len(idxs) == 1 {
+		losses := make([]float64, len(idxs))
+		for i, idx := range idxs {
+			s := ds.Samples[idx]
+			loss, dLogits := nn.SoftmaxCrossEntropy(net.Forward(s.X), s.Label)
+			net.Backward(dLogits)
+			losses[i] = loss
+		}
+		return losses
+	}
+	xs := make([]*tensor.Tensor, len(idxs))
+	labels := make([]int, len(idxs))
+	for i, idx := range idxs {
+		xs[i] = ds.Samples[idx].X
+		labels[i] = ds.Samples[idx].Label
+	}
+	losses, dLogits := nn.SoftmaxCrossEntropyBatch(net.ForwardBatch(tensor.Stack(xs)), labels)
+	net.BackwardBatch(dLogits)
+	return losses
+}
+
+// Fit trains net on ds with softmax cross-entropy. Each minibatch runs
+// as one batched forward/backward pass (optionally split across
+// Parallelism workers), with gradients applied once per minibatch.
 func Fit(net *nn.Network, ds *data.Dataset, cfg Config) (Result, error) {
 	if cfg.Epochs <= 0 {
 		return Result{}, fmt.Errorf("train: epochs must be positive, got %d", cfg.Epochs)
@@ -176,11 +213,8 @@ func Fit(net *nn.Network, ds *data.Dataset, cfg Config) (Result, error) {
 					workerLoss[w] = 0
 				}
 				parallel.For(len(batch), workers, func(w, lo, hi int) {
-					for _, idx := range batch[lo:hi] {
-						s := ds.Samples[idx]
-						loss, dLogits := nn.SoftmaxCrossEntropy(clones[w].Forward(s.X), s.Label)
-						clones[w].Backward(dLogits)
-						workerLoss[w] += loss
+					for _, l := range gradChunk(clones[w], ds, batch[lo:hi], cfg.PerSample) {
+						workerLoss[w] += l
 					}
 				})
 				// Merge in worker (= batch) order: deterministic for a
@@ -192,11 +226,8 @@ func Fit(net *nn.Network, ds *data.Dataset, cfg Config) (Result, error) {
 					epochLoss += l
 				}
 			} else {
-				for _, idx := range batch {
-					s := ds.Samples[idx]
-					loss, dLogits := nn.SoftmaxCrossEntropy(net.Forward(s.X), s.Label)
-					net.Backward(dLogits)
-					epochLoss += loss
+				for _, l := range gradChunk(net, ds, batch, cfg.PerSample) {
+					epochLoss += l
 				}
 			}
 			cfg.Optimizer.Step(net, end-start)
@@ -212,6 +243,8 @@ func Fit(net *nn.Network, ds *data.Dataset, cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("train: loss diverged at epoch %d", epoch+1)
 		}
 	}
+	// The closing Accuracy pass also releases the batch caches, so the
+	// trained model returns without pinning batch-sized heap.
 	return Result{
 		FinalLoss:     lastLoss,
 		TrainAccuracy: Accuracy(net, ds),
@@ -219,16 +252,31 @@ func Fit(net *nn.Network, ds *data.Dataset, cfg Config) (Result, error) {
 	}, nil
 }
 
-// Accuracy returns the fraction of samples net classifies correctly.
+// accuracyBatch is the evaluation batch size of Accuracy. Batched
+// logits are bit-identical to per-sample ones, so the chunking only
+// affects speed.
+const accuracyBatch = 64
+
+// Accuracy returns the fraction of samples net classifies correctly,
+// evaluating in batched forward passes.
 func Accuracy(net *nn.Network, ds *data.Dataset) float64 {
 	if ds.Len() == 0 {
 		return 0
 	}
 	correct := 0
-	for _, s := range ds.Samples {
-		if net.Predict(s.X) == s.Label {
-			correct++
+	xs := make([]*tensor.Tensor, 0, accuracyBatch)
+	for start := 0; start < ds.Len(); start += accuracyBatch {
+		end := min(start+accuracyBatch, ds.Len())
+		xs = xs[:0]
+		for i := start; i < end; i++ {
+			xs = append(xs, ds.Samples[i].X)
+		}
+		for j, class := range net.PredictBatch(tensor.Stack(xs)) {
+			if class == ds.Samples[start+j].Label {
+				correct++
+			}
 		}
 	}
+	net.ReleaseBatchState()
 	return float64(correct) / float64(ds.Len())
 }

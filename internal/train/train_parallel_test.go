@@ -18,6 +18,10 @@ func parallelTestbed(t *testing.T) (*nn.Network, *data.Dataset) {
 }
 
 func fitOnce(t *testing.T, parallelism int) *nn.Network {
+	return fitOnceCfg(t, parallelism, false)
+}
+
+func fitOnceCfg(t *testing.T, parallelism int, perSample bool) *nn.Network {
 	t.Helper()
 	net, ds := parallelTestbed(t)
 	_, err := Fit(net, ds, Config{
@@ -26,11 +30,45 @@ func fitOnce(t *testing.T, parallelism int) *nn.Network {
 		Optimizer:   NewAdam(0.002),
 		Seed:        5,
 		Parallelism: parallelism,
+		PerSample:   perSample,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return net
+}
+
+// TestFitBatchedMatchesPerSample: batched minibatch evaluation must
+// produce a bit-identical model to the legacy sample-at-a-time loop —
+// the batched engine accumulates every gradient cell's per-sample terms
+// in the same order — both serially and under worker fan-out.
+func TestFitBatchedMatchesPerSample(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		perSample := fitOnceCfg(t, workers, true)
+		batched := fitOnceCfg(t, workers, false)
+		for i := 0; i < perSample.NumParams(); i++ {
+			if perSample.ParamAt(i) != batched.ParamAt(i) {
+				t.Fatalf("workers %d: param %d differs between per-sample and batched training: %v vs %v",
+					workers, i, perSample.ParamAt(i), batched.ParamAt(i))
+			}
+		}
+	}
+}
+
+// TestAccuracyBatchedMatchesPerSample pins the batched evaluator to the
+// per-sample classifier answers.
+func TestAccuracyBatchedMatchesPerSample(t *testing.T) {
+	net, ds := parallelTestbed(t)
+	correct := 0
+	for _, s := range ds.Samples {
+		if net.Predict(s.X) == s.Label {
+			correct++
+		}
+	}
+	want := float64(correct) / float64(ds.Len())
+	if got := Accuracy(net, ds); got != want {
+		t.Fatalf("batched Accuracy = %v, per-sample %v", got, want)
+	}
 }
 
 // TestFitParallelDeterministic: the parallel trainer must be a pure

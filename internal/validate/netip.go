@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -62,18 +63,45 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Accept retry backoff bounds: transient errors (ECONNABORTED on a
+// half-open client, EMFILE under descriptor pressure) are retried after
+// a pause that doubles up to the cap, so an error burst cannot spin the
+// CPU and a single failed Accept cannot silently kill the endpoint.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 500 * time.Millisecond
+)
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := s.listener.Accept()
 		if err != nil {
+			// A transient Accept error must not permanently stop service
+			// while the listener is still open; only shutdown or a
+			// listener closed out from under us ends the loop.
 			select {
 			case <-s.closed:
 				return
 			default:
-				return // listener failed; nothing to do without a logger
 			}
+			if errors.Is(err, net.ErrClosed) {
+				return // caller closed the listener directly; nothing to accept ever again
+			}
+			if backoff == 0 {
+				backoff = acceptBackoffMin
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			select {
+			case <-s.closed:
+				return
+			case <-time.After(backoff):
+			}
+			continue
 		}
+		backoff = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()

@@ -1,9 +1,11 @@
 package validate
 
 import (
+	"errors"
 	"math/rand"
 	"net"
 	"testing"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/tensor"
@@ -124,5 +126,73 @@ func TestServerCloseStopsAccepting(t *testing.T) {
 	}
 	if _, err := Dial(addr); err == nil {
 		t.Fatal("dial succeeded after Close")
+	}
+}
+
+// flakyListener injects transient Accept errors ahead of real
+// connections, modelling the ECONNABORTED/EMFILE bursts a loaded
+// listener sees.
+type flakyListener struct {
+	net.Listener
+	failures int
+}
+
+func (f *flakyListener) Accept() (net.Conn, error) {
+	if f.failures > 0 {
+		f.failures--
+		return nil, errors.New("accept: connection aborted (transient)")
+	}
+	return f.Listener.Accept()
+}
+
+// TestServerSurvivesTransientAcceptErrors is the regression test for the
+// accept-loop bug: a single transient Accept error used to return from
+// acceptLoop and silently kill the endpoint even though Close was never
+// called. The server must retry and still answer queries afterwards,
+// and Close must still shut it down cleanly.
+func TestServerSurvivesTransientAcceptErrors(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(&flakyListener{Listener: l, failures: 3}, goldenNet())
+	defer srv.Close()
+
+	ip, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ip.Query(tensor.New(1, 10, 10)); err != nil {
+		ip.Close()
+		t.Fatalf("server died after transient accept errors: %v", err)
+	}
+	// Close waits for handlers, which live until their client hangs up,
+	// so disconnect before shutting the server down.
+	ip.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close after recovery: %v", err)
+	}
+}
+
+// TestServerCloseDuringAcceptBackoff: Close must end the accept loop
+// even while it is sleeping out an error backoff (a permanently failing
+// listener keeps the loop in backoff forever until Close).
+func TestServerCloseDuringAcceptBackoff(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More failures than any test will consume: the loop lives in
+	// backoff from the start.
+	srv := Serve(&flakyListener{Listener: l, failures: 1 << 30}, goldenNet())
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close during backoff: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on a backing-off accept loop")
 	}
 }
