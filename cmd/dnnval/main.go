@@ -7,7 +7,9 @@
 //	generate - generate a functional test suite for a model, seal it
 //	attack   - apply a parameter attack to a stored model
 //	validate - replay a sealed suite against a model file or served IP
-//	serve    - host a model as a black-box IP over TCP
+//	           (batched queries, concurrent workers, sharded replicas)
+//	serve    - host a model as a black-box IP over TCP, optionally as a
+//	           fleet of replicas with concurrent per-replica workers
 //	info     - print a model summary and per-layer parameter counts
 //
 // Run `dnnval <subcommand> -h` for flags. Datasets are procedural and
@@ -21,6 +23,10 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 
 	"repro/internal/attack"
 	"repro/internal/core"
@@ -253,9 +259,12 @@ func cmdAttack(args []string) error {
 func cmdValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
 	model := fs.String("model", "", "model file to validate (local mode)")
-	addr := fs.String("addr", "", "served IP address (remote mode)")
+	addr := fs.String("addr", "", "served IP address(es), comma-separated for a sharded replica fleet (remote mode)")
 	suitePath := fs.String("suite", "suite.bin", "sealed suite file")
 	key := fs.String("key", "", "suite sealing key")
+	batch := fs.Int("batch", 0, "queries per batched exchange (<=1 single queries; report is identical at any value)")
+	workers := fs.Int("workers", 1, "concurrent replay workers (pipelined per connection, spread across replicas)")
+	timeout := fs.Duration("timeout", 0, "per-response wait bound in remote mode (0 = default)")
 	fs.Parse(args)
 
 	if *key == "" {
@@ -274,23 +283,40 @@ func cmdValidate(args []string) error {
 	var ip validate.IP
 	switch {
 	case *addr != "":
-		remote, err := validate.Dial(*addr)
-		if err != nil {
-			return err
+		addrs := strings.Split(*addr, ",")
+		opts := validate.DialOptions{ReadTimeout: *timeout}
+		if len(addrs) > 1 {
+			cluster, err := validate.DialShards(addrs, opts)
+			if err != nil {
+				return err
+			}
+			defer cluster.Close()
+			ip = cluster
+		} else {
+			remote, err := validate.DialWith(addrs[0], opts)
+			if err != nil {
+				return err
+			}
+			defer remote.Close()
+			ip = remote
 		}
-		defer remote.Close()
-		ip = remote
 	case *model != "":
 		network, err := loadModel(*model)
 		if err != nil {
 			return err
 		}
-		ip = validate.LocalIP{Net: network}
+		// Concurrent local replay needs per-worker clones; the serial
+		// case keeps the allocation-free direct path.
+		if *workers > 1 {
+			ip = validate.NewPooledIP(network, *workers)
+		} else {
+			ip = validate.LocalIP{Net: network}
+		}
 	default:
 		return fmt.Errorf("need -model or -addr")
 	}
 
-	rep, err := suite.Validate(ip)
+	rep, err := suite.ValidateWith(ip, validate.ValidateOptions{Batch: *batch, Concurrency: *workers})
 	if err != nil {
 		return err
 	}
@@ -304,20 +330,64 @@ func cmdValidate(args []string) error {
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	model := fs.String("model", "model.gob", "model file")
-	addr := fs.String("addr", "127.0.0.1:7077", "listen address")
+	addr := fs.String("addr", "127.0.0.1:7077", "listen address of the first replica")
+	replicas := fs.Int("replicas", 1, "replica endpoints to serve, on consecutive ports from -addr")
+	workers := fs.Int("workers", 0, "network clones (= concurrent queries) per replica; 0 = whole machine")
 	fs.Parse(args)
 
+	if *replicas < 1 {
+		return fmt.Errorf("need at least one replica, got %d", *replicas)
+	}
 	network, err := loadModel(*model)
 	if err != nil {
 		return err
 	}
-	l, err := net.Listen("tcp", *addr)
+	host, portStr, err := net.SplitHostPort(*addr)
 	if err != nil {
-		return err
+		return fmt.Errorf("bad -addr: %w", err)
 	}
-	srv := validate.Serve(l, network)
-	log.Printf("serving IP on %s (ctrl-c to stop)", srv.Addr())
-	select {} // serve forever
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return fmt.Errorf("bad -addr port: %w", err)
+	}
+	if port == 0 && *replicas > 1 {
+		return fmt.Errorf("-replicas needs a fixed base port, not :0")
+	}
+
+	servers := make([]*validate.Server, 0, *replicas)
+	for i := 0; i < *replicas; i++ {
+		l, err := net.Listen("tcp", net.JoinHostPort(host, strconv.Itoa(port+i)))
+		if err != nil {
+			for _, s := range servers {
+				s.Close()
+			}
+			return fmt.Errorf("replica %d: %w", i, err)
+		}
+		srv := validate.ServeWith(l, network, validate.ServerOptions{Workers: *workers})
+		servers = append(servers, srv)
+		log.Printf("serving IP replica %d/%d on %s", i+1, *replicas, srv.Addr())
+	}
+	log.Printf("validate against the fleet with: dnnval validate -addr %s", fleetAddrs(servers))
+
+	// Block until interrupted, then drain every replica gracefully:
+	// in-flight requests are answered before the endpoints go away.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down %d replica(s)", len(servers))
+	for _, s := range servers {
+		s.Close()
+	}
+	return nil
+}
+
+// fleetAddrs renders the serve fleet as a -addr value.
+func fleetAddrs(servers []*validate.Server) string {
+	addrs := make([]string, len(servers))
+	for i, s := range servers {
+		addrs[i] = s.Addr()
+	}
+	return strings.Join(addrs, ",")
 }
 
 func cmdInfo(args []string) error {

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bufio"
+	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildCLI compiles dnnval once into a temp dir shared by the tests.
@@ -91,6 +96,133 @@ func TestCLIWorkflow(t *testing.T) {
 	}
 	if !strings.Contains(out, "FAIL") {
 		t.Fatalf("validate output after attack:\n%s", out)
+	}
+}
+
+// freePorts reserves n consecutive-enough free TCP ports by probing a
+// random base until n consecutive ports bind.
+func freePorts(t *testing.T, n int) int {
+	t.Helper()
+	for attempt := 0; attempt < 50; attempt++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			continue
+		}
+		base := l.Addr().(*net.TCPAddr).Port
+		l.Close()
+		ok := true
+		for i := 0; i < n; i++ {
+			li, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", base+i))
+			if err != nil {
+				ok = false
+				break
+			}
+			li.Close()
+		}
+		if ok {
+			return base
+		}
+	}
+	t.Fatal("could not find consecutive free ports")
+	return 0
+}
+
+// TestCLIServeValidate drives the serving stack end to end: train a
+// tiny model, generate a sealed suite, serve the model as a 2-replica
+// fleet, validate remotely with batched sharded replay, and shut the
+// fleet down gracefully with SIGTERM.
+func TestCLIServeValidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI workflow is slow")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.gob")
+	suite := filepath.Join(dir, "suite.bin")
+
+	if out, err := run(t, bin, "train", "-arch", "cifar", "-size", "16", "-scale", "0.05",
+		"-n", "120", "-epochs", "2", "-o", model); err != nil {
+		t.Fatalf("train: %v\n%s", err, out)
+	}
+	if out, err := run(t, bin, "generate", "-model", model, "-data", "objects", "-size", "16",
+		"-n", "6", "-pool", "60", "-key", "k1", "-o", suite); err != nil {
+		t.Fatalf("generate: %v\n%s", err, out)
+	}
+
+	// Port reservation is probe-then-close, so another process can grab
+	// a port between the probe and serve's bind (TOCTOU); retry the
+	// whole serve startup on fresh ports when that happens.
+	var serve *exec.Cmd
+	var base int
+	started := false
+	for attempt := 0; attempt < 5 && !started; attempt++ {
+		base = freePorts(t, 2)
+		serve = exec.Command(bin, "serve", "-model", model,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", base), "-replicas", "2", "-workers", "2")
+		stderr, err := serve.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := serve.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Wait for both replicas to come up (the server logs each); a
+		// lost port race shows up as early exit with a bind error.
+		up := make(chan bool, 1)
+		go func() {
+			sc := bufio.NewScanner(stderr)
+			for sc.Scan() {
+				if strings.Contains(sc.Text(), "replica 2/2") {
+					up <- true
+					return
+				}
+				if strings.Contains(sc.Text(), "address already in use") {
+					up <- false
+					return
+				}
+			}
+			up <- false
+		}()
+		select {
+		case ok := <-up:
+			if ok {
+				started = true
+			} else {
+				serve.Process.Kill()
+				serve.Wait()
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("serve fleet did not come up")
+		}
+	}
+	if !started {
+		t.Fatal("serve fleet lost the port race on every attempt")
+	}
+	defer serve.Process.Kill()
+
+	addrs := fmt.Sprintf("127.0.0.1:%d,127.0.0.1:%d", base, base+1)
+	out, err := run(t, bin, "validate", "-addr", addrs, "-suite", suite, "-key", "k1",
+		"-batch", "4", "-workers", "2")
+	if err != nil {
+		t.Fatalf("remote sharded validate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Fatalf("remote validate output:\n%s", out)
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit cleanly.
+	if err := serve.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- serve.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
 	}
 }
 

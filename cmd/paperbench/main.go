@@ -86,6 +86,7 @@ func main() {
 
 	det := experiments.DefaultDetectionParams()
 	det.Trials = *trials
+	det.Batch = *batch
 	// The Tanh model needs quantised comparison: with saturating
 	// activations every parameter moves the float64 output, so the
 	// paper's exact check detects everything trivially. Quantised

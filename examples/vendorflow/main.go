@@ -72,10 +72,15 @@ func main() {
 	fmt.Printf("user: validation of shipped IP -> %v\n", report)
 
 	// ---------------- supply-chain tampering ----------------
+	// The attacker perturbs the vendor's master parameters; the served
+	// endpoint picks them up at its next hot parameter sync (the server
+	// evaluates on clones, so tampering the master alone is not yet
+	// visible to queries).
 	pert, err := repro.AttackRandom(model, 3, 0.5, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
+	server.SyncParamsFrom(model)
 	fmt.Printf("attacker: %v\n", pert)
 
 	report, err = opened.Validate(ip)

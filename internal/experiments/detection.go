@@ -48,6 +48,11 @@ type DetectionParams struct {
 	Mode validate.CompareMode
 	// Decimals applies to QuantizedOutputs.
 	Decimals int
+	// Batch, when positive, groups that many queries per batched
+	// forward pass during each trial's detection replay. Rates are
+	// identical at any value (batched evaluation is bit-identical);
+	// purely a throughput knob.
+	Batch int
 }
 
 // DefaultDetectionParams mirrors the paper's setting at reduced trial
@@ -143,7 +148,7 @@ func RunDetection(s *Setup, p DetectionParams) (*DetectionTable, error) {
 		full.Decimals = p.Decimals
 		for ai := range attacks {
 			for _, n := range p.Sizes {
-				dr, err := validate.DetectionRateOver(s.Net, full.Prefix(n), populations[ai])
+				dr, err := validate.DetectionRateOverWith(s.Net, full.Prefix(n), populations[ai], validate.ValidateOptions{Batch: p.Batch})
 				if err != nil {
 					return nil, fmt.Errorf("experiments: %s/%s/N=%d: %w", SuiteNames[si], AttackNames[ai], n, err)
 				}

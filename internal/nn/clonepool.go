@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ClonePool is a fixed set of deep clones of a source network handed
+// out for concurrent forward/backward work. Layers cache per-input
+// state between Forward and Backward, so a network can serve one
+// evaluation at a time; a ClonePool turns that into bounded concurrency
+// — at most Size evaluations in flight, each on its own clone — without
+// cloning per call. The validation server runs its request handlers on
+// one, and any worker-pool consumer with pinned clones can be read as
+// the same pattern with pool-managed checkout.
+//
+// Acquire, Release and SyncParamsFrom are all safe for concurrent use.
+type ClonePool struct {
+	free chan *Network
+	size int
+
+	// syncMu serialises SyncParamsFrom calls: each syncer drains the
+	// whole free channel, so two running at once would each hold a
+	// subset of the clones and deadlock waiting for the other's.
+	syncMu sync.Mutex
+}
+
+// NewClonePool clones src size times (size is clamped to at least 1).
+// The clones snapshot src's parameters at construction; later changes
+// to src are not seen until SyncParamsFrom.
+func NewClonePool(src *Network, size int) *ClonePool {
+	if size < 1 {
+		size = 1
+	}
+	p := &ClonePool{free: make(chan *Network, size), size: size}
+	for i := 0; i < size; i++ {
+		p.free <- src.Clone()
+	}
+	return p
+}
+
+// Size returns the number of clones the pool manages.
+func (p *ClonePool) Size() int { return p.size }
+
+// Acquire checks a clone out, blocking until one is free. Every Acquire
+// must be paired with a Release of the same clone.
+func (p *ClonePool) Acquire() *Network { return <-p.free }
+
+// Release checks a clone back in.
+func (p *ClonePool) Release(c *Network) {
+	select {
+	case p.free <- c:
+	default:
+		// More Releases than Acquires can only be a caller bug; failing
+		// loudly beats silently growing the set.
+		panic(fmt.Sprintf("nn: ClonePool.Release without matching Acquire (size %d)", p.size))
+	}
+}
+
+// SyncParamsFrom refreshes every clone's parameters from src — the hot
+// parameter update of a serving runtime. It acquires all clones (so it
+// blocks until in-flight work completes, and no evaluation can see a
+// half-updated set), syncs each, and releases them. Concurrent callers
+// are serialised; each completed call leaves the pool consistent with
+// its src.
+func (p *ClonePool) SyncParamsFrom(src *Network) {
+	p.syncMu.Lock()
+	defer p.syncMu.Unlock()
+	clones := make([]*Network, p.size)
+	for i := range clones {
+		clones[i] = p.Acquire()
+	}
+	for _, c := range clones {
+		c.SyncParamsFrom(src)
+	}
+	for _, c := range clones {
+		p.Release(c)
+	}
+}

@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func clonePoolNet() *Network {
+	n := NewNetwork(
+		NewDense("d1", 6, 8),
+		NewActivate("relu", ReLU),
+		NewDense("d2", 8, 3),
+	)
+	i := 0
+	for _, p := range n.Params() {
+		for j := range p.W.Data() {
+			p.W.Data()[j] = float64((i+j)%7) * 0.25
+			i++
+		}
+	}
+	return n
+}
+
+// TestClonePoolConcurrentQueries: many goroutines checking clones out
+// for forward passes must all see outputs identical to the source
+// network. Under -race this is the isolation test: layer caches on a
+// shared network would race, clones must not.
+func TestClonePoolConcurrentQueries(t *testing.T) {
+	src := clonePoolNet()
+	x := tensor.New(6)
+	for i := range x.Data() {
+		x.Data()[i] = 0.1 * float64(i+1)
+	}
+	want := src.Forward(x).Clone()
+
+	pool := NewClonePool(src, 3)
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := 0; trial < 20; trial++ {
+				c := pool.Acquire()
+				got := c.Forward(x)
+				for j := range want.Data() {
+					if got.Data()[j] != want.Data()[j] {
+						errs <- "clone output differs from source"
+						pool.Release(c)
+						return
+					}
+				}
+				pool.Release(c)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestClonePoolSyncParamsFrom: after mutating the source and syncing,
+// every clone must answer with the new parameters.
+func TestClonePoolSyncParamsFrom(t *testing.T) {
+	src := clonePoolNet()
+	pool := NewClonePool(src, 2)
+	x := tensor.New(6)
+	x.Data()[0] = 1
+
+	src.SetParamAt(0, src.ParamAt(0)+2.5)
+	want := src.Forward(x).Clone()
+	pool.SyncParamsFrom(src)
+	for i := 0; i < pool.Size(); i++ {
+		c := pool.Acquire()
+		got := c.Forward(x)
+		for j := range want.Data() {
+			if got.Data()[j] != want.Data()[j] {
+				t.Fatalf("clone %d stale after SyncParamsFrom", i)
+			}
+		}
+		defer pool.Release(c)
+	}
+}
+
+// TestClonePoolReleaseWithoutAcquirePanics documents the misuse check.
+func TestClonePoolReleaseWithoutAcquirePanics(t *testing.T) {
+	src := clonePoolNet()
+	pool := NewClonePool(src, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmatched Release did not panic")
+		}
+	}()
+	pool.Release(src.Clone())
+}
+
+// TestClonePoolSizeClamp: sizes below 1 still yield a usable pool.
+func TestClonePoolSizeClamp(t *testing.T) {
+	pool := NewClonePool(clonePoolNet(), 0)
+	if pool.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", pool.Size())
+	}
+	c := pool.Acquire()
+	pool.Release(c)
+}

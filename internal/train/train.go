@@ -105,10 +105,12 @@ type Config struct {
 	Seed int64
 	// Verbose writes one line per epoch to Logf when set.
 	Logf func(format string, args ...any)
-	// Parallelism is the number of worker goroutines each minibatch's
-	// gradient accumulation fans out across, every worker forwarding and
-	// backpropagating its contiguous slice of the batch on its own clone
-	// of the network. Values <= 1 keep the exact serial path. The
+	// Parallelism is the number of pool workers each minibatch's
+	// gradient accumulation fans out across: Fit keeps a persistent
+	// parallel.Pool for the whole run, with one clone of the network
+	// pinned to each worker, and every worker forwards and
+	// backpropagates its contiguous slice of the batch on its own
+	// clone. Values <= 1 keep the exact serial path. The
 	// parallel path is deterministic for a fixed Seed and Parallelism
 	// (workers merge in index order) but is not bit-identical to serial,
 	// because per-sample gradient additions associate differently.
@@ -179,17 +181,22 @@ func Fit(net *nn.Network, ds *data.Dataset, cfg Config) (Result, error) {
 		order[i] = i
 	}
 
-	// Per-worker network clones for minibatch-parallel gradient
-	// accumulation, created once and re-synced from the main network
-	// after every optimizer step.
+	// Minibatch-parallel gradient accumulation runs on a persistent
+	// worker pool with one network clone pinned to each worker: the
+	// goroutines and the clones live for the whole run, and each worker
+	// re-syncs its own clone inside the parallel region — concurrently,
+	// and only for the workers a minibatch actually uses — instead of
+	// the old serial all-clone re-sync on the dispatching goroutine
+	// before every minibatch.
 	workers := parallel.Effective(cfg.BatchSize, parallel.Workers(cfg.Parallelism))
+	var pool *parallel.Pool
 	var clones []*nn.Network
 	var workerLoss []float64
 	if workers > 1 {
+		pool = parallel.NewPool(workers)
+		defer pool.Close()
 		clones = make([]*nn.Network, workers)
-		for w := range clones {
-			clones[w] = net.Clone()
-		}
+		pool.Each(func(w int) { clones[w] = net.Clone() })
 		workerLoss = make([]float64, workers)
 	}
 
@@ -205,24 +212,24 @@ func Fit(net *nn.Network, ds *data.Dataset, cfg Config) (Result, error) {
 			net.ZeroGrad()
 			batch := order[start:end]
 			if workers > 1 {
-				for _, c := range clones {
+				// A short final minibatch uses fewer chunks than the pool
+				// has workers; only the used clones are synced and merged.
+				eff := parallel.Effective(len(batch), workers)
+				pool.For(len(batch), func(w, lo, hi int) {
+					c := clones[w]
 					c.SyncParamsFrom(net)
 					c.ZeroGrad()
-				}
-				for w := range workerLoss {
 					workerLoss[w] = 0
-				}
-				parallel.For(len(batch), workers, func(w, lo, hi int) {
-					for _, l := range gradChunk(clones[w], ds, batch[lo:hi], cfg.PerSample) {
+					for _, l := range gradChunk(c, ds, batch[lo:hi], cfg.PerSample) {
 						workerLoss[w] += l
 					}
 				})
 				// Merge in worker (= batch) order: deterministic for a
 				// fixed Seed and Parallelism.
-				for _, c := range clones {
+				for _, c := range clones[:eff] {
 					net.AddGradsFrom(c)
 				}
-				for _, l := range workerLoss {
+				for _, l := range workerLoss[:eff] {
 					epochLoss += l
 				}
 			} else {

@@ -1,0 +1,106 @@
+package validate
+
+import (
+	"net"
+	"testing"
+)
+
+// Validation-throughput benchmarks over real loopback TCP: the same
+// 64-test replay driven three ways. ReplaySerial is the v1-shaped
+// lockstep replay (one query, one round trip, wait); ReplayBatched
+// amortises round trips and rides the batched forward pass over one
+// connection; ReplayShardedBatched adds concurrent workers over a
+// 2-replica fleet. The reports are bit-identical across all three (see
+// replay_test.go); these measure what that equivalence buys. CI's
+// bench-regression job tracks them (queries/sec is also reported).
+const benchSuiteLen = 64
+
+func benchSuite(b *testing.B) *Suite {
+	b.Helper()
+	return BuildSuite("bench", goldenNet(), testInputs(benchSuiteLen, 1234), ExactOutputs)
+}
+
+func benchServers(b *testing.B, n int) []string {
+	b.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := Serve(l, goldenNet())
+		b.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+	return addrs
+}
+
+func reportQPS(b *testing.B, queries int) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(queries*b.N)/s, "queries/s")
+	}
+}
+
+func BenchmarkReplaySerial(b *testing.B) {
+	suite := benchSuite(b)
+	addrs := benchServers(b, 1)
+	ip, err := Dial(addrs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ip.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := suite.Validate(ip)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Passed {
+			b.Fatal("benchmark replay failed")
+		}
+	}
+	reportQPS(b, suite.Len())
+}
+
+func BenchmarkReplayBatched(b *testing.B) {
+	suite := benchSuite(b)
+	addrs := benchServers(b, 1)
+	ip, err := Dial(addrs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ip.Close()
+	opts := ValidateOptions{Batch: 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := suite.ValidateWith(ip, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Passed {
+			b.Fatal("benchmark replay failed")
+		}
+	}
+	reportQPS(b, suite.Len())
+}
+
+func BenchmarkReplayShardedBatched(b *testing.B) {
+	suite := benchSuite(b)
+	cluster, err := DialShards(benchServers(b, 2), DialOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	opts := ValidateOptions{Batch: 16, Concurrency: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := suite.ValidateWith(cluster, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Passed {
+			b.Fatal("benchmark replay failed")
+		}
+	}
+	reportQPS(b, suite.Len())
+}

@@ -1,0 +1,135 @@
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tensor"
+)
+
+// ShardedIP fans queries across N replicas of the same served IP — the
+// production shape of the paper's validation scenario, where replay
+// traffic from many users spreads over a fleet of identical endpoints.
+// Replicas must serve the same parameters; since every replica's
+// answers are bit-identical to any other's, routing is invisible to
+// validation reports.
+//
+// Requests rotate round-robin across the healthy replicas. A replica
+// whose exchange fails in transport is marked down and the request
+// fails over to the remaining replicas; application-level rejections
+// (QueryError — a malformed input fails identically everywhere) are
+// returned directly without failover. ShardedIP is safe for concurrent
+// use when its replicas are (RemoteIP and PooledIP are; a bare LocalIP
+// is not); concurrent suite replay then shards naturally across the
+// fleet.
+type ShardedIP struct {
+	replicas []BatchIP
+	next     atomic.Uint64
+
+	mu   sync.Mutex
+	down []bool
+}
+
+// NewShardedIP builds a sharded IP over the given replicas.
+func NewShardedIP(replicas ...BatchIP) (*ShardedIP, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("validate: sharded IP needs at least one replica")
+	}
+	return &ShardedIP{replicas: replicas, down: make([]bool, len(replicas))}, nil
+}
+
+// DialShards connects to every addr and returns a ShardedIP over the
+// connections. Any dial failure closes the already-open connections and
+// fails: a replica that is down at dial time should be dropped from the
+// address list, not silently skipped.
+func DialShards(addrs []string, opts DialOptions) (*ShardedIP, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("validate: sharded IP needs at least one address")
+	}
+	replicas := make([]BatchIP, 0, len(addrs))
+	for _, addr := range addrs {
+		r, err := DialWith(addr, opts)
+		if err != nil {
+			for _, open := range replicas {
+				open.(*RemoteIP).Close()
+			}
+			return nil, fmt.Errorf("validate: dial shard %s: %w", addr, err)
+		}
+		replicas = append(replicas, r)
+	}
+	s, _ := NewShardedIP(replicas...)
+	return s, nil
+}
+
+// Replicas returns the replica count.
+func (s *ShardedIP) Replicas() int { return len(s.replicas) }
+
+// Healthy returns how many replicas have not been marked down.
+func (s *ShardedIP) Healthy() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, d := range s.down {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Query implements IP.
+func (s *ShardedIP) Query(x *tensor.Tensor) (*tensor.Tensor, error) {
+	out, err := s.QueryBatch([]*tensor.Tensor{x})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// QueryBatch implements BatchIP: the batch goes to the next healthy
+// replica round-robin, failing over to the others on transport errors.
+func (s *ShardedIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	start := int(s.next.Add(1) - 1)
+	var lastErr error
+	for i := 0; i < len(s.replicas); i++ {
+		idx := (start + i) % len(s.replicas)
+		s.mu.Lock()
+		skip := s.down[idx]
+		s.mu.Unlock()
+		if skip {
+			continue
+		}
+		out, err := s.replicas[idx].QueryBatch(xs)
+		if err == nil {
+			return out, nil
+		}
+		var qe *QueryError
+		if errors.As(err, &qe) {
+			return nil, err // the query is bad, not the replica
+		}
+		s.mu.Lock()
+		s.down[idx] = true
+		s.mu.Unlock()
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no healthy replicas")
+	}
+	return nil, fmt.Errorf("validate: all %d replicas failed: %w", len(s.replicas), lastErr)
+}
+
+// Close closes every replica that can be closed.
+func (s *ShardedIP) Close() error {
+	var first error
+	for _, r := range s.replicas {
+		if c, ok := r.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,158 @@
+package validate
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// startFleet serves the golden network on n replicas and returns their
+// addresses plus the servers (for targeted shutdown).
+func startFleet(t *testing.T, n int) ([]*Server, []string) {
+	t.Helper()
+	servers := make([]*Server, n)
+	addrs := make([]string, n)
+	for i := range servers {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = Serve(l, goldenNet())
+		addrs[i] = servers[i].Addr()
+		srv := servers[i]
+		t.Cleanup(func() { srv.Close() })
+	}
+	return servers, addrs
+}
+
+// TestShardedMatchesSingleReplica: replaying through a sharded fleet
+// must give the same report as a single endpoint — replicas are
+// bit-identical, so routing is invisible.
+func TestShardedMatchesSingleReplica(t *testing.T) {
+	_, addrs := startFleet(t, 3)
+	suite := goldenSuite(t, 8, ExactOutputs)
+
+	single, err := Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	want, err := suite.Validate(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cluster, err := DialShards(addrs, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	got, err := suite.ValidateWith(cluster, ValidateOptions{Batch: 3, Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("sharded report %+v, single-replica report %+v", got, want)
+	}
+}
+
+// TestShardedFailover: killing one replica mid-fleet must not fail the
+// replay — its traffic fails over to the survivors and the report is
+// unchanged.
+func TestShardedFailover(t *testing.T) {
+	servers, addrs := startFleet(t, 2)
+	suite := goldenSuite(t, 10, ExactOutputs)
+	cluster, err := DialShards(addrs, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Prove both replicas answer, then kill one.
+	if _, err := cluster.QueryBatch(suite.Inputs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.QueryBatch(suite.Inputs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	servers[0].Close()
+
+	rep, err := suite.ValidateWith(cluster, ValidateOptions{Batch: 2, Concurrency: 2})
+	if err != nil {
+		t.Fatalf("replay with a dead replica: %v", err)
+	}
+	if !rep.Passed || rep.Total != suite.Len() {
+		t.Fatalf("failover replay report: %+v", rep)
+	}
+	if h := cluster.Healthy(); h != 1 {
+		t.Fatalf("Healthy = %d after one replica died, want 1", h)
+	}
+}
+
+// TestShardedAllReplicasDown: when every replica is gone the error says
+// so.
+func TestShardedAllReplicasDown(t *testing.T) {
+	servers, addrs := startFleet(t, 2)
+	cluster, err := DialShards(addrs, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	for _, s := range servers {
+		s.Close()
+	}
+	_, err = cluster.QueryBatch(testInputs(2, 91))
+	if err == nil || !strings.Contains(err.Error(), "all 2 replicas failed") {
+		t.Fatalf("all-down error = %v", err)
+	}
+}
+
+// TestShardedQueryErrorNoFailover: an application-level rejection (bad
+// input shape) must come back as a QueryError without marking any
+// replica down — the same query would fail identically everywhere.
+func TestShardedQueryErrorNoFailover(t *testing.T) {
+	_, addrs := startFleet(t, 2)
+	cluster, err := DialShards(addrs, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	var qe *QueryError
+	if _, err := cluster.QueryBatch([]*tensor.Tensor{tensor.New(2, 3)}); !errors.As(err, &qe) {
+		t.Fatalf("bad-shape error = %v, want QueryError", err)
+	}
+	if h := cluster.Healthy(); h != 2 {
+		t.Fatalf("Healthy = %d after a rejected query, want 2 (no failover)", h)
+	}
+}
+
+// TestDialShardsPartialFailure: a fleet with one unreachable address
+// fails the dial outright instead of silently serving on a subset.
+func TestDialShardsPartialFailure(t *testing.T) {
+	_, addrs := startFleet(t, 1)
+	if _, err := DialShards(append(addrs, "127.0.0.1:1"), DialOptions{}); err == nil {
+		t.Fatal("dial with an unreachable shard succeeded")
+	}
+}
+
+// TestShardedLocalReplicas: ShardedIP is transport-agnostic — local
+// in-process replicas shard the same way (what the benchmarks and any
+// embedded multi-worker replay use). PooledIP replicas keep the
+// concurrent replay race-free.
+func TestShardedLocalReplicas(t *testing.T) {
+	suite := goldenSuite(t, 6, ExactOutputs)
+	cluster, err := NewShardedIP(NewPooledIP(goldenNet(), 2), NewPooledIP(goldenNet(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := suite.ValidateWith(cluster, ValidateOptions{Batch: 2, Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("local sharded replay failed: %+v", rep)
+	}
+}

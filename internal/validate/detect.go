@@ -109,11 +109,20 @@ func PredictDetection(covered interface{ Get(int) bool }, perts []*attack.Pertur
 // perturbation (reapplied and reverted around the replay) and returns
 // the detection rate.
 func DetectionRateOver(net *nn.Network, suite *Suite, perts []*attack.Perturbation) (DetectionResult, error) {
+	return DetectionRateOverWith(net, suite, perts, ValidateOptions{})
+}
+
+// DetectionRateOverWith is DetectionRateOver with a batched replay:
+// each trial's early-exit detection scan groups opts.Batch queries per
+// batched forward pass. The rates are identical to the single-query
+// replay at any batch size — batching is bit-identical and detection is
+// a boolean — so the knob only moves the campaign's throughput.
+func DetectionRateOverWith(net *nn.Network, suite *Suite, perts []*attack.Perturbation, opts ValidateOptions) (DetectionResult, error) {
 	res := DetectionResult{Trials: len(perts)}
 	ip := LocalIP{Net: net}
 	for i, p := range perts {
 		p.Reapply(net)
-		detected, err := suite.Detects(ip)
+		detected, err := suite.DetectsWith(ip, opts)
 		p.Revert(net)
 		if err != nil {
 			return DetectionResult{}, fmt.Errorf("validate: trial %d: %w", i, err)

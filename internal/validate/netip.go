@@ -1,23 +1,57 @@
 package validate
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
 // This file gives the black-box IP a wire form: the vendor hosts the
 // model behind a TCP endpoint and the user validates over the network,
 // never holding the parameters — the deployment shape of Fig. 1 where
-// only query access exists. The protocol is a stream of gob-encoded
-// request/response pairs per connection.
+// only query access exists.
+//
+// Wire protocol v2. A connection opens with a 5-byte preamble from the
+// client — the 4-byte magic "DNNV" followed by a version byte — which
+// the server answers with its own preamble before any payload flows.
+// The handshake is what turns cross-version contact into a descriptive
+// error instead of a gob decode failure mid-stream: a v1 client (which
+// opens with a bare gob request) is answered with a v1-shaped error
+// response naming the mismatch, and a v2 client talking to a v1 server
+// reports the missing preamble. After the handshake the stream is a
+// sequence of gob-encoded batched requests and responses matched by ID:
+// the client may pipeline any number of requests before reading, and
+// the server may answer them out of order (each request is evaluated on
+// a network clone checked out of a pool, so handlers run concurrently).
+//
+// Protocol v1 (historical): no preamble, a lockstep stream of
+// single-input gob requests answered in order, queries serialised by a
+// global forward mutex on the server.
 
+// Protocol identification. The version byte is bumped on any wire
+// format change; the magic never changes, so any version of either side
+// can recognise the other's hello.
+const protocolVersion = 2
+
+var protocolMagic = [4]byte{'D', 'N', 'N', 'V'}
+
+// preamble returns the 5-byte protocol hello.
+func preamble() []byte {
+	return append(append([]byte(nil), protocolMagic[:]...), protocolVersion)
+}
+
+// queryRequest / queryResponse are the v1 single-query wire messages,
+// kept so a v2 server can answer a v1 client in its own dialect with a
+// descriptive version-mismatch error.
 type queryRequest struct {
 	Input wireTensor
 }
@@ -27,22 +61,62 @@ type queryResponse struct {
 	Err    string
 }
 
-// Server hosts a network as a black-box IP endpoint.
-type Server struct {
-	net      *nn.Network
-	listener net.Listener
+// requestV2 is one batched, pipelined query exchange: Inputs are
+// evaluated in order and answered by a responseV2 carrying the same ID.
+type requestV2 struct {
+	ID     uint64
+	Inputs []wireTensor
+}
 
-	mu sync.Mutex // serialises forward passes (layers cache state)
+type responseV2 struct {
+	ID      uint64
+	Outputs []wireTensor
+	Err     string
+}
+
+// ServerOptions configures a served IP endpoint.
+type ServerOptions struct {
+	// Workers is the number of network clones the server evaluates
+	// queries on — the bound on concurrently served requests. Values
+	// <= 0 use the whole machine (parallel.Auto).
+	Workers int
+}
+
+// Server hosts a network as a black-box IP endpoint. Requests are
+// evaluated concurrently on a pool of clones of the served network
+// (the clones snapshot the parameters at Serve time; SyncParamsFrom
+// hot-updates them), so no global forward mutex serialises queries.
+type Server struct {
+	clones   *nn.ClonePool
+	listener net.Listener
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
 
-// Serve starts serving ip queries on l. It returns immediately; Close
-// stops the server. The network is shared, so queries are serialised.
+// Serve starts serving IP queries on l with default options. It
+// returns immediately; Close stops the server.
 func Serve(l net.Listener, network *nn.Network) *Server {
-	s := &Server{net: network, listener: l, closed: make(chan struct{})}
+	return ServeWith(l, network, ServerOptions{})
+}
+
+// ServeWith starts serving IP queries on l, evaluating on
+// opts.Workers clones of network.
+func ServeWith(l net.Listener, network *nn.Network, opts ServerOptions) *Server {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = parallel.Auto()
+	}
+	s := &Server{
+		clones:   nn.NewClonePool(network, workers),
+		listener: l,
+		closed:   make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -51,13 +125,29 @@ func Serve(l net.Listener, network *nn.Network) *Server {
 // Addr returns the listener address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close stops accepting and waits for handlers to finish. It is safe to
-// call more than once.
+// SyncParamsFrom refreshes the served parameters from src (which must
+// share the served network's architecture) — a hot model update. It
+// blocks until in-flight evaluations finish; no query ever sees a
+// half-updated parameter set.
+func (s *Server) SyncParamsFrom(src *nn.Network) { s.clones.SyncParamsFrom(src) }
+
+// Close stops accepting, drains in-flight requests (every request
+// already read off a connection is answered), closes the connections,
+// and waits for all handlers to finish. It is safe to call more than
+// once.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.closed)
 		err = s.listener.Close()
+		// Unblock handlers parked in Decode: an expired read deadline
+		// fails every pending and future read, while writes — the
+		// responses still draining — proceed untouched.
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.SetReadDeadline(time.Now())
+		}
+		s.connMu.Unlock()
 		s.wg.Wait()
 	})
 	return err
@@ -102,85 +192,412 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		backoff = 0
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		// Register under the lock so a concurrent Close either sees this
+		// connection (and expires its reads) or has already closed the
+		// listener, in which case Accept could not have returned it.
+		select {
+		case <-s.closed:
+			s.connMu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
+			s.connMu.Lock()
+			delete(s.conns, conn)
+			s.connMu.Unlock()
 		}()
 	}
 }
 
+// handshakeTimeout bounds how long a fresh connection may sit without
+// completing its hello, so dead connections cannot pin handlers.
+const handshakeTimeout = 10 * time.Second
+
+// serverWriteTimeout bounds each response (and handshake) write. A
+// client that stops reading fills the kernel send buffer; without this
+// bound its handler would block in Encode forever, pin a clone, and
+// hang Close's drain. With it, drain completes within one write
+// timeout even against a dead-reader client.
+const serverWriteTimeout = 30 * time.Second
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	var hello [5]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return
+	}
 	enc := gob.NewEncoder(conn)
+	if !bytes.Equal(hello[:4], protocolMagic[:]) {
+		// No preamble: a v1 client opening with a bare gob stream.
+		// Answer in the v1 response shape so its pending Query surfaces
+		// a descriptive error instead of a decode failure.
+		enc.Encode(queryResponse{Err: fmt.Sprintf(
+			"validate: protocol version mismatch: this server speaks v%d (preamble-first); the client opened with a pre-handshake v1 stream — upgrade the client", protocolVersion)})
+		return
+	}
+	// Echo our preamble; the client compares versions and bails out
+	// with a descriptive error on mismatch. Nothing more can be said in
+	// an unknown dialect, so on mismatch the connection just ends here.
+	if _, err := conn.Write(preamble()); err != nil {
+		return
+	}
+	if hello[4] != protocolVersion {
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	if s.closing() {
+		// Close may have expired read deadlines before this connection
+		// registered a pending read; do not start a session mid-drain.
+		return
+	}
+
+	dec := gob.NewDecoder(conn)
+	var encMu sync.Mutex
+	var inflight sync.WaitGroup
+	defer inflight.Wait() // drain: every accepted request is answered before conn.Close
 	for {
-		var req queryRequest
+		var req requestV2
 		if err := dec.Decode(&req); err != nil {
-			return // EOF or broken stream ends the session
+			return // EOF, broken stream, or an expired drain deadline ends the session
 		}
-		var resp queryResponse
-		x, err := fromWire(req.Input)
-		if err != nil {
-			resp.Err = err.Error()
-		} else {
-			out, qerr := s.query(x)
-			if qerr != nil {
-				resp.Err = qerr.Error()
-			} else {
-				resp.Output = toWire(out)
+		// Checking a clone out before spawning the handler — and holding
+		// it until the response is written — caps the per-connection
+		// concurrency AND the queued-response memory at the pool size,
+		// backpressuring both a flooding client and a non-reading one
+		// instead of buffering for them.
+		clone := s.clones.Acquire()
+		inflight.Add(1)
+		go func(req requestV2) {
+			defer inflight.Done()
+			defer s.clones.Release(clone)
+			resp := answer(clone, req)
+			encMu.Lock()
+			defer encMu.Unlock()
+			conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
+			if err := enc.Encode(resp); err != nil {
+				// A failed response write (dead reader, expired write
+				// deadline) is session-fatal: closing the connection
+				// fails the decode loop and the remaining queued writes
+				// immediately, so no work is done for a client that
+				// cannot receive it and Close's drain stays bounded by
+				// a single write timeout.
+				conn.Close()
 			}
-		}
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
+		}(req)
 	}
 }
 
-func (s *Server) query(x *tensor.Tensor) (out *tensor.Tensor, err error) {
+// closing reports whether Close has begun.
+func (s *Server) closing() bool {
+	select {
+	case <-s.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// answer evaluates one batched request on the given clone.
+func answer(clone *nn.Network, req requestV2) responseV2 {
+	resp := responseV2{ID: req.ID}
+	if len(req.Inputs) == 0 {
+		resp.Err = "validate: empty query batch"
+		return resp
+	}
+	xs := make([]*tensor.Tensor, len(req.Inputs))
+	for i, wt := range req.Inputs {
+		x, err := fromWire(wt)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		xs[i] = x
+	}
+	outs, err := evalOn(clone, xs)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Outputs = make([]wireTensor, len(outs))
+	for i, o := range outs {
+		resp.Outputs[i] = toWire(o)
+	}
+	return resp
+}
+
+// evalOn runs the queries on the net: same-shaped multi-input batches
+// as one batched forward pass (bit-identical per sample to individual
+// forwards), anything else per sample. A panic from a malformed input
+// shape comes back as an error, leaving the network usable; batch
+// caches are released even then — a mid-stack shape panic happens after
+// earlier layers already cached batch state, which must not ride back
+// into a clone pool pinning heap.
+func evalOn(net *nn.Network, xs []*tensor.Tensor) (out []*tensor.Tensor, err error) {
+	if len(xs) > 1 && sameShapes(xs) {
+		defer net.ReleaseBatchState()
+		defer func() {
+			if r := recover(); r != nil {
+				out, err = nil, fmt.Errorf("query rejected: %v", r)
+			}
+		}()
+		logits := net.ForwardBatch(tensor.Stack(xs))
+		out = make([]*tensor.Tensor, len(xs))
+		for i := range xs {
+			out[i] = logits.Sample(i).Clone()
+		}
+		return out, nil
+	}
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("query rejected: %v", r)
+			out, err = nil, fmt.Errorf("query rejected: %v", r)
 		}
 	}()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.net.Forward(x).Clone(), nil
+	out = make([]*tensor.Tensor, len(xs))
+	for i, x := range xs {
+		out[i] = net.Forward(x).Clone()
+	}
+	return out, nil
 }
 
-// RemoteIP is the user-side client of a served IP. It implements IP.
+// DialOptions bound the client side of a served-IP connection, so a
+// hung or half-dead server fails a validation run with a clear error
+// instead of blocking it forever. Zero fields take the defaults.
+type DialOptions struct {
+	// DialTimeout bounds connection establishment and the version
+	// handshake. Default 10s.
+	DialTimeout time.Duration
+	// ReadTimeout is the longest the client waits for the next response
+	// while requests are outstanding. Default 60s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds sending one request. Default 10s.
+	WriteTimeout time.Duration
+}
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 60 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// RemoteIP is the user-side client of a served IP. It implements
+// BatchIP, and is safe for concurrent use by any number of goroutines:
+// requests pipeline over the single connection — each caller registers
+// its request ID, sends, and parks until the shared receive loop
+// delivers the matching response — so N concurrent Query/QueryBatch
+// calls cost one connection, not N.
 type RemoteIP struct {
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	mu   sync.Mutex
+	opts DialOptions
+
+	sendMu sync.Mutex // serialises request encoding on the shared stream
+	enc    *gob.Encoder
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan responseV2
+	err     error // sticky transport failure; set once, fails everything after
+
+	wake      chan struct{} // cap 1: receive loop nudge, a send may be pending
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
-// Dial connects to a served IP at addr.
-func Dial(addr string) (*RemoteIP, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a served IP at addr with default DialOptions.
+func Dial(addr string) (*RemoteIP, error) { return DialWith(addr, DialOptions{}) }
+
+// DialWith connects to a served IP at addr and performs the protocol
+// handshake under the given bounds.
+func DialWith(addr string, opts DialOptions) (*RemoteIP, error) {
+	opts = opts.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("validate: dial IP: %w", err)
 	}
-	return &RemoteIP{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	conn.SetDeadline(time.Now().Add(opts.DialTimeout))
+	if _, err := conn.Write(preamble()); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("validate: dial IP: send handshake: %w", err)
+	}
+	var hello [5]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf(
+			"validate: dial IP: no handshake reply (%v) — the server closed or stayed silent during the version handshake, as a pre-v2 server that expects bare gob requests would", err)
+	}
+	if !bytes.Equal(hello[:4], protocolMagic[:]) {
+		conn.Close()
+		return nil, fmt.Errorf("validate: dial IP: %s is not a dnnval IP endpoint (bad magic %q)", addr, hello[:4])
+	}
+	if hello[4] != protocolVersion {
+		conn.Close()
+		return nil, fmt.Errorf("validate: dial IP: protocol version mismatch: server speaks v%d, this client v%d", hello[4], protocolVersion)
+	}
+	conn.SetDeadline(time.Time{})
+	r := &RemoteIP{
+		conn:    conn,
+		opts:    opts,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan responseV2),
+		wake:    make(chan struct{}, 1),
+		closed:  make(chan struct{}),
+	}
+	go r.recvLoop()
+	return r, nil
 }
 
 // Query implements IP over the wire.
 func (r *RemoteIP) Query(x *tensor.Tensor) (*tensor.Tensor, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.enc.Encode(queryRequest{Input: toWire(x)}); err != nil {
-		return nil, fmt.Errorf("validate: send query: %w", err)
+	out, err := r.QueryBatch([]*tensor.Tensor{x})
+	if err != nil {
+		return nil, err
 	}
-	var resp queryResponse
-	if err := r.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("validate: receive response: %w", err)
-	}
-	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
-	}
-	return fromWire(resp.Output)
+	return out[0], nil
 }
 
-// Close closes the connection.
-func (r *RemoteIP) Close() error { return r.conn.Close() }
+// QueryBatch implements BatchIP: one wire exchange answers all inputs,
+// each output bit-identical to a single Query of that input.
+func (r *RemoteIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(xs) == 0 {
+		return nil, &QueryError{Msg: "validate: empty query batch"}
+	}
+	req := requestV2{Inputs: make([]wireTensor, len(xs))}
+	for i, x := range xs {
+		req.Inputs[i] = toWire(x)
+	}
+
+	r.mu.Lock()
+	if r.err != nil {
+		err := r.err
+		r.mu.Unlock()
+		return nil, err
+	}
+	r.nextID++
+	req.ID = r.nextID
+	ch := make(chan responseV2, 1)
+	r.pending[req.ID] = ch
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+
+	r.sendMu.Lock()
+	r.conn.SetWriteDeadline(time.Now().Add(r.opts.WriteTimeout))
+	err := r.enc.Encode(req)
+	r.sendMu.Unlock()
+	if err != nil {
+		r.fail(fmt.Errorf("validate: send query: %w", err))
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		r.mu.Lock()
+		err := r.err
+		r.mu.Unlock()
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, &QueryError{Msg: resp.Err}
+	}
+	if len(resp.Outputs) != len(xs) {
+		// A count mismatch is a replica protocol violation, not a bad
+		// query: plain error, so sharded callers mark the replica down
+		// and fail over instead of surfacing it as a query rejection.
+		return nil, fmt.Errorf("validate: replica protocol violation: batch answered %d outputs for %d queries", len(resp.Outputs), len(xs))
+	}
+	out := make([]*tensor.Tensor, len(resp.Outputs))
+	for i, wt := range resp.Outputs {
+		t, err := fromWire(wt)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// recvLoop is the single reader of the connection: it sleeps while no
+// requests are outstanding, then decodes responses under the read
+// deadline and hands each to the caller that registered its ID.
+func (r *RemoteIP) recvLoop() {
+	dec := gob.NewDecoder(r.conn)
+	for {
+		select {
+		case <-r.closed:
+			r.fail(net.ErrClosed)
+			return
+		case <-r.wake:
+		}
+		for {
+			r.mu.Lock()
+			n, err := len(r.pending), r.err
+			r.mu.Unlock()
+			if err != nil {
+				return
+			}
+			if n == 0 {
+				break
+			}
+			r.conn.SetReadDeadline(time.Now().Add(r.opts.ReadTimeout))
+			var resp responseV2
+			if derr := dec.Decode(&resp); derr != nil {
+				var nerr net.Error
+				if errors.As(derr, &nerr) && nerr.Timeout() {
+					derr = fmt.Errorf("no response within %v — server hung or unreachable: %w", r.opts.ReadTimeout, derr)
+				}
+				r.fail(fmt.Errorf("validate: receive response: %w", derr))
+				return
+			}
+			r.mu.Lock()
+			ch, ok := r.pending[resp.ID]
+			delete(r.pending, resp.ID)
+			r.mu.Unlock()
+			if !ok {
+				r.fail(fmt.Errorf("validate: receive response: unsolicited response id %d — stream out of sync", resp.ID))
+				return
+			}
+			ch <- resp
+		}
+	}
+}
+
+// fail records the first transport error, fails every outstanding call,
+// and poisons the client: all later calls return the same error. The
+// connection is closed so both loops unwind.
+func (r *RemoteIP) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+		for id, ch := range r.pending {
+			close(ch)
+			delete(r.pending, id)
+		}
+	}
+	r.mu.Unlock()
+	r.conn.Close()
+}
+
+// Close closes the connection; outstanding calls fail. Safe to call
+// more than once and concurrently with queries.
+func (r *RemoteIP) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.closed)
+		r.fail(fmt.Errorf("validate: client closed: %w", net.ErrClosed))
+	})
+	return nil
+}

@@ -166,8 +166,6 @@ func TestServerSurvivesTransientAcceptErrors(t *testing.T) {
 		ip.Close()
 		t.Fatalf("server died after transient accept errors: %v", err)
 	}
-	// Close waits for handlers, which live until their client hangs up,
-	// so disconnect before shutting the server down.
 	ip.Close()
 	if err := srv.Close(); err != nil {
 		t.Fatalf("close after recovery: %v", err)

@@ -1,0 +1,50 @@
+package validate
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// PooledIP adapts an in-process network to concurrent validation. A
+// bare LocalIP can serve one evaluation at a time (layers cache
+// per-input state between forward and backward), so replaying a suite
+// with ValidateOptions.Concurrency > 1 against it would race; PooledIP
+// checks each query batch out onto a clone from an nn.ClonePool —
+// exactly how the network Server evaluates — making it safe for any
+// number of concurrent callers while staying bit-identical to LocalIP.
+type PooledIP struct {
+	clones *nn.ClonePool
+}
+
+// NewPooledIP builds a concurrent local IP over workers clones of
+// network (workers <= 0 gets one clone).
+func NewPooledIP(network *nn.Network, workers int) *PooledIP {
+	return &PooledIP{clones: nn.NewClonePool(network, workers)}
+}
+
+// Query implements IP.
+func (ip *PooledIP) Query(x *tensor.Tensor) (*tensor.Tensor, error) {
+	out, err := ip.QueryBatch([]*tensor.Tensor{x})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// QueryBatch implements BatchIP.
+func (ip *PooledIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(xs) == 0 {
+		return nil, &QueryError{Msg: "validate: empty query batch"}
+	}
+	clone := ip.clones.Acquire()
+	defer ip.clones.Release(clone)
+	out, err := evalOn(clone, xs)
+	if err != nil {
+		return nil, &QueryError{Msg: err.Error()}
+	}
+	return out, nil
+}
+
+// SyncParamsFrom refreshes the clones' parameters from src; see
+// nn.ClonePool.SyncParamsFrom.
+func (ip *PooledIP) SyncParamsFrom(src *nn.Network) { ip.clones.SyncParamsFrom(src) }

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -24,6 +25,26 @@ type IP interface {
 	Query(x *tensor.Tensor) (*tensor.Tensor, error)
 }
 
+// BatchIP is an IP that can answer a batch of queries in one exchange.
+// Every output must be bit-identical to a single Query of the same
+// input — the batched engine guarantees this for local networks, and
+// the wire protocol ships the per-sample outputs verbatim — so batching
+// is purely a throughput lever, never a semantics change.
+type BatchIP interface {
+	IP
+	QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error)
+}
+
+// QueryError is an application-level rejection from an IP (a malformed
+// input, a shape mismatch): the query itself is invalid and would fail
+// identically on any replica, as opposed to a transport failure of the
+// replica that answered. Failover logic retries transport failures on
+// the remaining replicas but surfaces QueryErrors directly.
+type QueryError struct{ Msg string }
+
+// Error implements error.
+func (e *QueryError) Error() string { return e.Msg }
+
 // LocalIP adapts an in-process network to the IP interface.
 type LocalIP struct {
 	Net *nn.Network
@@ -32,6 +53,42 @@ type LocalIP struct {
 // Query implements IP.
 func (ip LocalIP) Query(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return ip.Net.Forward(x).Clone(), nil
+}
+
+// QueryBatch implements BatchIP. Same-shaped inputs run as one batched
+// forward pass, whose per-sample logits are bit-identical to individual
+// Query calls; mixed shapes fall back to the per-sample loop (shared
+// with the server and PooledIP via evalOn).
+func (ip LocalIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(xs) == 0 {
+		return nil, &QueryError{Msg: "validate: empty query batch"}
+	}
+	out, err := evalOn(ip.Net, xs)
+	if err != nil {
+		return nil, &QueryError{Msg: err.Error()}
+	}
+	return out, nil
+}
+
+// queryRange names one failed exchange's suite indexes in errors:
+// "query 7" for a single query, "queries 32-63" for a batch — a
+// batched exchange fails as a whole, so any index in it may be the
+// culprit.
+func queryRange(lo, hi int) string {
+	if lo == hi {
+		return fmt.Sprintf("query %d", lo)
+	}
+	return fmt.Sprintf("queries %d-%d", lo, hi)
+}
+
+// sameShapes reports whether every tensor has the shape of the first.
+func sameShapes(xs []*tensor.Tensor) bool {
+	for _, x := range xs[1:] {
+		if !x.SameShape(xs[0]) {
+			return false
+		}
+	}
+	return true
 }
 
 // CompareMode selects how reference and observed outputs are compared.
@@ -105,7 +162,9 @@ func (r Report) String() string {
 	return fmt.Sprintf("FAIL (%d/%d mismatched, first at %d)", r.Mismatches, r.Total, r.FirstFailure)
 }
 
-// Validate replays the suite against the IP and compares outputs.
+// Validate replays the suite against the IP one query at a time and
+// compares outputs — the reference replay. ValidateWith batches and
+// fans the same replay out; its reports are bit-identical to this one.
 func (s *Suite) Validate(ip IP) (Report, error) {
 	if len(s.Inputs) != len(s.Outputs) {
 		return Report{}, fmt.Errorf("validate: suite has %d inputs but %d outputs", len(s.Inputs), len(s.Outputs))
@@ -124,6 +183,106 @@ func (s *Suite) Validate(ip IP) (Report, error) {
 			rep.Passed = false
 		}
 	}
+	return rep, nil
+}
+
+// ValidateOptions tunes how a suite replay is driven. Any setting
+// produces a report bit-identical to the serial single-query Validate:
+// batching rides the bit-identical batched forward pass, and the
+// concurrent workers replay disjoint contiguous index ranges whose
+// partial reports merge associatively (mismatch counts sum, the first
+// failure is the global minimum index).
+type ValidateOptions struct {
+	// Batch is the number of queries grouped into one QueryBatch
+	// exchange when the IP supports it (BatchIP); values <= 1, or a
+	// plain IP, replay one query at a time.
+	Batch int
+	// Concurrency is the number of worker goroutines replaying batches
+	// in parallel; values <= 1 replay serially. Against a RemoteIP the
+	// workers pipeline over one connection; against a ShardedIP they
+	// spread across the replicas. The IP must be safe for concurrent
+	// use when Concurrency > 1 — RemoteIP, ShardedIP and PooledIP are,
+	// a bare LocalIP (one set of layer caches) is not.
+	Concurrency int
+}
+
+// ValidateWith replays the suite against the IP with batching and
+// concurrency and returns the same report Validate would.
+func (s *Suite) ValidateWith(ip IP, opts ValidateOptions) (Report, error) {
+	if len(s.Inputs) != len(s.Outputs) {
+		return Report{}, fmt.Errorf("validate: suite has %d inputs but %d outputs", len(s.Inputs), len(s.Outputs))
+	}
+	n := len(s.Inputs)
+	batch := opts.Batch
+	bip, batched := ip.(BatchIP)
+	if !batched || batch < 1 {
+		batch = 1
+	}
+	workers := parallel.Workers(opts.Concurrency)
+	if batch == 1 && workers <= 1 {
+		return s.Validate(ip)
+	}
+	if n == 0 {
+		return Report{Passed: true, FirstFailure: -1}, nil
+	}
+
+	numBatches := (n + batch - 1) / batch
+	type partial struct {
+		mismatches, first int
+		err               error
+		errLo, errHi      int // suite index range of the failed exchange
+	}
+	parts := make([]partial, parallel.Effective(numBatches, workers))
+	parallel.For(numBatches, workers, func(w, lo, hi int) {
+		p := &parts[w]
+		p.first = -1
+		for bi := lo; bi < hi && p.err == nil; bi++ {
+			start := bi * batch
+			end := min(start+batch, n)
+			var got []*tensor.Tensor
+			var err error
+			if batch > 1 {
+				got, err = bip.QueryBatch(s.Inputs[start:end])
+				if err == nil && len(got) != end-start {
+					err = fmt.Errorf("batch answered %d outputs for %d queries", len(got), end-start)
+				}
+			} else {
+				var out *tensor.Tensor
+				if out, err = ip.Query(s.Inputs[start]); err == nil {
+					got = []*tensor.Tensor{out}
+				}
+			}
+			if err != nil {
+				p.err, p.errLo, p.errHi = err, start, end-1
+				return
+			}
+			for i := start; i < end; i++ {
+				if !s.outputsMatch(s.Outputs[i], got[i-start]) {
+					p.mismatches++
+					if p.first < 0 {
+						p.first = i
+					}
+				}
+			}
+		}
+	})
+
+	rep := Report{Passed: true, FirstFailure: -1, Total: n}
+	for _, p := range parts {
+		// Workers own ascending index ranges, so the first error (and
+		// first failure) across parts in slice order is the lowest-index
+		// one — the one the serial replay would have hit first. A failed
+		// batched exchange is attributed to its whole index range: any
+		// query in it may be the culprit.
+		if p.err != nil {
+			return Report{}, fmt.Errorf("validate: %s: %w", queryRange(p.errLo, p.errHi), p.err)
+		}
+		rep.Mismatches += p.mismatches
+		if p.first >= 0 && (rep.FirstFailure < 0 || p.first < rep.FirstFailure) {
+			rep.FirstFailure = p.first
+		}
+	}
+	rep.Passed = rep.Mismatches == 0
 	return rep, nil
 }
 
@@ -170,6 +329,44 @@ func (s *Suite) Detects(ip IP) (bool, error) {
 		}
 		if !s.outputsMatch(s.Outputs[i], got) {
 			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// DetectsWith is Detects with batched queries: the replay walks the
+// suite in order but groups opts.Batch tests per QueryBatch exchange,
+// exiting at the first batch containing a mismatch. The boolean answer
+// is identical to Detects at any batch size; a fault caught by test i
+// costs at most a batch's worth of extra queries past i. Concurrency is
+// ignored — early exit is the point of Detects, and detection campaigns
+// already parallelise across trials.
+func (s *Suite) DetectsWith(ip IP, opts ValidateOptions) (bool, error) {
+	if len(s.Inputs) != len(s.Outputs) {
+		return false, fmt.Errorf("validate: suite has %d inputs but %d outputs", len(s.Inputs), len(s.Outputs))
+	}
+	batch := opts.Batch
+	bip, batched := ip.(BatchIP)
+	if !batched || batch < 1 {
+		batch = 1
+	}
+	if batch == 1 {
+		return s.Detects(ip)
+	}
+	n := len(s.Inputs)
+	for start := 0; start < n; start += batch {
+		end := min(start+batch, n)
+		got, err := bip.QueryBatch(s.Inputs[start:end])
+		if err != nil {
+			return false, fmt.Errorf("validate: %s: %w", queryRange(start, end-1), err)
+		}
+		if len(got) != end-start {
+			return false, fmt.Errorf("validate: %s: batch answered %d outputs for %d queries", queryRange(start, end-1), len(got), end-start)
+		}
+		for i := start; i < end; i++ {
+			if !s.outputsMatch(s.Outputs[i], got[i-start]) {
+				return true, nil
+			}
 		}
 	}
 	return false, nil

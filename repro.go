@@ -207,12 +207,22 @@ func AttackBitFlip(net *Network, count int, seed int64) (*Perturbation, error) {
 // below 1 force fully serial kernels.
 var SetKernelParallelism = tensor.SetParallelism
 
-// Serve hosts the network as a black-box IP on the listener; see
-// validate.Serve.
-var Serve = validate.Serve
+// Serve hosts the network as a black-box IP on the listener,
+// evaluating queries concurrently on a pool of clones; see
+// validate.Serve. ServeWith bounds the clone pool.
+var (
+	Serve     = validate.Serve
+	ServeWith = validate.ServeWith
+)
 
-// Dial connects to a served IP.
-var Dial = validate.Dial
+// Dial connects to a served IP; DialWith adds connection and response
+// deadlines, and DialShards fans a fleet of replicas into one sharded
+// IP with failover.
+var (
+	Dial       = validate.Dial
+	DialWith   = validate.DialWith
+	DialShards = validate.DialShards
+)
 
 // OpenSuite opens a sealed suite, verifying integrity.
 var OpenSuite = validate.OpenSuite
