@@ -174,6 +174,12 @@ func cmdGenerate(args []string) error {
 	opts.Seed = *seed
 	opts.Parallelism = *par
 	opts.Batch = *batch
+	// Run the generator fan-outs on one persistent worker pool with
+	// pinned clones; the suite is bit-identical to the pool-less path at
+	// the same worker count.
+	workerPool := parallel.NewPool(*par)
+	defer workerPool.Close()
+	opts.Pool = workerPool
 
 	var res *core.Result
 	switch *method {
@@ -265,6 +271,8 @@ func cmdValidate(args []string) error {
 	batch := fs.Int("batch", 0, "queries per batched exchange (<=1 single queries; report is identical at any value)")
 	workers := fs.Int("workers", 1, "concurrent replay workers (pipelined per connection, spread across replicas)")
 	timeout := fs.Duration("timeout", 0, "per-response wait bound in remote mode (0 = default)")
+	f32 := fs.Bool("f32", false, "replay on the float32 inference path (protocol v3 float32 frames in remote mode); requires -tol")
+	tol := fs.Float64("tol", 0, "accept outputs within this absolute tolerance of the recorded references (0 = bit-exact, the paper's setting)")
 	fs.Parse(args)
 
 	if *key == "" {
@@ -279,12 +287,18 @@ func cmdValidate(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Quantised and labels-only suites already tolerate sub-rounding
+	// deviation, so -f32 without -tol is only a guaranteed failure for
+	// the bit-exact comparison mode.
+	if *f32 && *tol <= 0 && suite.Mode == validate.ExactOutputs {
+		return fmt.Errorf("-f32 computes in float32, which cannot match float64 references bit-exactly: pass -tol (1e-4 is a sound default for these models)")
+	}
 
 	var ip validate.IP
 	switch {
 	case *addr != "":
 		addrs := strings.Split(*addr, ",")
-		opts := validate.DialOptions{ReadTimeout: *timeout}
+		opts := validate.DialOptions{ReadTimeout: *timeout, F32: *f32}
 		if len(addrs) > 1 {
 			cluster, err := validate.DialShards(addrs, opts)
 			if err != nil {
@@ -306,17 +320,20 @@ func cmdValidate(args []string) error {
 			return err
 		}
 		// Concurrent local replay needs per-worker clones; the serial
-		// case keeps the allocation-free direct path.
-		if *workers > 1 {
+		// float64 case keeps the allocation-free direct path.
+		switch {
+		case *f32:
+			ip = validate.NewPooledF32IP(network, *workers)
+		case *workers > 1:
 			ip = validate.NewPooledIP(network, *workers)
-		} else {
+		default:
 			ip = validate.LocalIP{Net: network}
 		}
 	default:
 		return fmt.Errorf("need -model or -addr")
 	}
 
-	rep, err := suite.ValidateWith(ip, validate.ValidateOptions{Batch: *batch, Concurrency: *workers})
+	rep, err := suite.ValidateWith(ip, validate.ValidateOptions{Batch: *batch, Concurrency: *workers, Tolerance: *tol})
 	if err != nil {
 		return err
 	}
@@ -333,6 +350,7 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7077", "listen address of the first replica")
 	replicas := fs.Int("replicas", 1, "replica endpoints to serve, on consecutive ports from -addr")
 	workers := fs.Int("workers", 0, "network clones (= concurrent queries) per replica; 0 = whole machine")
+	f32 := fs.Bool("f32", false, "additionally host a float32 inference fleet per replica: protocol-v3 clients (dnnval validate -f32) are served reduced-precision, v2 clients stay bit-exact float64")
 	fs.Parse(args)
 
 	if *replicas < 1 {
@@ -363,7 +381,7 @@ func cmdServe(args []string) error {
 			}
 			return fmt.Errorf("replica %d: %w", i, err)
 		}
-		srv := validate.ServeWith(l, network, validate.ServerOptions{Workers: *workers})
+		srv := validate.ServeWith(l, network, validate.ServerOptions{Workers: *workers, F32: *f32})
 		servers = append(servers, srv)
 		log.Printf("serving IP replica %d/%d on %s", i+1, *replicas, srv.Addr())
 	}

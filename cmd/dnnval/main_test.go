@@ -157,7 +157,7 @@ func TestCLIServeValidate(t *testing.T) {
 	started := false
 	for attempt := 0; attempt < 5 && !started; attempt++ {
 		base = freePorts(t, 2)
-		serve = exec.Command(bin, "serve", "-model", model,
+		serve = exec.Command(bin, "serve", "-model", model, "-f32",
 			"-addr", fmt.Sprintf("127.0.0.1:%d", base), "-replicas", "2", "-workers", "2")
 		stderr, err := serve.StderrPipe()
 		if err != nil {
@@ -208,6 +208,34 @@ func TestCLIServeValidate(t *testing.T) {
 	}
 	if !strings.Contains(out, "PASS") {
 		t.Fatalf("remote validate output:\n%s", out)
+	}
+
+	// The same fleet serves the float32 path to -f32 clients: protocol
+	// v3 float32 frames, accepted under an explicit tolerance.
+	out, err = run(t, bin, "validate", "-addr", addrs, "-suite", suite, "-key", "k1",
+		"-f32", "-tol", "1e-4", "-batch", "4", "-workers", "2")
+	if err != nil {
+		t.Fatalf("remote f32 validate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Fatalf("remote f32 validate output:\n%s", out)
+	}
+
+	// -f32 without -tol is a user error with a helpful message, not a
+	// silently failing replay.
+	out, err = run(t, bin, "validate", "-addr", addrs, "-suite", suite, "-key", "k1", "-f32")
+	if err == nil || !strings.Contains(out, "-tol") {
+		t.Fatalf("f32 without tol: err=%v out:\n%s", err, out)
+	}
+
+	// Local float32 replay takes the same flags without a server.
+	out, err = run(t, bin, "validate", "-model", model, "-suite", suite, "-key", "k1",
+		"-f32", "-tol", "1e-4", "-workers", "2", "-batch", "4")
+	if err != nil {
+		t.Fatalf("local f32 validate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Fatalf("local f32 validate output:\n%s", out)
 	}
 
 	// Graceful shutdown: SIGTERM must drain and exit cleanly.

@@ -32,6 +32,7 @@ func main() {
 	probes := flag.Int("probes", 100, "probe images per Fig. 2 set")
 	par := flag.Int("parallel", 0, "worker goroutines for training and generation (0 = serial training + whole-machine generation; generated suites are bit-identical at any value)")
 	batch := flag.Int("batch", 0, "evaluation batch size per worker for suite generation (0 = default batch, 1 = per-sample; suites are bit-identical at any value)")
+	tol := flag.Float64("tol", 1e-4, "replay tolerance for the float32 precision report")
 	flag.Parse()
 
 	start := time.Now()
@@ -68,6 +69,14 @@ func main() {
 		time.Since(start).Seconds(), cifar.Name, 100*cifar.Accuracy, cifar.Net.NumParams())
 
 	fmt.Println(experiments.RunTable1(mnist, cifar).Render())
+
+	// Precision column: where the float32 serving path stands relative
+	// to the float64 reference the suites are recorded at.
+	prec, err := experiments.RunPrecision([]*experiments.Setup{mnist, cifar}, *probes, *tol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(prec.Render())
 
 	for _, s := range []*experiments.Setup{mnist, cifar} {
 		f := experiments.RunFig2(s, *probes)

@@ -96,6 +96,17 @@ type Options struct {
 	// evaluation is bit-identical to per-sample at any size, so this too
 	// is purely a speed knob.
 	Batch int
+	// Pool, when set, runs the generator fan-outs (activation
+	// extraction, per-class synthesis) on this persistent worker pool
+	// with per-worker pinned network clones, instead of spawning
+	// goroutines and cloning per call — the construction cost of the
+	// clones is paid once per run and amortised across every generator
+	// phase. The pool's worker count takes the place of Parallelism, and
+	// the suite is bit-identical to Parallelism = Pool.Workers() without
+	// a pool: pinning is purely a speed knob, like every other knob
+	// here. The caller owns the pool (Close it after the run); the
+	// generators dispatch on it from one goroutine at a time.
+	Pool *parallel.Pool
 }
 
 // DefaultOptions returns the options used throughout the evaluation.
@@ -190,11 +201,11 @@ func SelectFromTraining(net *nn.Network, train *data.Dataset, opts Options) (*Re
 	if train.Len() == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
-	workers := opts.workers()
-	sets := coverage.ParamSetsParallel(net, train, opts.Coverage, workers, opts.extractionBatch())
+	rt := newGenRuntime(net, opts)
+	sets := rt.paramSets(train)
 	acc := coverage.NewAccumulator(net.NumParams())
 	used := make([]bool, train.Len())
-	scan := newGreedyScanner(sets, acc, workers)
+	scan := newGreedyScanner(sets, acc, rt.workers())
 	res := &Result{SwitchPoint: -1}
 
 	for len(res.Tests) < opts.MaxTests {
@@ -322,22 +333,9 @@ func synthesizeBatch(target *nn.Network, inShape []int, classes int, opts Option
 	for c := range xs {
 		xs[c] = synthInit(inShape, opts, rng)
 	}
-	bsz := opts.synthesisBatch()
-	run := func(net *nn.Network, lo, hi int) {
-		for s := lo; s < hi; s += bsz {
-			e := min(s+bsz, hi)
-			if bsz <= 1 || e-s == 1 {
-				for c := s; c < e; c++ {
-					synthSteps(net, xs[c], c, opts)
-				}
-				continue
-			}
-			synthStepsBatch(net, xs[s:e], s, opts)
-		}
-	}
 	workers := parallel.Effective(classes, opts.workers())
 	if workers <= 1 {
-		run(target, 0, classes)
+		runSynth(target, xs, 0, classes, opts)
 		return xs
 	}
 	clones := make([]*nn.Network, workers)
@@ -345,9 +343,26 @@ func synthesizeBatch(target *nn.Network, inShape []int, classes int, opts Option
 		clones[w] = target.Clone()
 	}
 	parallel.For(classes, workers, func(w, lo, hi int) {
-		run(clones[w], lo, hi)
+		runSynth(clones[w], xs, lo, hi, opts)
 	})
 	return xs
+}
+
+// runSynth drives the synthesis of xs[lo:hi] on net (xs[c] targeting
+// class c), batching up to opts.synthesisBatch() classes per pass; the
+// shared worker body of the per-call-clone and pool-pinned paths.
+func runSynth(net *nn.Network, xs []*tensor.Tensor, lo, hi int, opts Options) {
+	bsz := opts.synthesisBatch()
+	for s := lo; s < hi; s += bsz {
+		e := min(s+bsz, hi)
+		if bsz <= 1 || e-s == 1 {
+			for c := s; c < e; c++ {
+				synthSteps(net, xs[c], c, opts)
+			}
+			continue
+		}
+		synthStepsBatch(net, xs[s:e], s, opts)
+	}
 }
 
 // GradientGenerate implements Algorithm 2: per round, synthesise one
@@ -369,6 +384,7 @@ func SynthesisFrom(net *nn.Network, inShape []int, classes int, opts Options, st
 		return nil, fmt.Errorf("core: classes must be positive, got %d", classes)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
+	rt := newGenRuntime(net, opts)
 	acc := coverage.NewAccumulator(net.NumParams())
 	if start != nil {
 		acc.Add(start)
@@ -393,8 +409,8 @@ func SynthesisFrom(net *nn.Network, inShape []int, classes int, opts Options, st
 		// the full-network activation extraction both fan out across the
 		// worker pool, and the accumulator merge stays in class order.
 		take := min(classes, opts.MaxTests-len(res.Tests))
-		xs := synthesizeBatch(residual, inShape, take, roundOpts, rng)
-		sets := coverage.ParamSetsOf(net, xs, opts.Coverage, opts.workers(), opts.extractionBatch())
+		xs := rt.synthesize(residual, inShape, take, roundOpts, rng)
+		sets := rt.paramSetsOf(xs)
 		roundGain := 0
 		for c := 0; c < take; c++ {
 			roundGain += acc.Add(sets[c])
@@ -422,11 +438,11 @@ func Combined(net *nn.Network, train *data.Dataset, opts Options) (*Result, erro
 	inShape := []int{train.C, train.H, train.W}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
-	workers := opts.workers()
-	sets := coverage.ParamSetsParallel(net, train, opts.Coverage, workers, opts.extractionBatch())
+	rt := newGenRuntime(net, opts)
+	sets := rt.paramSets(train)
 	acc := coverage.NewAccumulator(net.NumParams())
 	used := make([]bool, train.Len())
-	scan := newGreedyScanner(sets, acc, workers)
+	scan := newGreedyScanner(sets, acc, rt.workers())
 	res := &Result{SwitchPoint: -1}
 
 	for len(res.Tests) < opts.MaxTests {
@@ -437,8 +453,8 @@ func Combined(net *nn.Network, train *data.Dataset, opts Options) (*Result, erro
 		// per-class synthesis and activation extraction fan out; the
 		// probe accumulator merges in class order, as serially.
 		residual := residualNet(net, acc.Set())
-		xs := synthesizeBatch(residual, inShape, classes, opts, rng)
-		probeSets := coverage.ParamSetsOf(net, xs, opts.Coverage, workers, opts.extractionBatch())
+		xs := rt.synthesize(residual, inShape, classes, opts, rng)
+		probeSets := rt.paramSetsOf(xs)
 		probeAcc := acc.Clone()
 		probeGain := 0
 		for c := 0; c < classes; c++ {
@@ -466,7 +482,7 @@ func Combined(net *nn.Network, train *data.Dataset, opts Options) (*Result, erro
 			if err != nil {
 				return nil, err
 			}
-			tailSets := coverage.ParamSetsOf(net, tail.Tests, opts.Coverage, workers, opts.extractionBatch())
+			tailSets := rt.paramSetsOf(tail.Tests)
 			for i := range tail.Tests {
 				acc.Add(tailSets[i])
 				res.add(tail.Tests[i], tail.Labels[i], FromSynthesis, acc.Coverage())
@@ -500,7 +516,7 @@ func RandomSelect(net *nn.Network, train *data.Dataset, opts Options) (*Result, 
 	for j, idx := range picks {
 		xs[j] = train.Samples[idx].X
 	}
-	sets := coverage.ParamSetsOf(net, xs, opts.Coverage, opts.workers(), opts.extractionBatch())
+	sets := newGenRuntime(net, opts).paramSetsOf(xs)
 	for j, idx := range picks {
 		s := train.Samples[idx]
 		acc.Add(sets[j])

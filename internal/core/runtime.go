@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/coverage"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// genRuntime is the run-scoped execution state of one generator
+// invocation. Without Options.Pool it is a thin dispatcher onto the
+// spawn-per-call paths (coverage.ParamSets*, synthesizeBatch). With a
+// pool it holds the per-worker pinned clones — one set for activation
+// extraction on the full network (whose parameters never change during
+// a run, so they are cloned once and never re-synced) and one for
+// synthesis (whose target is a fresh residual network every round, so
+// the clones are re-synced in place instead of rebuilt) — amortising
+// clone construction across all the phases of the run.
+type genRuntime struct {
+	opts  Options
+	net   *nn.Network               // the full network extraction runs on
+	ext   *coverage.PinnedExtractor // lazy; only built when extraction happens
+	synth []*nn.Network             // lazy pinned synthesis clones
+}
+
+func newGenRuntime(net *nn.Network, opts Options) *genRuntime {
+	return &genRuntime{opts: opts, net: net}
+}
+
+// workers is the fan-out width of this run: the pool's worker count
+// when pinned, Options.Parallelism otherwise.
+func (rt *genRuntime) workers() int {
+	if rt.opts.Pool != nil {
+		return rt.opts.Pool.Workers()
+	}
+	return rt.opts.workers()
+}
+
+func (rt *genRuntime) extractor() *coverage.PinnedExtractor {
+	if rt.ext == nil {
+		rt.ext = coverage.NewPinnedExtractor(rt.net, rt.opts.Pool, rt.opts.extractionBatch())
+	}
+	return rt.ext
+}
+
+// paramSets extracts every training sample's activation set.
+func (rt *genRuntime) paramSets(train *data.Dataset) []*bitset.Set {
+	if rt.opts.Pool != nil {
+		return rt.extractor().ParamSets(train, rt.opts.Coverage)
+	}
+	return coverage.ParamSetsParallel(rt.net, train, rt.opts.Coverage, rt.opts.workers(), rt.opts.extractionBatch())
+}
+
+// paramSetsOf extracts each input's activation set on the full network.
+func (rt *genRuntime) paramSetsOf(xs []*tensor.Tensor) []*bitset.Set {
+	if rt.opts.Pool != nil {
+		return rt.extractor().ParamSetsOf(xs, rt.opts.Coverage)
+	}
+	return coverage.ParamSetsOf(rt.net, xs, rt.opts.Coverage, rt.opts.workers(), rt.opts.extractionBatch())
+}
+
+// synthesize runs one per-class synthesis round against target (a
+// residual network). opts is passed explicitly because rounds may vary
+// the Init mode (Gaussian restarts after a dry round) without touching
+// the runtime's own options.
+func (rt *genRuntime) synthesize(target *nn.Network, inShape []int, classes int, opts Options, rng *rand.Rand) []*tensor.Tensor {
+	pool := rt.opts.Pool
+	if pool == nil {
+		return synthesizeBatch(target, inShape, classes, opts, rng)
+	}
+	// The rng draws happen serially in class order — the identical
+	// stream to the serial per-class loop — before any fan-out.
+	xs := make([]*tensor.Tensor, classes)
+	for c := range xs {
+		xs[c] = synthInit(inShape, opts, rng)
+	}
+	if parallel.Effective(classes, pool.Workers()) <= 1 {
+		runSynth(target, xs, 0, classes, opts)
+		return xs
+	}
+	if rt.synth == nil {
+		rt.synth = make([]*nn.Network, pool.Workers())
+		pool.Each(func(w int) { rt.synth[w] = target.Clone() })
+	} else {
+		pool.Each(func(w int) { rt.synth[w].SyncParamsFrom(target) })
+	}
+	pool.For(classes, func(w, lo, hi int) {
+		runSynth(rt.synth[w], xs, lo, hi, opts)
+	})
+	return xs
+}

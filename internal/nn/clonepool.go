@@ -5,18 +5,19 @@ import (
 	"sync"
 )
 
-// ClonePool is a fixed set of deep clones of a source network handed
-// out for concurrent forward/backward work. Layers cache per-input
-// state between Forward and Backward, so a network can serve one
-// evaluation at a time; a ClonePool turns that into bounded concurrency
-// — at most Size evaluations in flight, each on its own clone — without
-// cloning per call. The validation server runs its request handlers on
-// one, and any worker-pool consumer with pinned clones can be read as
-// the same pattern with pool-managed checkout.
+// clonePool is the precision-generic pool core: a fixed set of deep
+// clones handed out for concurrent forward/backward work. Networks can
+// serve one evaluation at a time (float64 layers cache per-input state
+// between Forward and Backward; float32 clones must not observe a
+// parameter update mid-evaluation), so a pool turns that into bounded
+// concurrency — at most Size evaluations in flight, each on its own
+// clone — without cloning per call. The validation server runs its
+// request handlers on one, and any worker-pool consumer with pinned
+// clones can be read as the same pattern with pool-managed checkout.
 //
 // Acquire, Release and SyncParamsFrom are all safe for concurrent use.
-type ClonePool struct {
-	free chan *Network
+type clonePool[C interface{ SyncParamsFrom(*Network) }] struct {
+	free chan C
 	size int
 
 	// syncMu serialises SyncParamsFrom calls: each syncer drains the
@@ -25,29 +26,58 @@ type ClonePool struct {
 	syncMu sync.Mutex
 }
 
-// NewClonePool clones src size times (size is clamped to at least 1).
-// The clones snapshot src's parameters at construction; later changes
-// to src are not seen until SyncParamsFrom.
-func NewClonePool(src *Network, size int) *ClonePool {
+// ClonePool is a pool of float64 Network clones.
+type ClonePool = clonePool[*Network]
+
+// ClonePoolF32 is a pool of float32 inference clones (NetF32) of a
+// float64 master network — the serving fleet of the reduced-precision
+// path. SyncParamsFrom takes the float64 master and re-quantises every
+// clone, so a server hosting a float32 fleet hot-updates it from the
+// same source of truth as a float64 one.
+type ClonePoolF32 = clonePool[*NetF32]
+
+func newClonePool[C interface{ SyncParamsFrom(*Network) }](clone func() C, size int) *clonePool[C] {
 	if size < 1 {
 		size = 1
 	}
-	p := &ClonePool{free: make(chan *Network, size), size: size}
+	p := &clonePool[C]{free: make(chan C, size), size: size}
 	for i := 0; i < size; i++ {
-		p.free <- src.Clone()
+		p.free <- clone()
 	}
 	return p
 }
 
+// NewClonePool clones src size times (size is clamped to at least 1).
+// The clones snapshot src's parameters at construction; later changes
+// to src are not seen until SyncParamsFrom.
+func NewClonePool(src *Network, size int) *ClonePool {
+	return newClonePool(src.Clone, size)
+}
+
+// NewClonePoolF32 converts src to float32 and clones the conversion
+// size times (size is clamped to at least 1). Like NewClonePool, the
+// clones snapshot src's parameters (re-quantised) at construction.
+func NewClonePoolF32(src *Network, size int) *ClonePoolF32 {
+	master := src.ConvertF32()
+	first := true
+	return newClonePool(func() *NetF32 {
+		if first {
+			first = false
+			return master
+		}
+		return master.Clone()
+	}, size)
+}
+
 // Size returns the number of clones the pool manages.
-func (p *ClonePool) Size() int { return p.size }
+func (p *clonePool[C]) Size() int { return p.size }
 
 // Acquire checks a clone out, blocking until one is free. Every Acquire
 // must be paired with a Release of the same clone.
-func (p *ClonePool) Acquire() *Network { return <-p.free }
+func (p *clonePool[C]) Acquire() C { return <-p.free }
 
 // Release checks a clone back in.
-func (p *ClonePool) Release(c *Network) {
+func (p *clonePool[C]) Release(c C) {
 	select {
 	case p.free <- c:
 	default:
@@ -58,15 +88,16 @@ func (p *ClonePool) Release(c *Network) {
 }
 
 // SyncParamsFrom refreshes every clone's parameters from src — the hot
-// parameter update of a serving runtime. It acquires all clones (so it
-// blocks until in-flight work completes, and no evaluation can see a
-// half-updated set), syncs each, and releases them. Concurrent callers
-// are serialised; each completed call leaves the pool consistent with
-// its src.
-func (p *ClonePool) SyncParamsFrom(src *Network) {
+// parameter update of a serving runtime (float32 pools re-quantise from
+// the float64 master). It acquires all clones (so it blocks until
+// in-flight work completes, and no evaluation can see a half-updated
+// set), syncs each, and releases them. Concurrent callers are
+// serialised; each completed call leaves the pool consistent with its
+// src.
+func (p *clonePool[C]) SyncParamsFrom(src *Network) {
 	p.syncMu.Lock()
 	defer p.syncMu.Unlock()
-	clones := make([]*Network, p.size)
+	clones := make([]C, p.size)
 	for i := range clones {
 		clones[i] = p.Acquire()
 	}

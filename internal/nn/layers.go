@@ -56,6 +56,9 @@ func (c *Conv2D) InitGlorot(rng *rand.Rand) {
 // OutShape returns the [OutC, OutH, OutW] output shape.
 func (c *Conv2D) OutShape() []int { return []int{c.OutC, c.geom.OutH, c.geom.OutW} }
 
+// Geom returns the convolution window geometry.
+func (c *Conv2D) Geom() tensor.ConvGeom { return c.geom }
+
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 3 || x.Dim(0) != c.InC || x.Dim(1) != c.InH || x.Dim(2) != c.InW {

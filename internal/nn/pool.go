@@ -29,6 +29,9 @@ func NewMaxPool2D(name string, c, h, w, k, stride int) *MaxPool2D {
 // OutShape returns the [C, OutH, OutW] output shape.
 func (m *MaxPool2D) OutShape() []int { return []int{m.C, m.geom.OutH, m.geom.OutW} }
 
+// Geom returns the pooling window geometry.
+func (m *MaxPool2D) Geom() tensor.ConvGeom { return m.geom }
+
 // Forward implements Layer.
 func (m *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 3 || x.Dim(0) != m.C || x.Dim(1) != m.H || x.Dim(2) != m.W {

@@ -1,0 +1,44 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Float32-vs-float64 GEMM: the pair CI's bench-regression job tracks
+// for the reduced-precision kernel path. The shape is the wide batched
+// convolution product of the serving hot loop ([OutC, C*K*K] ×
+// [C*K*K, B*OHW]-ish), large enough to be memory-bandwidth-bound, where
+// halving the element size is the point of the float32 path.
+const (
+	benchGemmM = 64
+	benchGemmK = 256
+	benchGemmN = 4096
+)
+
+func benchGemmOperands() (*Tensor, *Tensor) {
+	rng := rand.New(rand.NewSource(42))
+	a, b := New(benchGemmM, benchGemmK), New(benchGemmK, benchGemmN)
+	a.FillNormal(rng, 0, 1)
+	b.FillNormal(rng, 0, 1)
+	return a, b
+}
+
+func BenchmarkGEMMF64(b *testing.B) {
+	x, y := benchGemmOperands()
+	c := New(benchGemmM, benchGemmN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(c, x, y, false)
+	}
+}
+
+func BenchmarkGEMMF32(b *testing.B) {
+	x64, y64 := benchGemmOperands()
+	x, y := x64.F32(), y64.F32()
+	c := New32(benchGemmM, benchGemmN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(c, x, y, false)
+	}
+}

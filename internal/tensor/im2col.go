@@ -30,13 +30,13 @@ func Geom(c, h, w, kh, kw, stride, pad int) ConvGeom {
 // columns are the flattened receptive fields, so that convolution becomes
 // a single MatMul with the [OC, C*KH*KW] weight matrix. Padding positions
 // contribute zeros.
-func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+func Im2Col[E Num](x *Dense[E], g ConvGeom) *Dense[E] {
 	if x.Rank() != 3 || x.Dim(0) != g.C || x.Dim(1) != g.H || x.Dim(2) != g.W {
 		panic(fmt.Sprintf("tensor: Im2Col input %v does not match geometry %+v", x.Shape(), g))
 	}
 	rows := g.C * g.KH * g.KW
 	cols := g.OutH * g.OutW
-	out := New(rows, cols)
+	out := NewOf[E](rows, cols)
 	xd, od := x.Data(), out.Data()
 	for c := 0; c < g.C; c++ {
 		for ki := 0; ki < g.KH; ki++ {
@@ -71,7 +71,7 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 // and every output column is produced by the same operation sequence as
 // the per-sample product, so batched convolution is bit-identical to
 // per-sample convolution.
-func Im2ColBatch(x *Tensor, g ConvGeom) *Tensor {
+func Im2ColBatch[E Num](x *Dense[E], g ConvGeom) *Dense[E] {
 	if x.Rank() != 4 || x.Dim(1) != g.C || x.Dim(2) != g.H || x.Dim(3) != g.W {
 		panic(fmt.Sprintf("tensor: Im2ColBatch input %v does not match geometry %+v", x.Shape(), g))
 	}
@@ -79,7 +79,7 @@ func Im2ColBatch(x *Tensor, g ConvGeom) *Tensor {
 	rows := g.C * g.KH * g.KW
 	sampleCols := g.OutH * g.OutW
 	cols := batch * sampleCols
-	out := New(rows, cols)
+	out := NewOf[E](rows, cols)
 	xd, od := x.Data(), out.Data()
 	sampleSize := g.C * g.H * g.W
 	for b := 0; b < batch; b++ {
@@ -114,13 +114,13 @@ func Im2ColBatch(x *Tensor, g ConvGeom) *Tensor {
 // Col2Im scatters a [C*KH*KW, OutH*OutW] column matrix back into a
 // [C,H,W] tensor, accumulating overlapping contributions. It is the
 // adjoint of Im2Col and is used for the convolution input gradient.
-func Col2Im(col *Tensor, g ConvGeom) *Tensor {
+func Col2Im[E Num](col *Dense[E], g ConvGeom) *Dense[E] {
 	rows := g.C * g.KH * g.KW
 	cols := g.OutH * g.OutW
 	if col.Rank() != 2 || col.Dim(0) != rows || col.Dim(1) != cols {
 		panic(fmt.Sprintf("tensor: Col2Im input %v does not match geometry %+v", col.Shape(), g))
 	}
-	x := New(g.C, g.H, g.W)
+	x := NewOf[E](g.C, g.H, g.W)
 	cd, xd := col.Data(), x.Data()
 	for c := 0; c < g.C; c++ {
 		for ki := 0; ki < g.KH; ki++ {

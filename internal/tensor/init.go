@@ -5,25 +5,29 @@ import (
 	"math/rand"
 )
 
+// Random fills draw in float64 and convert to the element type, so the
+// float64 instantiation consumes the identical rng stream and stores
+// the identical values it always has.
+
 // FillUniform fills t with samples from the uniform distribution on
 // [lo, hi) drawn from rng.
-func (t *Tensor) FillUniform(rng *rand.Rand, lo, hi float64) {
+func (t *Dense[E]) FillUniform(rng *rand.Rand, lo, hi float64) {
 	for i := range t.data {
-		t.data[i] = lo + rng.Float64()*(hi-lo)
+		t.data[i] = E(lo + rng.Float64()*(hi-lo))
 	}
 }
 
 // FillNormal fills t with samples from N(mean, std²) drawn from rng.
-func (t *Tensor) FillNormal(rng *rand.Rand, mean, std float64) {
+func (t *Dense[E]) FillNormal(rng *rand.Rand, mean, std float64) {
 	for i := range t.data {
-		t.data[i] = mean + rng.NormFloat64()*std
+		t.data[i] = E(mean + rng.NormFloat64()*std)
 	}
 }
 
 // GlorotUniform fills t with the Glorot/Xavier uniform initialisation for
 // a layer with the given fan-in and fan-out; the standard choice for
 // Tanh/Sigmoid networks (Table I's MNIST model).
-func (t *Tensor) GlorotUniform(rng *rand.Rand, fanIn, fanOut int) {
+func (t *Dense[E]) GlorotUniform(rng *rand.Rand, fanIn, fanOut int) {
 	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
 	t.FillUniform(rng, -limit, limit)
 }
@@ -31,6 +35,6 @@ func (t *Tensor) GlorotUniform(rng *rand.Rand, fanIn, fanOut int) {
 // HeNormal fills t with the He/Kaiming normal initialisation for a layer
 // with the given fan-in; the standard choice for ReLU networks (Table I's
 // CIFAR model).
-func (t *Tensor) HeNormal(rng *rand.Rand, fanIn int) {
+func (t *Dense[E]) HeNormal(rng *rand.Rand, fanIn int) {
 	t.FillNormal(rng, 0, math.Sqrt(2.0/float64(fanIn)))
 }

@@ -59,19 +59,28 @@ func kernelWorkers(rows, flops int) int {
 	return w
 }
 
+// The kernels below are generic over the element type: each
+// instantiation accumulates in its own precision (float64 kernels are
+// instruction-for-instruction the pre-generic float64 kernels; float32
+// kernels multiply, add and skip zeros in float32, halving memory
+// traffic on bandwidth-bound products). The row-panel parallel
+// guarantee is precision-independent: panels are disjoint and each row
+// runs the serial kernel's operation sequence, so results never depend
+// on the worker count.
+
 // MatMul returns C = A·B for A of shape [m,k] and B of shape [k,n].
 // The inner loop is ordered i-k-j so B is walked row-contiguously, which
 // is the standard cache-friendly pure-Go GEMM arrangement.
-func MatMul(a, b *Tensor) *Tensor {
+func MatMul[E Num](a, b *Dense[E]) *Dense[E] {
 	m, k, n := gemmDims(a, b)
-	c := New(m, n)
+	c := NewOf[E](m, n)
 	gemm(c.data, a.data, b.data, m, k, n, false)
 	return c
 }
 
 // MatMulInto computes C = A·B into an existing [m,n] tensor, avoiding the
 // allocation. If accumulate is true it computes C += A·B instead.
-func MatMulInto(c, a, b *Tensor, accumulate bool) {
+func MatMulInto[E Num](c, a, b *Dense[E], accumulate bool) {
 	m, k, n := gemmDims(a, b)
 	if c.Rank() != 2 || c.Dim(0) != m || c.Dim(1) != n {
 		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", c.Shape(), m, n))
@@ -79,7 +88,7 @@ func MatMulInto(c, a, b *Tensor, accumulate bool) {
 	gemm(c.data, a.data, b.data, m, k, n, accumulate)
 }
 
-func gemmDims(a, b *Tensor) (m, k, n int) {
+func gemmDims[E Num](a, b *Dense[E]) (m, k, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v × %v", a.Shape(), b.Shape()))
 	}
@@ -93,9 +102,9 @@ func gemmDims(a, b *Tensor) (m, k, n int) {
 // gemm computes C (+)= A·B, fanning row panels of C out across the
 // worker pool when the product is large enough to pay for it. Workers
 // own disjoint row panels and each row is produced by the same
-// float64 operation sequence as the serial kernel, so results do not
-// depend on the worker count.
-func gemm(c, a, b []float64, m, k, n int, accumulate bool) {
+// operation sequence as the serial kernel, so results do not depend on
+// the worker count.
+func gemm[E Num](c, a, b []E, m, k, n int, accumulate bool) {
 	workers := kernelWorkers(m, m*k*n)
 	parallel.ForUncounted(m, workers, func(_, lo, hi int) {
 		gemmRows(c, a, b, lo, hi, k, n, accumulate)
@@ -103,7 +112,7 @@ func gemm(c, a, b []float64, m, k, n int, accumulate bool) {
 }
 
 // gemmRows is the serial kernel over the row panel [lo,hi) of C.
-func gemmRows(c, a, b []float64, lo, hi, k, n int, accumulate bool) {
+func gemmRows[E Num](c, a, b []E, lo, hi, k, n int, accumulate bool) {
 	if !accumulate {
 		panel := c[lo*n : hi*n]
 		for i := range panel {
@@ -130,9 +139,9 @@ func gemmRows(c, a, b []float64, lo, hi, k, n int, accumulate bool) {
 // of C (columns of A) are independent, and every C row accumulates its
 // kk terms in ascending order exactly as the serial kernel does, so the
 // parallel path is bit-identical.
-func MatMulTA(a, b *Tensor) *Tensor {
+func MatMulTA[E Num](a, b *Dense[E]) *Dense[E] {
 	k, m, n := gemmTADims(a, b)
-	c := New(m, n)
+	c := NewOf[E](m, n)
 	gemmTA(c, a, b, k, m, n)
 	return c
 }
@@ -143,7 +152,7 @@ func MatMulTA(a, b *Tensor) *Tensor {
 // gradient cell receives its per-sample terms in ascending sample order,
 // exactly the sequence of the per-sample accumulation loop, so the
 // batched gradients are bit-identical to the serial path.
-func MatMulTAInto(c, a, b *Tensor, accumulate bool) {
+func MatMulTAInto[E Num](c, a, b *Dense[E], accumulate bool) {
 	k, m, n := gemmTADims(a, b)
 	if c.Rank() != 2 || c.Dim(0) != m || c.Dim(1) != n {
 		panic(fmt.Sprintf("tensor: MatMulTAInto dst shape %v, want [%d %d]", c.Shape(), m, n))
@@ -154,7 +163,7 @@ func MatMulTAInto(c, a, b *Tensor, accumulate bool) {
 	gemmTA(c, a, b, k, m, n)
 }
 
-func gemmTADims(a, b *Tensor) (k, m, n int) {
+func gemmTADims[E Num](a, b *Dense[E]) (k, m, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(0) != b.Dim(0) {
 		panic(fmt.Sprintf("tensor: MatMulTA shape mismatch %v × %v", a.Shape(), b.Shape()))
 	}
@@ -162,7 +171,7 @@ func gemmTADims(a, b *Tensor) (k, m, n int) {
 }
 
 // gemmTA accumulates Aᵀ·B into c, which holds the starting values.
-func gemmTA(c, a, b *Tensor, k, m, n int) {
+func gemmTA[E Num](c, a, b *Dense[E], k, m, n int) {
 	workers := kernelWorkers(m, m*k*n)
 	parallel.ForUncounted(m, workers, func(_, lo, hi int) {
 		for kk := 0; kk < k; kk++ {
@@ -184,9 +193,9 @@ func gemmTA(c, a, b *Tensor, k, m, n int) {
 
 // MatMulTB returns C = A·Bᵀ for A of shape [m,k] and B of shape [n,k];
 // the input-gradient product of a dense layer backward pass.
-func MatMulTB(a, b *Tensor) *Tensor {
+func MatMulTB[E Num](a, b *Dense[E]) *Dense[E] {
 	m, k, n := gemmTBDims(a, b)
-	c := New(m, n)
+	c := NewOf[E](m, n)
 	gemmTB(c, a, b, m, k, n, false)
 	return c
 }
@@ -197,7 +206,7 @@ func MatMulTB(a, b *Tensor) *Tensor {
 // sequence as MatMulTB followed by an elementwise add — so accumulating
 // layer gradients through it is bit-identical to the allocate-then-add
 // form.
-func MatMulTBInto(c, a, b *Tensor, accumulate bool) {
+func MatMulTBInto[E Num](c, a, b *Dense[E], accumulate bool) {
 	m, k, n := gemmTBDims(a, b)
 	if c.Rank() != 2 || c.Dim(0) != m || c.Dim(1) != n {
 		panic(fmt.Sprintf("tensor: MatMulTBInto dst shape %v, want [%d %d]", c.Shape(), m, n))
@@ -205,14 +214,14 @@ func MatMulTBInto(c, a, b *Tensor, accumulate bool) {
 	gemmTB(c, a, b, m, k, n, accumulate)
 }
 
-func gemmTBDims(a, b *Tensor) (m, k, n int) {
+func gemmTBDims[E Num](a, b *Dense[E]) (m, k, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(1) != b.Dim(1) {
 		panic(fmt.Sprintf("tensor: MatMulTB shape mismatch %v × %v", a.Shape(), b.Shape()))
 	}
 	return a.Dim(0), a.Dim(1), b.Dim(0)
 }
 
-func gemmTB(c, a, b *Tensor, m, k, n int, accumulate bool) {
+func gemmTB[E Num](c, a, b *Dense[E], m, k, n int, accumulate bool) {
 	workers := kernelWorkers(m, m*k*n)
 	parallel.ForUncounted(m, workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -220,7 +229,7 @@ func gemmTB(c, a, b *Tensor, m, k, n int, accumulate bool) {
 			crow := c.data[i*n : i*n+n]
 			for j := 0; j < n; j++ {
 				brow := b.data[j*k : j*k+k]
-				s := 0.0
+				var s E
 				for kk, av := range arow {
 					s += av * brow[kk]
 				}
@@ -235,17 +244,17 @@ func gemmTB(c, a, b *Tensor, m, k, n int, accumulate bool) {
 }
 
 // MatVec returns y = A·x for A of shape [m,n] and x of length n.
-func MatVec(a, x *Tensor) *Tensor {
+func MatVec[E Num](a, x *Dense[E]) *Dense[E] {
 	if a.Rank() != 2 || x.Size() != a.Dim(1) {
 		panic(fmt.Sprintf("tensor: MatVec shape mismatch %v × %v", a.Shape(), x.Shape()))
 	}
 	m, n := a.Dim(0), a.Dim(1)
-	y := New(m)
+	y := NewOf[E](m)
 	workers := kernelWorkers(m, m*n)
 	parallel.ForUncounted(m, workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := a.data[i*n : i*n+n]
-			s := 0.0
+			var s E
 			for j, v := range row {
 				s += v * x.data[j]
 			}

@@ -1,11 +1,19 @@
 // Package tensor implements the dense numeric arrays underlying the DNN
-// engine: shape-checked float64 tensors with the operations the network
-// layers need (elementwise arithmetic, matrix multiplication, im2col for
+// engine: shape-checked tensors with the operations the network layers
+// need (elementwise arithmetic, matrix multiplication, im2col for
 // convolution lowering, reductions and random initialisation).
 //
 // Layout is row-major; images use NCHW (batch, channel, height, width).
-// float64 is used throughout so that the numerical gradient checks in
-// internal/nn can verify the analytic backward passes tightly.
+// Storage and kernels are generic over the element type through the Num
+// constraint (float32 | float64). The float64 instantiation T64 is the
+// engine's reference precision — aliased as Tensor, it is what the
+// numerical gradient checks in internal/nn verify the analytic backward
+// passes against, and its kernels are bit-identical to the pre-generic
+// float64 implementation. The float32 instantiation T32 halves memory
+// traffic on the bandwidth-bound inference hot loops; it backs the
+// reduced-precision serving path in internal/nn and internal/validate,
+// whose replay comparisons run under an explicit tolerance instead of
+// bit-exactness.
 package tensor
 
 import (
@@ -13,16 +21,32 @@ import (
 	"math"
 )
 
-// Tensor is a dense row-major float64 array with an explicit shape.
-// The zero value is an empty tensor; use New or FromSlice.
-type Tensor struct {
-	shape []int
-	data  []float64
+// Num constrains the element types the tensor kernels support.
+type Num interface {
+	float32 | float64
 }
 
-// New returns a zero-filled tensor with the given shape. A call with no
-// dimensions returns a scalar tensor of one element.
-func New(shape ...int) *Tensor {
+// Dense is a dense row-major array of E with an explicit shape.
+// The zero value is an empty tensor; use NewOf or FromSliceOf.
+type Dense[E Num] struct {
+	shape []int
+	data  []E
+}
+
+// T64 is the float64 tensor, the engine's reference precision.
+type T64 = Dense[float64]
+
+// T32 is the float32 tensor of the reduced-precision inference path.
+type T32 = Dense[float32]
+
+// Tensor is the engine's default tensor type — the float64
+// instantiation, so every pre-existing float64 API and guarantee is
+// untouched by the generic storage underneath.
+type Tensor = T64
+
+// NewOf returns a zero-filled tensor of E with the given shape. A call
+// with no dimensions returns a scalar tensor of one element.
+func NewOf[E Num](shape ...int) *Dense[E] {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
@@ -32,12 +56,19 @@ func New(shape ...int) *Tensor {
 	}
 	s := make([]int, len(shape))
 	copy(s, shape)
-	return &Tensor{shape: s, data: make([]float64, n)}
+	return &Dense[E]{shape: s, data: make([]E, n)}
 }
 
-// FromSlice wraps data in a tensor of the given shape. The slice is used
-// directly (not copied); it panics if the length does not match the shape.
-func FromSlice(data []float64, shape ...int) *Tensor {
+// New returns a zero-filled float64 tensor with the given shape.
+func New(shape ...int) *Tensor { return NewOf[float64](shape...) }
+
+// New32 returns a zero-filled float32 tensor with the given shape.
+func New32(shape ...int) *T32 { return NewOf[float32](shape...) }
+
+// FromSliceOf wraps data in a tensor of the given shape. The slice is
+// used directly (not copied); it panics if the length does not match the
+// shape.
+func FromSliceOf[E Num](data []E, shape ...int) *Dense[E] {
 	n := 1
 	for _, d := range shape {
 		n *= d
@@ -47,32 +78,35 @@ func FromSlice(data []float64, shape ...int) *Tensor {
 	}
 	s := make([]int, len(shape))
 	copy(s, shape)
-	return &Tensor{shape: s, data: data}
+	return &Dense[E]{shape: s, data: data}
 }
+
+// FromSlice wraps float64 data in a tensor of the given shape.
+func FromSlice(data []float64, shape ...int) *Tensor { return FromSliceOf(data, shape...) }
 
 // Shape returns the tensor's dimensions. The returned slice must not be
 // modified.
-func (t *Tensor) Shape() []int { return t.shape }
+func (t *Dense[E]) Shape() []int { return t.shape }
 
 // Dim returns the size of dimension i.
-func (t *Tensor) Dim(i int) int { return t.shape[i] }
+func (t *Dense[E]) Dim(i int) int { return t.shape[i] }
 
 // Rank returns the number of dimensions.
-func (t *Tensor) Rank() int { return len(t.shape) }
+func (t *Dense[E]) Rank() int { return len(t.shape) }
 
 // Size returns the total number of elements.
-func (t *Tensor) Size() int { return len(t.data) }
+func (t *Dense[E]) Size() int { return len(t.data) }
 
 // Data returns the backing slice. Mutating it mutates the tensor.
-func (t *Tensor) Data() []float64 { return t.data }
+func (t *Dense[E]) Data() []E { return t.data }
 
 // At returns the element at the given multi-index.
-func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+func (t *Dense[E]) At(idx ...int) E { return t.data[t.offset(idx)] }
 
 // SetAt stores v at the given multi-index.
-func (t *Tensor) SetAt(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+func (t *Dense[E]) SetAt(v E, idx ...int) { t.data[t.offset(idx)] = v }
 
-func (t *Tensor) offset(idx []int) int {
+func (t *Dense[E]) offset(idx []int) int {
 	if len(idx) != len(t.shape) {
 		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
 	}
@@ -87,15 +121,15 @@ func (t *Tensor) offset(idx []int) int {
 }
 
 // Clone returns a deep copy of t.
-func (t *Tensor) Clone() *Tensor {
-	c := New(t.shape...)
+func (t *Dense[E]) Clone() *Dense[E] {
+	c := NewOf[E](t.shape...)
 	copy(c.data, t.data)
 	return c
 }
 
 // Reshape returns a view of t with a new shape of the same total size.
 // The view shares the backing data.
-func (t *Tensor) Reshape(shape ...int) *Tensor {
+func (t *Dense[E]) Reshape(shape ...int) *Dense[E] {
 	n := 1
 	for _, d := range shape {
 		n *= d
@@ -105,14 +139,14 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	}
 	s := make([]int, len(shape))
 	copy(s, shape)
-	return &Tensor{shape: s, data: t.data}
+	return &Dense[E]{shape: s, data: t.data}
 }
 
 // Sample returns a view of block b along the leading dimension: for a
 // [B, d1, d2, ...] tensor it is the [d1, d2, ...] slice of sample b,
 // sharing the backing data. Row-major layout makes every such block
 // contiguous, so the view allocates only a header.
-func (t *Tensor) Sample(b int) *Tensor {
+func (t *Dense[E]) Sample(b int) *Dense[E] {
 	if len(t.shape) == 0 {
 		panic("tensor: Sample of a scalar tensor")
 	}
@@ -126,18 +160,18 @@ func (t *Tensor) Sample(b int) *Tensor {
 	}
 	s := make([]int, len(t.shape)-1)
 	copy(s, t.shape[1:])
-	return &Tensor{shape: s, data: t.data[b*sz : (b+1)*sz : (b+1)*sz]}
+	return &Dense[E]{shape: s, data: t.data[b*sz : (b+1)*sz : (b+1)*sz]}
 }
 
 // Stack copies the given same-shaped tensors into one new batch tensor
 // with a leading dimension of len(xs); the entry point of every batched
 // forward pass. It panics on an empty list or a shape mismatch.
-func Stack(xs []*Tensor) *Tensor {
+func Stack[E Num](xs []*Dense[E]) *Dense[E] {
 	if len(xs) == 0 {
 		panic("tensor: Stack of no tensors")
 	}
 	shape := append([]int{len(xs)}, xs[0].shape...)
-	out := New(shape...)
+	out := NewOf[E](shape...)
 	sz := xs[0].Size()
 	for b, x := range xs {
 		if !x.SameShape(xs[0]) {
@@ -149,7 +183,7 @@ func Stack(xs []*Tensor) *Tensor {
 }
 
 // SameShape reports whether t and u have identical shapes.
-func (t *Tensor) SameShape(u *Tensor) bool {
+func (t *Dense[E]) SameShape(u *Dense[E]) bool {
 	if len(t.shape) != len(u.shape) {
 		return false
 	}
@@ -161,24 +195,24 @@ func (t *Tensor) SameShape(u *Tensor) bool {
 	return true
 }
 
-func (t *Tensor) mustSameShape(u *Tensor, op string) {
+func (t *Dense[E]) mustSameShape(u *Dense[E], op string) {
 	if !t.SameShape(u) {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, u.shape))
 	}
 }
 
 // Fill sets every element to v.
-func (t *Tensor) Fill(v float64) {
+func (t *Dense[E]) Fill(v E) {
 	for i := range t.data {
 		t.data[i] = v
 	}
 }
 
 // Zero sets every element to 0.
-func (t *Tensor) Zero() { t.Fill(0) }
+func (t *Dense[E]) Zero() { t.Fill(0) }
 
 // AddInPlace sets t += u elementwise.
-func (t *Tensor) AddInPlace(u *Tensor) {
+func (t *Dense[E]) AddInPlace(u *Dense[E]) {
 	t.mustSameShape(u, "add")
 	for i, v := range u.data {
 		t.data[i] += v
@@ -186,7 +220,7 @@ func (t *Tensor) AddInPlace(u *Tensor) {
 }
 
 // SubInPlace sets t -= u elementwise.
-func (t *Tensor) SubInPlace(u *Tensor) {
+func (t *Dense[E]) SubInPlace(u *Dense[E]) {
 	t.mustSameShape(u, "sub")
 	for i, v := range u.data {
 		t.data[i] -= v
@@ -194,7 +228,7 @@ func (t *Tensor) SubInPlace(u *Tensor) {
 }
 
 // MulInPlace sets t *= u elementwise (Hadamard product).
-func (t *Tensor) MulInPlace(u *Tensor) {
+func (t *Dense[E]) MulInPlace(u *Dense[E]) {
 	t.mustSameShape(u, "mul")
 	for i, v := range u.data {
 		t.data[i] *= v
@@ -202,14 +236,14 @@ func (t *Tensor) MulInPlace(u *Tensor) {
 }
 
 // Scale multiplies every element by a.
-func (t *Tensor) Scale(a float64) {
+func (t *Dense[E]) Scale(a E) {
 	for i := range t.data {
 		t.data[i] *= a
 	}
 }
 
 // AddScaled sets t += a*u elementwise; the axpy of SGD updates.
-func (t *Tensor) AddScaled(a float64, u *Tensor) {
+func (t *Dense[E]) AddScaled(a E, u *Dense[E]) {
 	t.mustSameShape(u, "addScaled")
 	for i, v := range u.data {
 		t.data[i] += a * v
@@ -217,36 +251,36 @@ func (t *Tensor) AddScaled(a float64, u *Tensor) {
 }
 
 // Add returns t + u as a new tensor.
-func Add(t, u *Tensor) *Tensor {
+func Add[E Num](t, u *Dense[E]) *Dense[E] {
 	c := t.Clone()
 	c.AddInPlace(u)
 	return c
 }
 
 // Sub returns t - u as a new tensor.
-func Sub(t, u *Tensor) *Tensor {
+func Sub[E Num](t, u *Dense[E]) *Dense[E] {
 	c := t.Clone()
 	c.SubInPlace(u)
 	return c
 }
 
 // Apply replaces every element x with fn(x).
-func (t *Tensor) Apply(fn func(float64) float64) {
+func (t *Dense[E]) Apply(fn func(E) E) {
 	for i, v := range t.data {
 		t.data[i] = fn(v)
 	}
 }
 
 // Map returns a new tensor whose elements are fn applied to t's.
-func (t *Tensor) Map(fn func(float64) float64) *Tensor {
+func (t *Dense[E]) Map(fn func(E) E) *Dense[E] {
 	c := t.Clone()
 	c.Apply(fn)
 	return c
 }
 
 // Sum returns the sum of all elements.
-func (t *Tensor) Sum() float64 {
-	s := 0.0
+func (t *Dense[E]) Sum() E {
+	var s E
 	for _, v := range t.data {
 		s += v
 	}
@@ -254,7 +288,7 @@ func (t *Tensor) Sum() float64 {
 }
 
 // Max returns the maximum element. It panics on an empty tensor.
-func (t *Tensor) Max() float64 {
+func (t *Dense[E]) Max() E {
 	if len(t.data) == 0 {
 		panic("tensor: Max of empty tensor")
 	}
@@ -268,7 +302,7 @@ func (t *Tensor) Max() float64 {
 }
 
 // Argmax returns the flat index of the maximum element.
-func (t *Tensor) Argmax() int {
+func (t *Dense[E]) Argmax() int {
 	if len(t.data) == 0 {
 		panic("tensor: Argmax of empty tensor")
 	}
@@ -281,20 +315,21 @@ func (t *Tensor) Argmax() int {
 	return bi
 }
 
-// Norm2 returns the Euclidean norm of the flattened tensor.
-func (t *Tensor) Norm2() float64 {
+// Norm2 returns the Euclidean norm of the flattened tensor, accumulated
+// in float64 at any element type.
+func (t *Dense[E]) Norm2() float64 {
 	s := 0.0
 	for _, v := range t.data {
-		s += v * v
+		s += float64(v) * float64(v)
 	}
 	return math.Sqrt(s)
 }
 
 // MaxAbs returns the maximum absolute element value (L∞ norm), 0 if empty.
-func (t *Tensor) MaxAbs() float64 {
+func (t *Dense[E]) MaxAbs() float64 {
 	m := 0.0
 	for _, v := range t.data {
-		if a := math.Abs(v); a > m {
+		if a := math.Abs(float64(v)); a > m {
 			m = a
 		}
 	}
@@ -302,7 +337,7 @@ func (t *Tensor) MaxAbs() float64 {
 }
 
 // Clamp limits every element to [lo, hi].
-func (t *Tensor) Clamp(lo, hi float64) {
+func (t *Dense[E]) Clamp(lo, hi E) {
 	for i, v := range t.data {
 		if v < lo {
 			t.data[i] = lo
@@ -313,9 +348,9 @@ func (t *Tensor) Clamp(lo, hi float64) {
 }
 
 // HasNaN reports whether any element is NaN or infinite.
-func (t *Tensor) HasNaN() bool {
+func (t *Dense[E]) HasNaN() bool {
 	for _, v := range t.data {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
 			return true
 		}
 	}
@@ -323,6 +358,6 @@ func (t *Tensor) HasNaN() bool {
 }
 
 // String implements fmt.Stringer with a compact summary.
-func (t *Tensor) String() string {
+func (t *Dense[E]) String() string {
 	return fmt.Sprintf("tensor%v", t.shape)
 }

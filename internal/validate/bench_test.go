@@ -84,6 +84,37 @@ func BenchmarkReplayBatched(b *testing.B) {
 	reportQPS(b, suite.Len())
 }
 
+// BenchmarkReplayF32 is BenchmarkReplayBatched on the reduced-precision
+// path: an -f32 server, protocol-v3 float32 frames, and tolerance
+// comparison. Against BenchmarkReplayBatched it measures what halving
+// the wire payload and the kernel element size buys end to end.
+func BenchmarkReplayF32(b *testing.B) {
+	suite := benchSuite(b)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := ServeWith(l, goldenNet(), ServerOptions{F32: true})
+	b.Cleanup(func() { srv.Close() })
+	ip, err := DialWith(srv.Addr(), DialOptions{F32: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ip.Close()
+	opts := ValidateOptions{Batch: 16, Tolerance: 1e-4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := suite.ValidateWith(ip, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Passed {
+			b.Fatal("benchmark replay failed")
+		}
+	}
+	reportQPS(b, suite.Len())
+}
+
 func BenchmarkReplayShardedBatched(b *testing.B) {
 	suite := benchSuite(b)
 	cluster, err := DialShards(benchServers(b, 2), DialOptions{})

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/tensor"
 )
@@ -21,30 +22,69 @@ import (
 // whose exchange fails in transport is marked down and the request
 // fails over to the remaining replicas; application-level rejections
 // (QueryError — a malformed input fails identically everywhere) are
-// returned directly without failover. ShardedIP is safe for concurrent
-// use when its replicas are (RemoteIP and PooledIP are; a bare LocalIP
-// is not); concurrent suite replay then shards naturally across the
-// fleet.
+// returned directly without failover.
+//
+// Down is not forever: each down replica is re-probed half-open — once
+// its backoff expires, a single in-flight request is risked on it
+// (re-dialling a fresh connection when the fleet was built by
+// DialShards), and success returns it to the rotation while failure
+// doubles the backoff up to a cap. A restarted server therefore
+// rejoins the fleet within one backoff interval, and a still-dead one
+// costs at most one probing request per interval. ShardedIP is safe
+// for concurrent use when its replicas are (RemoteIP and PooledIP are;
+// a bare LocalIP is not); concurrent suite replay then shards
+// naturally across the fleet.
 type ShardedIP struct {
-	replicas []BatchIP
-	next     atomic.Uint64
+	next atomic.Uint64
 
-	mu   sync.Mutex
-	down []bool
+	mu        sync.Mutex
+	closed    bool
+	replicas  []BatchIP
+	down      []bool
+	probing   []bool
+	nextProbe []time.Time
+	backoff   []time.Duration
+	// redial reconnects replica i from scratch; nil entries (in-process
+	// fleets) probe the existing replica object instead.
+	redial []func() (BatchIP, error)
+
+	probeMin, probeMax time.Duration
 }
 
-// NewShardedIP builds a sharded IP over the given replicas.
+// Default half-open probe backoff bounds: the first probe of a down
+// replica happens after probeBackoffMin, doubling per failed probe up
+// to probeBackoffMax.
+const (
+	probeBackoffMin = 1 * time.Second
+	probeBackoffMax = 30 * time.Second
+)
+
+// NewShardedIP builds a sharded IP over the given replicas. Without a
+// redial path, probing retries the replica objects themselves — right
+// for in-process replicas, while fleets of network connections should
+// come from DialShards so a probe can reconnect.
 func NewShardedIP(replicas ...BatchIP) (*ShardedIP, error) {
 	if len(replicas) == 0 {
 		return nil, fmt.Errorf("validate: sharded IP needs at least one replica")
 	}
-	return &ShardedIP{replicas: replicas, down: make([]bool, len(replicas))}, nil
+	n := len(replicas)
+	return &ShardedIP{
+		replicas:  append([]BatchIP(nil), replicas...),
+		down:      make([]bool, n),
+		probing:   make([]bool, n),
+		nextProbe: make([]time.Time, n),
+		backoff:   make([]time.Duration, n),
+		redial:    make([]func() (BatchIP, error), n),
+		probeMin:  probeBackoffMin,
+		probeMax:  probeBackoffMax,
+	}, nil
 }
 
 // DialShards connects to every addr and returns a ShardedIP over the
 // connections. Any dial failure closes the already-open connections and
 // fails: a replica that is down at dial time should be dropped from the
-// address list, not silently skipped.
+// address list, not silently skipped. Replicas that die later are
+// re-dialled by the half-open probe, so a restarted server rejoins.
 func DialShards(addrs []string, opts DialOptions) (*ShardedIP, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("validate: sharded IP needs at least one address")
@@ -61,13 +101,32 @@ func DialShards(addrs []string, opts DialOptions) (*ShardedIP, error) {
 		replicas = append(replicas, r)
 	}
 	s, _ := NewShardedIP(replicas...)
+	for i, addr := range addrs {
+		addr := addr
+		s.redial[i] = func() (BatchIP, error) { return DialWith(addr, opts) }
+	}
 	return s, nil
 }
 
-// Replicas returns the replica count.
-func (s *ShardedIP) Replicas() int { return len(s.replicas) }
+// SetProbeBackoff adjusts the half-open probe bounds (defaults 1s/30s):
+// a down replica is first probed after min, backing off exponentially
+// to max while it stays dead. Call before sharing the ShardedIP across
+// goroutines.
+func (s *ShardedIP) SetProbeBackoff(min, max time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probeMin, s.probeMax = min, max
+}
 
-// Healthy returns how many replicas have not been marked down.
+// Replicas returns the replica count.
+func (s *ShardedIP) Replicas() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.replicas)
+}
+
+// Healthy returns how many replicas are currently in the rotation (not
+// marked down).
 func (s *ShardedIP) Healthy() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -89,42 +148,170 @@ func (s *ShardedIP) Query(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return out[0], nil
 }
 
-// QueryBatch implements BatchIP: the batch goes to the next healthy
-// replica round-robin, failing over to the others on transport errors.
-func (s *ShardedIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
-	start := int(s.next.Add(1) - 1)
-	var lastErr error
-	for i := 0; i < len(s.replicas); i++ {
-		idx := (start + i) % len(s.replicas)
+// replicaMode is the routing decision for one replica slot.
+type replicaMode int
+
+const (
+	skipReplica  replicaMode = iota // down, not due for a probe
+	useReplica                      // healthy
+	probeReplica                    // down and due: risk this request on it
+)
+
+// checkout snapshots replica idx and decides how to use it. The
+// half-open discipline lives here: at most one request probes a down
+// replica at a time (probing flag), and only once its backoff expired.
+func (s *ShardedIP) checkout(idx int) (BatchIP, replicaMode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.down[idx] {
+		return s.replicas[idx], useReplica
+	}
+	if s.closed || s.probing[idx] || time.Now().Before(s.nextProbe[idx]) {
+		return nil, skipReplica
+	}
+	s.probing[idx] = true
+	return s.replicas[idx], probeReplica
+}
+
+// markDown takes replica rep at slot idx out of the rotation. The
+// pointer comparison makes stale failures harmless: a request that was
+// already in flight on a connection the probe has since replaced must
+// not take the fresh replica down with it.
+func (s *ShardedIP) markDown(idx int, rep BatchIP) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.replicas[idx] != rep {
+		return
+	}
+	if !s.down[idx] {
+		s.down[idx] = true
+		s.backoff[idx] = s.probeMin
+		s.nextProbe[idx] = time.Now().Add(s.backoff[idx])
+	}
+}
+
+// probeFailed keeps idx down and doubles its backoff up to the cap.
+func (s *ShardedIP) probeFailed(idx int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probing[idx] = false
+	if s.backoff[idx] *= 2; s.backoff[idx] > s.probeMax {
+		s.backoff[idx] = s.probeMax
+	}
+	s.nextProbe[idx] = time.Now().Add(s.backoff[idx])
+}
+
+// probeSucceeded returns idx to the rotation.
+func (s *ShardedIP) probeSucceeded(idx int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probing[idx] = false
+	s.down[idx] = false
+	s.backoff[idx] = 0
+}
+
+// probe risks one request on down replica idx: re-dial a fresh
+// connection when the fleet knows how, then send the query half-open.
+// A QueryError counts as success for the replica's health — transport
+// worked, the query itself is bad everywhere.
+func (s *ShardedIP) probe(idx int, rep BatchIP, xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	s.mu.Lock()
+	redial := s.redial[idx]
+	s.mu.Unlock()
+	if redial != nil {
+		fresh, err := redial()
+		if err != nil {
+			s.probeFailed(idx)
+			return nil, err
+		}
+		if c, ok := rep.(io.Closer); ok {
+			c.Close() // the dead connection; harmless if already closed
+		}
 		s.mu.Lock()
-		skip := s.down[idx]
+		if s.closed {
+			// Close ran while the re-dial was in flight; it cannot have
+			// seen the fresh connection, so it is ours to close — nothing
+			// may outlive a closed cluster.
+			s.mu.Unlock()
+			if c, ok := fresh.(io.Closer); ok {
+				c.Close()
+			}
+			s.probeFailed(idx)
+			return nil, fmt.Errorf("validate: sharded IP closed")
+		}
+		s.replicas[idx] = fresh
 		s.mu.Unlock()
-		if skip {
-			continue
-		}
-		out, err := s.replicas[idx].QueryBatch(xs)
-		if err == nil {
-			return out, nil
-		}
+		rep = fresh
+	}
+	out, err := rep.QueryBatch(xs)
+	if err != nil {
 		var qe *QueryError
 		if errors.As(err, &qe) {
-			return nil, err // the query is bad, not the replica
+			s.probeSucceeded(idx)
+		} else {
+			s.probeFailed(idx)
 		}
-		s.mu.Lock()
-		s.down[idx] = true
-		s.mu.Unlock()
-		lastErr = err
+		return nil, err
+	}
+	s.probeSucceeded(idx)
+	return out, nil
+}
+
+// QueryBatch implements BatchIP: the batch goes to the next healthy
+// replica round-robin, failing over to the others on transport errors
+// and half-open-probing any down replica whose backoff has expired.
+func (s *ShardedIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	s.mu.Lock()
+	n := len(s.replicas)
+	s.mu.Unlock()
+	start := int(s.next.Add(1) - 1)
+	var lastErr error
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		rep, mode := s.checkout(idx)
+		switch mode {
+		case skipReplica:
+			continue
+		case useReplica:
+			out, err := rep.QueryBatch(xs)
+			if err == nil {
+				return out, nil
+			}
+			var qe *QueryError
+			if errors.As(err, &qe) {
+				return nil, err // the query is bad, not the replica
+			}
+			s.markDown(idx, rep)
+			lastErr = err
+		case probeReplica:
+			out, err := s.probe(idx, rep, xs)
+			if err == nil {
+				return out, nil
+			}
+			var qe *QueryError
+			if errors.As(err, &qe) {
+				return nil, err
+			}
+			lastErr = err
+		}
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("no healthy replicas")
 	}
-	return nil, fmt.Errorf("validate: all %d replicas failed: %w", len(s.replicas), lastErr)
+	return nil, fmt.Errorf("validate: all %d replicas failed: %w", n, lastErr)
 }
 
-// Close closes every replica that can be closed.
+// Close closes every replica that can be closed. No probe re-dials
+// after Close: a re-dial racing it is closed by whichever side sees the
+// other's work (the closed flag), so a closed cluster holds no live
+// connections.
 func (s *ShardedIP) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	replicas := append([]BatchIP(nil), s.replicas...)
+	s.mu.Unlock()
 	var first error
-	for _, r := range s.replicas {
+	for _, r := range replicas {
 		if c, ok := r.(io.Closer); ok {
 			if err := c.Close(); err != nil && first == nil {
 				first = err

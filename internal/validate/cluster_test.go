@@ -5,6 +5,7 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/tensor"
 )
@@ -135,6 +136,117 @@ func TestDialShardsPartialFailure(t *testing.T) {
 	_, addrs := startFleet(t, 1)
 	if _, err := DialShards(append(addrs, "127.0.0.1:1"), DialOptions{}); err == nil {
 		t.Fatal("dial with an unreachable shard succeeded")
+	}
+}
+
+// TestShardedReplicaRecovery: a replica that dies and is restarted on
+// the same address must rejoin the rotation via the half-open probe —
+// down is a state, not a sentence.
+func TestShardedReplicaRecovery(t *testing.T) {
+	servers, addrs := startFleet(t, 2)
+	suite := goldenSuite(t, 6, ExactOutputs)
+	cluster, err := DialShards(addrs, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.SetProbeBackoff(10*time.Millisecond, 50*time.Millisecond)
+
+	// Kill replica 0 and drive traffic until the failure is observed.
+	servers[0].Close()
+	rep, err := suite.ValidateWith(cluster, ValidateOptions{Batch: 2, Concurrency: 2})
+	if err != nil || !rep.Passed {
+		t.Fatalf("replay with a dead replica: rep=%+v err=%v", rep, err)
+	}
+	if h := cluster.Healthy(); h != 1 {
+		t.Fatalf("Healthy = %d after replica death, want 1", h)
+	}
+
+	// While the replica stays dead, probes must keep failing over —
+	// queries still succeed on the survivor even after the backoff
+	// expires and a probe is risked.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := cluster.QueryBatch(suite.Inputs[:2]); err != nil {
+		t.Fatalf("query while probing a still-dead replica: %v", err)
+	}
+
+	// Restart the replica on the same address; within a few backoff
+	// intervals a probe re-dials it and it rejoins.
+	l, err := net.Listen("tcp", addrs[0])
+	if err != nil {
+		t.Fatalf("restart replica: %v", err)
+	}
+	restarted := Serve(l, goldenNet())
+	t.Cleanup(func() { restarted.Close() })
+
+	deadline := time.Now().Add(10 * time.Second)
+	for cluster.Healthy() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted replica never rejoined the rotation")
+		}
+		time.Sleep(15 * time.Millisecond)
+		if _, err := cluster.QueryBatch(suite.Inputs[:2]); err != nil {
+			t.Fatalf("query during recovery: %v", err)
+		}
+	}
+
+	// The recovered fleet serves the same bit-identical reports.
+	rep, err = suite.ValidateWith(cluster, ValidateOptions{Batch: 2, Concurrency: 2})
+	if err != nil || !rep.Passed {
+		t.Fatalf("replay after recovery: rep=%+v err=%v", rep, err)
+	}
+}
+
+// TestShardedProbeBacksOff: while a replica stays dead, failed probes
+// must space out (exponential backoff) rather than re-dialling on every
+// request.
+func TestShardedProbeBacksOff(t *testing.T) {
+	servers, addrs := startFleet(t, 2)
+	cluster, err := DialShards(addrs, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.SetProbeBackoff(40*time.Millisecond, 400*time.Millisecond)
+	servers[0].Close()
+
+	xs := testInputs(2, 93)
+	// Observe the failure; replica 0 goes down with a 40ms first probe.
+	for i := 0; i < 2; i++ {
+		if _, err := cluster.QueryBatch(xs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := cluster.Healthy(); h != 1 {
+		t.Fatalf("Healthy = %d, want 1", h)
+	}
+	// Hammer queries before the backoff expires: no probe may fire, so
+	// the down replica's backoff state must not change.
+	cluster.mu.Lock()
+	firstProbe := cluster.nextProbe[0]
+	cluster.mu.Unlock()
+	for i := 0; i < 10; i++ {
+		if _, err := cluster.QueryBatch(xs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster.mu.Lock()
+	unchanged := cluster.nextProbe[0].Equal(firstProbe)
+	cluster.mu.Unlock()
+	if !unchanged {
+		t.Fatal("a probe fired before the backoff expired")
+	}
+	// After the backoff expires a probe fails (server still dead) and
+	// the next probe moves further out.
+	time.Sleep(60 * time.Millisecond)
+	if _, err := cluster.QueryBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	cluster.mu.Lock()
+	backedOff := cluster.backoff[0] >= 80*time.Millisecond && cluster.down[0]
+	cluster.mu.Unlock()
+	if !backedOff {
+		t.Fatal("failed probe did not double the backoff")
 	}
 }
 

@@ -20,18 +20,29 @@ import (
 // never holding the parameters — the deployment shape of Fig. 1 where
 // only query access exists.
 //
-// Wire protocol v2. A connection opens with a 5-byte preamble from the
-// client — the 4-byte magic "DNNV" followed by a version byte — which
-// the server answers with its own preamble before any payload flows.
-// The handshake is what turns cross-version contact into a descriptive
+// Wire protocol v2/v3. A connection opens with a 5-byte preamble from
+// the client — the 4-byte magic "DNNV" followed by the highest version
+// byte the client wants — which the server answers with the negotiated
+// version (the lower of the two) before any payload flows. The
+// handshake is what turns cross-version contact into a descriptive
 // error instead of a gob decode failure mid-stream: a v1 client (which
 // opens with a bare gob request) is answered with a v1-shaped error
-// response naming the mismatch, and a v2 client talking to a v1 server
-// reports the missing preamble. After the handshake the stream is a
-// sequence of gob-encoded batched requests and responses matched by ID:
-// the client may pipeline any number of requests before reading, and
-// the server may answer them out of order (each request is evaluated on
-// a network clone checked out of a pool, so handlers run concurrently).
+// response naming the mismatch, and a v2/v3 client talking to a v1
+// server reports the missing preamble. After the handshake the stream
+// is a sequence of gob-encoded batched requests and responses matched
+// by ID: the client may pipeline any number of requests before reading,
+// and the server may answer them out of order (each request is
+// evaluated on a network clone checked out of a pool, so handlers run
+// concurrently).
+//
+// Protocol v3 carries float32 tensors in both directions — half the
+// replay bandwidth of the v2 float64 frames, and the wire form of the
+// reduced-precision serving path (a v3 session on an -f32 server
+// evaluates on its float32 clone fleet). A client only requests v3 when
+// it wants float32 frames (DialOptions.F32); replay against v3 outputs
+// must use a Tolerance, so v2 with its bit-exact float64 frames remains
+// the default dialect, and v2-only peers on either side keep working
+// unchanged.
 //
 // Protocol v1 (historical): no preamble, a lockstep stream of
 // single-input gob requests answered in order, queries serialised by a
@@ -40,13 +51,17 @@ import (
 // Protocol identification. The version byte is bumped on any wire
 // format change; the magic never changes, so any version of either side
 // can recognise the other's hello.
-const protocolVersion = 2
+const (
+	protocolV2      = 2
+	protocolV3      = 3
+	protocolVersion = protocolV3 // highest version this build speaks
+)
 
 var protocolMagic = [4]byte{'D', 'N', 'N', 'V'}
 
-// preamble returns the 5-byte protocol hello.
-func preamble() []byte {
-	return append(append([]byte(nil), protocolMagic[:]...), protocolVersion)
+// preambleV returns the 5-byte protocol hello for the given version.
+func preambleV(version byte) []byte {
+	return append(append([]byte(nil), protocolMagic[:]...), version)
 }
 
 // queryRequest / queryResponse are the v1 single-query wire messages,
@@ -74,12 +89,73 @@ type responseV2 struct {
 	Err     string
 }
 
+// wireTensor32 is the v3 frame form of a tensor: float32 payloads,
+// half the bytes of wireTensor on the wire.
+type wireTensor32 struct {
+	Shape []int
+	Data  []float32
+}
+
+// requestV3/responseV3 are the v3 exchanges — identical framing to v2
+// with float32 tensor payloads.
+type requestV3 struct {
+	ID     uint64
+	Inputs []wireTensor32
+}
+
+type responseV3 struct {
+	ID      uint64
+	Outputs []wireTensor32
+	Err     string
+}
+
+// toWire32 quantises a float64 tensor into a v3 frame.
+func toWire32(t *tensor.Tensor) wireTensor32 {
+	d := make([]float32, t.Size())
+	for i, v := range t.Data() {
+		d[i] = float32(v)
+	}
+	return wireTensor32{Shape: append([]int(nil), t.Shape()...), Data: d}
+}
+
+// fromWire32T32 validates a v3 frame and wraps it as a float32 tensor
+// (sharing the decoded payload).
+func fromWire32T32(w wireTensor32) (*tensor.T32, error) {
+	n := 1
+	for _, d := range w.Shape {
+		if d < 0 {
+			return nil, fmt.Errorf("validate: negative dimension in wire tensor")
+		}
+		n *= d
+	}
+	if n != len(w.Data) {
+		return nil, fmt.Errorf("validate: wire tensor shape %v does not match %d values", w.Shape, len(w.Data))
+	}
+	return tensor.FromSliceOf(w.Data, w.Shape...), nil
+}
+
+// fromWire32 validates a v3 frame and widens it to a float64 tensor.
+func fromWire32(w wireTensor32) (*tensor.Tensor, error) {
+	t32, err := fromWire32T32(w)
+	if err != nil {
+		return nil, err
+	}
+	return t32.F64(), nil
+}
+
 // ServerOptions configures a served IP endpoint.
 type ServerOptions struct {
 	// Workers is the number of network clones the server evaluates
 	// queries on — the bound on concurrently served requests. Values
 	// <= 0 use the whole machine (parallel.Auto).
 	Workers int
+	// F32 additionally hosts a float32 inference fleet (Workers clones
+	// converted from the served network): protocol-v3 sessions are then
+	// evaluated in float32 on it, halving kernel memory traffic. Without
+	// it, v3 sessions evaluate on the float64 clones and only the frames
+	// are float32. v2 sessions always evaluate float64 and are
+	// bit-exact either way.
+	F32 bool
 }
 
 // Server hosts a network as a black-box IP endpoint. Requests are
@@ -88,6 +164,7 @@ type ServerOptions struct {
 // hot-updates them), so no global forward mutex serialises queries.
 type Server struct {
 	clones   *nn.ClonePool
+	clones32 *nn.ClonePoolF32 // float32 fleet for v3 sessions; nil unless ServerOptions.F32
 	listener net.Listener
 
 	wg        sync.WaitGroup
@@ -117,6 +194,9 @@ func ServeWith(l net.Listener, network *nn.Network, opts ServerOptions) *Server 
 		closed:   make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 	}
+	if opts.F32 {
+		s.clones32 = nn.NewClonePoolF32(network, workers)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -128,8 +208,14 @@ func (s *Server) Addr() string { return s.listener.Addr().String() }
 // SyncParamsFrom refreshes the served parameters from src (which must
 // share the served network's architecture) — a hot model update. It
 // blocks until in-flight evaluations finish; no query ever sees a
-// half-updated parameter set.
-func (s *Server) SyncParamsFrom(src *nn.Network) { s.clones.SyncParamsFrom(src) }
+// half-updated parameter set. On an F32 server the float32 fleet is
+// re-quantised from the same master.
+func (s *Server) SyncParamsFrom(src *nn.Network) {
+	s.clones.SyncParamsFrom(src)
+	if s.clones32 != nil {
+		s.clones32.SyncParamsFrom(src)
+	}
+}
 
 // Close stops accepting, drains in-flight requests (every request
 // already read off a connection is answered), closes the connections,
@@ -243,13 +329,21 @@ func (s *Server) handle(conn net.Conn) {
 			"validate: protocol version mismatch: this server speaks v%d (preamble-first); the client opened with a pre-handshake v1 stream — upgrade the client", protocolVersion)})
 		return
 	}
-	// Echo our preamble; the client compares versions and bails out
-	// with a descriptive error on mismatch. Nothing more can be said in
-	// an unknown dialect, so on mismatch the connection just ends here.
-	if _, err := conn.Write(preamble()); err != nil {
+	// Negotiate the session version: the lower of the client's hello and
+	// our maximum, echoed back so the client knows what the stream will
+	// speak. A future client (hello > v3) lands on v3; a v2 client gets
+	// its v2 session untouched. A pre-v2 version byte is unservable —
+	// echo our own maximum so the peer can report the mismatch
+	// descriptively, then end the connection (nothing more can be said
+	// in an unknown dialect).
+	version := hello[4]
+	if version > protocolVersion {
+		version = protocolVersion
+	}
+	if _, err := conn.Write(preambleV(max(version, protocolV2))); err != nil {
 		return
 	}
-	if hello[4] != protocolVersion {
+	if version < protocolV2 {
 		return
 	}
 	conn.SetDeadline(time.Time{})
@@ -264,21 +358,42 @@ func (s *Server) handle(conn net.Conn) {
 	var inflight sync.WaitGroup
 	defer inflight.Wait() // drain: every accepted request is answered before conn.Close
 	for {
-		var req requestV2
-		if err := dec.Decode(&req); err != nil {
-			return // EOF, broken stream, or an expired drain deadline ends the session
+		// Decode the version-appropriate request, then check a clone out
+		// *before* spawning the handler — holding it until the response
+		// is written caps the per-connection concurrency AND the
+		// queued-response memory at the pool size, backpressuring both a
+		// flooding client and a non-reading one instead of buffering for
+		// them.
+		var work func() any // evaluates the request on its checked-out clone
+		var release func()
+		if version == protocolV3 {
+			var req requestV3
+			if err := dec.Decode(&req); err != nil {
+				return // EOF, broken stream, or an expired drain deadline ends the session
+			}
+			if s.clones32 != nil {
+				clone := s.clones32.Acquire()
+				work = func() any { return answerV3(clone, req) }
+				release = func() { s.clones32.Release(clone) }
+			} else {
+				clone := s.clones.Acquire()
+				work = func() any { return answerV3On64(clone, req) }
+				release = func() { s.clones.Release(clone) }
+			}
+		} else {
+			var req requestV2
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			clone := s.clones.Acquire()
+			work = func() any { return answer(clone, req) }
+			release = func() { s.clones.Release(clone) }
 		}
-		// Checking a clone out before spawning the handler — and holding
-		// it until the response is written — caps the per-connection
-		// concurrency AND the queued-response memory at the pool size,
-		// backpressuring both a flooding client and a non-reading one
-		// instead of buffering for them.
-		clone := s.clones.Acquire()
 		inflight.Add(1)
-		go func(req requestV2) {
+		go func() {
 			defer inflight.Done()
-			defer s.clones.Release(clone)
-			resp := answer(clone, req)
+			defer release()
+			resp := work()
 			encMu.Lock()
 			defer encMu.Unlock()
 			conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
@@ -291,7 +406,7 @@ func (s *Server) handle(conn net.Conn) {
 				// a single write timeout.
 				conn.Close()
 			}
-		}(req)
+		}()
 	}
 }
 
@@ -331,6 +446,92 @@ func answer(clone *nn.Network, req requestV2) responseV2 {
 		resp.Outputs[i] = toWire(o)
 	}
 	return resp
+}
+
+// answerV3 evaluates one v3 batched request on a float32 clone — the
+// reduced-precision serving hot path: float32 frames in, float32
+// kernels, float32 frames out.
+func answerV3(clone *nn.NetF32, req requestV3) responseV3 {
+	resp := responseV3{ID: req.ID}
+	if len(req.Inputs) == 0 {
+		resp.Err = "validate: empty query batch"
+		return resp
+	}
+	xs := make([]*tensor.T32, len(req.Inputs))
+	for i, wt := range req.Inputs {
+		x, err := fromWire32T32(wt)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		xs[i] = x
+	}
+	outs, err := evalOnF32(clone, xs)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Outputs = make([]wireTensor32, len(outs))
+	for i, o := range outs {
+		resp.Outputs[i] = wireTensor32{Shape: append([]int(nil), o.Shape()...), Data: o.Data()}
+	}
+	return resp
+}
+
+// answerV3On64 serves a v3 session on a float64 clone (the server was
+// not started with an F32 fleet): inputs widen to float64, evaluation
+// is the bit-exact engine, and only the frames are float32.
+func answerV3On64(clone *nn.Network, req requestV3) responseV3 {
+	resp := responseV3{ID: req.ID}
+	if len(req.Inputs) == 0 {
+		resp.Err = "validate: empty query batch"
+		return resp
+	}
+	xs := make([]*tensor.Tensor, len(req.Inputs))
+	for i, wt := range req.Inputs {
+		x, err := fromWire32(wt)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		xs[i] = x
+	}
+	outs, err := evalOn(clone, xs)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Outputs = make([]wireTensor32, len(outs))
+	for i, o := range outs {
+		resp.Outputs[i] = toWire32(o)
+	}
+	return resp
+}
+
+// evalOnF32 is evalOn for the float32 inference path: same-shaped
+// multi-input batches as one batched forward pass (bit-identical per
+// sample to individual float32 forwards), anything else per sample.
+// NetF32 keeps no batch caches, so there is nothing to release; shape
+// panics come back as errors exactly as on the float64 path.
+func evalOnF32(net *nn.NetF32, xs []*tensor.T32) (out []*tensor.T32, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("query rejected: %v", r)
+		}
+	}()
+	if len(xs) > 1 && sameShapes(xs) {
+		logits := net.ForwardBatch(tensor.Stack(xs))
+		out = make([]*tensor.T32, len(xs))
+		for i := range xs {
+			out[i] = logits.Sample(i).Clone()
+		}
+		return out, nil
+	}
+	out = make([]*tensor.T32, len(xs))
+	for i, x := range xs {
+		out[i] = net.Forward(x).Clone()
+	}
+	return out, nil
 }
 
 // evalOn runs the queries on the net: same-shaped multi-input batches
@@ -379,6 +580,14 @@ type DialOptions struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds sending one request. Default 10s.
 	WriteTimeout time.Duration
+	// F32 requests protocol v3: float32 tensor frames in both
+	// directions (half the replay bandwidth) and, on an -f32 server,
+	// float32 evaluation. Outputs then approximate the float64
+	// references to rounding error, so replay must use
+	// ValidateOptions.Tolerance. Dialing a v2-only server with F32 set
+	// fails with a descriptive version error — it cannot produce the
+	// frames this client asked for.
+	F32 bool
 }
 
 func (o DialOptions) withDefaults() DialOptions {
@@ -401,8 +610,9 @@ func (o DialOptions) withDefaults() DialOptions {
 // delivers the matching response — so N concurrent Query/QueryBatch
 // calls cost one connection, not N.
 type RemoteIP struct {
-	conn net.Conn
-	opts DialOptions
+	conn    net.Conn
+	opts    DialOptions
+	version byte // negotiated protocol version of this session
 
 	sendMu sync.Mutex // serialises request encoding on the shared stream
 	enc    *gob.Encoder
@@ -424,12 +634,21 @@ func Dial(addr string) (*RemoteIP, error) { return DialWith(addr, DialOptions{})
 // handshake under the given bounds.
 func DialWith(addr string, opts DialOptions) (*RemoteIP, error) {
 	opts = opts.withDefaults()
+	// The hello carries the version this client wants: v3 only when
+	// float32 frames were asked for, so a plain client keeps speaking v2
+	// with servers of any age. (A v2-only server answering a v3 hello
+	// echoes v2 and hangs up — it cannot know v3 framing — so requesting
+	// v3 is a commitment, reported below as a descriptive error.)
+	want := byte(protocolV2)
+	if opts.F32 {
+		want = protocolV3
+	}
 	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("validate: dial IP: %w", err)
 	}
 	conn.SetDeadline(time.Now().Add(opts.DialTimeout))
-	if _, err := conn.Write(preamble()); err != nil {
+	if _, err := conn.Write(preambleV(want)); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("validate: dial IP: send handshake: %w", err)
 	}
@@ -443,14 +662,19 @@ func DialWith(addr string, opts DialOptions) (*RemoteIP, error) {
 		conn.Close()
 		return nil, fmt.Errorf("validate: dial IP: %s is not a dnnval IP endpoint (bad magic %q)", addr, hello[:4])
 	}
-	if hello[4] != protocolVersion {
+	if hello[4] != want {
 		conn.Close()
-		return nil, fmt.Errorf("validate: dial IP: protocol version mismatch: server speaks v%d, this client v%d", hello[4], protocolVersion)
+		if opts.F32 && hello[4] == protocolV2 {
+			return nil, fmt.Errorf(
+				"validate: dial IP: protocol version mismatch: server speaks v%d but float32 frames need v%d — retry without F32, or upgrade the server", hello[4], protocolV3)
+		}
+		return nil, fmt.Errorf("validate: dial IP: protocol version mismatch: server speaks v%d, this client v%d", hello[4], want)
 	}
 	conn.SetDeadline(time.Time{})
 	r := &RemoteIP{
 		conn:    conn,
 		opts:    opts,
+		version: want,
 		enc:     gob.NewEncoder(conn),
 		pending: make(map[uint64]chan responseV2),
 		wake:    make(chan struct{}, 1),
@@ -469,17 +693,14 @@ func (r *RemoteIP) Query(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return out[0], nil
 }
 
-// QueryBatch implements BatchIP: one wire exchange answers all inputs,
-// each output bit-identical to a single Query of that input.
+// QueryBatch implements BatchIP: one wire exchange answers all inputs.
+// On a v2 session each output is bit-identical to a single Query of
+// that input; on a v3 session inputs and outputs are float32 frames, so
+// outputs match a single Query to float32 rounding.
 func (r *RemoteIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(xs) == 0 {
 		return nil, &QueryError{Msg: "validate: empty query batch"}
 	}
-	req := requestV2{Inputs: make([]wireTensor, len(xs))}
-	for i, x := range xs {
-		req.Inputs[i] = toWire(x)
-	}
-
 	r.mu.Lock()
 	if r.err != nil {
 		err := r.err
@@ -487,15 +708,29 @@ func (r *RemoteIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 		return nil, err
 	}
 	r.nextID++
-	req.ID = r.nextID
+	id := r.nextID
 	ch := make(chan responseV2, 1)
-	r.pending[req.ID] = ch
+	r.pending[id] = ch
 	r.mu.Unlock()
 	select {
 	case r.wake <- struct{}{}:
 	default:
 	}
 
+	var req any
+	if r.version == protocolV3 {
+		v3 := requestV3{ID: id, Inputs: make([]wireTensor32, len(xs))}
+		for i, x := range xs {
+			v3.Inputs[i] = toWire32(x)
+		}
+		req = v3
+	} else {
+		v2 := requestV2{ID: id, Inputs: make([]wireTensor, len(xs))}
+		for i, x := range xs {
+			v2.Inputs[i] = toWire(x)
+		}
+		req = v2
+	}
 	r.sendMu.Lock()
 	r.conn.SetWriteDeadline(time.Now().Add(r.opts.WriteTimeout))
 	err := r.enc.Encode(req)
@@ -554,8 +789,28 @@ func (r *RemoteIP) recvLoop() {
 				break
 			}
 			r.conn.SetReadDeadline(time.Now().Add(r.opts.ReadTimeout))
+			// Decode the session dialect; a v3 response is widened to the
+			// v2 in-memory shape here so callers handle one form. The
+			// widening float32→float64 is exact, so it loses nothing the
+			// wire had.
 			var resp responseV2
-			if derr := dec.Decode(&resp); derr != nil {
+			var derr error
+			if r.version == protocolV3 {
+				var r3 responseV3
+				if derr = dec.Decode(&r3); derr == nil {
+					resp = responseV2{ID: r3.ID, Err: r3.Err, Outputs: make([]wireTensor, len(r3.Outputs))}
+					for i, wt := range r3.Outputs {
+						d := make([]float64, len(wt.Data))
+						for j, v := range wt.Data {
+							d[j] = float64(v)
+						}
+						resp.Outputs[i] = wireTensor{Shape: wt.Shape, Data: d}
+					}
+				}
+			} else {
+				derr = dec.Decode(&resp)
+			}
+			if derr != nil {
 				var nerr net.Error
 				if errors.As(derr, &nerr) && nerr.Timeout() {
 					derr = fmt.Errorf("no response within %v — server hung or unreachable: %w", r.opts.ReadTimeout, derr)

@@ -291,7 +291,7 @@ func TestReadTimeoutOnHungServer(t *testing.T) {
 		if _, err := io.ReadFull(conn, buf[:]); err != nil {
 			return
 		}
-		conn.Write(preamble())
+		conn.Write(preambleV(protocolV2))
 		// Read the request so the client's send succeeds, then hang.
 		io.Copy(io.Discard, conn)
 	}()

@@ -48,3 +48,54 @@ func (ip *PooledIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 // SyncParamsFrom refreshes the clones' parameters from src; see
 // nn.ClonePool.SyncParamsFrom.
 func (ip *PooledIP) SyncParamsFrom(src *nn.Network) { ip.clones.SyncParamsFrom(src) }
+
+// PooledF32IP is PooledIP on the float32 inference path: queries are
+// quantised to float32, evaluated on a ClonePoolF32 clone, and the
+// outputs widened back — the in-process equivalent of a v3 session
+// against an -f32 server. Outputs approximate the float64 reference to
+// rounding error, so suite replay against it must use
+// ValidateOptions.Tolerance.
+type PooledF32IP struct {
+	clones *nn.ClonePoolF32
+}
+
+// NewPooledF32IP builds a concurrent float32 local IP over workers
+// clones converted from network (workers <= 0 gets one clone).
+func NewPooledF32IP(network *nn.Network, workers int) *PooledF32IP {
+	return &PooledF32IP{clones: nn.NewClonePoolF32(network, workers)}
+}
+
+// Query implements IP.
+func (ip *PooledF32IP) Query(x *tensor.Tensor) (*tensor.Tensor, error) {
+	out, err := ip.QueryBatch([]*tensor.Tensor{x})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// QueryBatch implements BatchIP.
+func (ip *PooledF32IP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(xs) == 0 {
+		return nil, &QueryError{Msg: "validate: empty query batch"}
+	}
+	xs32 := make([]*tensor.T32, len(xs))
+	for i, x := range xs {
+		xs32[i] = x.F32()
+	}
+	clone := ip.clones.Acquire()
+	defer ip.clones.Release(clone)
+	out32, err := evalOnF32(clone, xs32)
+	if err != nil {
+		return nil, &QueryError{Msg: err.Error()}
+	}
+	out := make([]*tensor.Tensor, len(out32))
+	for i, o := range out32 {
+		out[i] = o.F64()
+	}
+	return out, nil
+}
+
+// SyncParamsFrom re-quantises the clones' parameters from the float64
+// master; see nn.ClonePoolF32.
+func (ip *PooledF32IP) SyncParamsFrom(src *nn.Network) { ip.clones.SyncParamsFrom(src) }

@@ -81,8 +81,9 @@ func queryRange(lo, hi int) string {
 	return fmt.Sprintf("queries %d-%d", lo, hi)
 }
 
-// sameShapes reports whether every tensor has the shape of the first.
-func sameShapes(xs []*tensor.Tensor) bool {
+// sameShapes reports whether every tensor has the shape of the first,
+// at either element precision.
+func sameShapes[E tensor.Num](xs []*tensor.Dense[E]) bool {
 	for _, x := range xs[1:] {
 		if !x.SameShape(xs[0]) {
 			return false
@@ -166,6 +167,10 @@ func (r Report) String() string {
 // compares outputs — the reference replay. ValidateWith batches and
 // fans the same replay out; its reports are bit-identical to this one.
 func (s *Suite) Validate(ip IP) (Report, error) {
+	return s.validateSerial(ip, 0)
+}
+
+func (s *Suite) validateSerial(ip IP, tol float64) (Report, error) {
 	if len(s.Inputs) != len(s.Outputs) {
 		return Report{}, fmt.Errorf("validate: suite has %d inputs but %d outputs", len(s.Inputs), len(s.Outputs))
 	}
@@ -175,7 +180,7 @@ func (s *Suite) Validate(ip IP) (Report, error) {
 		if err != nil {
 			return Report{}, fmt.Errorf("validate: query %d: %w", i, err)
 		}
-		if !s.outputsMatch(s.Outputs[i], got) {
+		if !s.outputsMatch(s.Outputs[i], got, tol) {
 			rep.Mismatches++
 			if rep.FirstFailure < 0 {
 				rep.FirstFailure = i
@@ -204,6 +209,23 @@ type ValidateOptions struct {
 	// use when Concurrency > 1 — RemoteIP, ShardedIP and PooledIP are,
 	// a bare LocalIP (one set of layer caches) is not.
 	Concurrency int
+	// Tolerance relaxes the output comparison for reduced-precision
+	// replay: with Tolerance > 0 an output value matches its reference
+	// when |want−got| <= Tolerance. The float32 serving path computes in
+	// float32, so its outputs approximate the float64-recorded references
+	// to rounding error and can never pass the bit-exact check; an
+	// explicit epsilon (around 1e-4 for the engine's layer depths) makes
+	// the acceptance criterion a visible, versioned choice instead of a
+	// silent precision downgrade. Zero keeps the bit-exact comparison —
+	// the paper's setting, and the only sound mode for float64 replay.
+	//
+	// Interaction with the comparison modes: ExactOutputs becomes the
+	// epsilon comparison above; QuantizedOutputs additionally accepts a
+	// pair whose rounded values differ when the raw values are within
+	// Tolerance (a float32 output can land on the far side of a rounding
+	// boundary); LabelsOnly ignores Tolerance (argmax is already
+	// precision-robust).
+	Tolerance float64
 }
 
 // ValidateWith replays the suite against the IP with batching and
@@ -220,7 +242,7 @@ func (s *Suite) ValidateWith(ip IP, opts ValidateOptions) (Report, error) {
 	}
 	workers := parallel.Workers(opts.Concurrency)
 	if batch == 1 && workers <= 1 {
-		return s.Validate(ip)
+		return s.validateSerial(ip, opts.Tolerance)
 	}
 	if n == 0 {
 		return Report{Passed: true, FirstFailure: -1}, nil
@@ -257,7 +279,7 @@ func (s *Suite) ValidateWith(ip IP, opts ValidateOptions) (Report, error) {
 				return
 			}
 			for i := start; i < end; i++ {
-				if !s.outputsMatch(s.Outputs[i], got[i-start]) {
+				if !s.outputsMatch(s.Outputs[i], got[i-start], opts.Tolerance) {
 					p.mismatches++
 					if p.first < 0 {
 						p.first = i
@@ -286,7 +308,7 @@ func (s *Suite) ValidateWith(ip IP, opts ValidateOptions) (Report, error) {
 	return rep, nil
 }
 
-func (s *Suite) outputsMatch(want, got *tensor.Tensor) bool {
+func (s *Suite) outputsMatch(want, got *tensor.Tensor, tol float64) bool {
 	if want.Size() != got.Size() {
 		return false
 	}
@@ -296,19 +318,31 @@ func (s *Suite) outputsMatch(want, got *tensor.Tensor) bool {
 	case QuantizedOutputs:
 		scale := math.Pow(10, float64(s.Decimals))
 		for i := range want.Data() {
-			if math.Round(want.Data()[i]*scale) != math.Round(got.Data()[i]*scale) {
+			if math.Round(want.Data()[i]*scale) != math.Round(got.Data()[i]*scale) &&
+				!withinTol(want.Data()[i], got.Data()[i], tol) {
 				return false
 			}
 		}
 		return true
 	default: // ExactOutputs
 		for i := range want.Data() {
-			if want.Data()[i] != got.Data()[i] {
+			if tol > 0 {
+				if !withinTol(want.Data()[i], got.Data()[i], tol) {
+					return false
+				}
+			} else if want.Data()[i] != got.Data()[i] {
 				return false
 			}
 		}
 		return true
 	}
+}
+
+// withinTol reports |want−got| <= tol for a positive tol; a zero or
+// negative tolerance never matches (the caller falls back to its exact
+// comparison).
+func withinTol(want, got, tol float64) bool {
+	return tol > 0 && math.Abs(want-got) <= tol
 }
 
 // Len returns the number of tests in the suite.
@@ -319,6 +353,10 @@ func (s *Suite) Len() int { return len(s.Inputs) }
 // campaigns use this instead of Validate: a fault is usually caught by
 // one of the first tests, so early exit saves most of the replay cost.
 func (s *Suite) Detects(ip IP) (bool, error) {
+	return s.detectsSerial(ip, 0)
+}
+
+func (s *Suite) detectsSerial(ip IP, tol float64) (bool, error) {
 	if len(s.Inputs) != len(s.Outputs) {
 		return false, fmt.Errorf("validate: suite has %d inputs but %d outputs", len(s.Inputs), len(s.Outputs))
 	}
@@ -327,7 +365,7 @@ func (s *Suite) Detects(ip IP) (bool, error) {
 		if err != nil {
 			return false, fmt.Errorf("validate: query %d: %w", i, err)
 		}
-		if !s.outputsMatch(s.Outputs[i], got) {
+		if !s.outputsMatch(s.Outputs[i], got, tol) {
 			return true, nil
 		}
 	}
@@ -351,7 +389,7 @@ func (s *Suite) DetectsWith(ip IP, opts ValidateOptions) (bool, error) {
 		batch = 1
 	}
 	if batch == 1 {
-		return s.Detects(ip)
+		return s.detectsSerial(ip, opts.Tolerance)
 	}
 	n := len(s.Inputs)
 	for start := 0; start < n; start += batch {
@@ -364,7 +402,7 @@ func (s *Suite) DetectsWith(ip IP, opts ValidateOptions) (bool, error) {
 			return false, fmt.Errorf("validate: %s: batch answered %d outputs for %d queries", queryRange(start, end-1), len(got), end-start)
 		}
 		for i := start; i < end; i++ {
-			if !s.outputsMatch(s.Outputs[i], got[i-start]) {
+			if !s.outputsMatch(s.Outputs[i], got[i-start], opts.Tolerance) {
 				return true, nil
 			}
 		}
