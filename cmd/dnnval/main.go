@@ -7,9 +7,11 @@
 //	generate - generate a functional test suite for a model, seal it
 //	attack   - apply a parameter attack to a stored model
 //	validate - replay a sealed suite against a model file or served IP
-//	           (batched queries, concurrent workers, sharded replicas)
+//	           (batched queries, concurrent workers, sharded replicas,
+//	           -wire gob|f32|quant selecting the v2/v3/v4 dialect)
 //	serve    - host a model as a black-box IP over TCP, optionally as a
 //	           fleet of replicas with concurrent per-replica workers
+//	           (speaks wire protocols v2-v4; -max-wire pins the ceiling)
 //	info     - print a model summary and per-layer parameter counts
 //
 // Run `dnnval <subcommand> -h` for flags. Datasets are procedural and
@@ -35,9 +37,24 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/parallel"
+	"repro/internal/quant"
 	"repro/internal/train"
 	"repro/internal/validate"
 )
+
+// parseCompareMode maps the -mode flag to a suite comparison mode.
+func parseCompareMode(mode string) (validate.CompareMode, error) {
+	switch mode {
+	case "exact":
+		return validate.ExactOutputs, nil
+	case "quantized":
+		return validate.QuantizedOutputs, nil
+	case "labels":
+		return validate.LabelsOnly, nil
+	default:
+		return 0, fmt.Errorf("unknown -mode %q (want exact, quantized or labels)", mode)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -157,9 +174,19 @@ func cmdGenerate(args []string) error {
 	method := fs.String("method", "combined", "generator: combined, select, gradient")
 	par := fs.Int("parallel", parallel.Auto(), "worker goroutines (suite is bit-identical at any value)")
 	batch := fs.Int("batch", 0, "evaluation batch size per worker: 0 = default, 1 = per-sample (suite is bit-identical at any value)")
+	mode := fs.String("mode", "exact", "comparison mode sealed into the suite: exact (bit-identical outputs, the paper's setting), quantized (outputs rounded to -decimals; enables the v4 quantised wire replay), labels (argmax only)")
+	decimals := fs.Int("decimals", 6, "decimal precision of -mode quantized")
 	key := fs.String("key", "", "seal the suite with this key (hex-free shared secret)")
 	out := fs.String("o", "suite.bin", "output suite file")
 	fs.Parse(args)
+
+	cmpMode, err := parseCompareMode(*mode)
+	if err != nil {
+		return err
+	}
+	if *decimals < 0 || *decimals > quant.MaxDecimals {
+		return fmt.Errorf("-decimals %d out of range [0,%d]", *decimals, quant.MaxDecimals)
+	}
 
 	network, err := loadModel(*model)
 	if err != nil {
@@ -198,7 +225,8 @@ func cmdGenerate(args []string) error {
 	log.Printf("%d tests, validation coverage %.1f%% (switch point %d)",
 		len(res.Tests), 100*res.FinalCoverage(), res.SwitchPoint)
 
-	suite := validate.BuildSuite("dnnval", network, res.Tests, validate.ExactOutputs)
+	suite := validate.BuildSuite("dnnval", network, res.Tests, cmpMode)
+	suite.Decimals = *decimals
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -272,9 +300,27 @@ func cmdValidate(args []string) error {
 	workers := fs.Int("workers", 1, "concurrent replay workers (pipelined per connection, spread across replicas)")
 	timeout := fs.Duration("timeout", 0, "per-response wait bound in remote mode (0 = default)")
 	f32 := fs.Bool("f32", false, "replay on the float32 inference path (protocol v3 float32 frames in remote mode); requires -tol")
+	wire := fs.String("wire", "", "remote wire dialect: gob (protocol v2 float64 frames, the default), f32 (v3 float32 frames, same as -f32), quant (v4 quantised delta-encoded frames; a quantized-mode suite replays with verdicts identical to local validation)")
 	tol := fs.Float64("tol", 0, "accept outputs within this absolute tolerance of the recorded references (0 = bit-exact, the paper's setting)")
 	fs.Parse(args)
 
+	quantWire := false
+	switch *wire {
+	case "":
+	case "gob":
+		if *f32 {
+			return fmt.Errorf("-wire gob requests the v2 float64 dialect, which -f32 contradicts: drop one of the two flags")
+		}
+	case "f32":
+		*f32 = true
+	case "quant":
+		quantWire = true
+	default:
+		return fmt.Errorf("unknown -wire %q (want gob, f32 or quant)", *wire)
+	}
+	if quantWire && *addr == "" {
+		return fmt.Errorf("-wire quant selects the v4 network dialect and needs -addr; local replay of a quantized suite already compares quantised")
+	}
 	if *key == "" {
 		return fmt.Errorf("a -key is required to open the suite")
 	}
@@ -293,12 +339,15 @@ func cmdValidate(args []string) error {
 	if *f32 && *tol <= 0 && suite.Mode == validate.ExactOutputs {
 		return fmt.Errorf("-f32 computes in float32, which cannot match float64 references bit-exactly: pass -tol (1e-4 is a sound default for these models)")
 	}
+	if quantWire && suite.Mode != validate.QuantizedOutputs {
+		return fmt.Errorf("-wire quant compares fixed-point wire frames, which needs a quantized-mode suite (generate -mode quantized); this suite is %s", suite.Mode)
+	}
 
 	var ip validate.IP
 	switch {
 	case *addr != "":
 		addrs := strings.Split(*addr, ",")
-		opts := validate.DialOptions{ReadTimeout: *timeout, F32: *f32}
+		opts := validate.DialOptions{ReadTimeout: *timeout, F32: *f32, Quant: quantWire, Decimals: suite.Decimals}
 		if len(addrs) > 1 {
 			cluster, err := validate.DialShards(addrs, opts)
 			if err != nil {
@@ -351,10 +400,14 @@ func cmdServe(args []string) error {
 	replicas := fs.Int("replicas", 1, "replica endpoints to serve, on consecutive ports from -addr")
 	workers := fs.Int("workers", 0, "network clones (= concurrent queries) per replica; 0 = whole machine")
 	f32 := fs.Bool("f32", false, "additionally host a float32 inference fleet per replica: protocol-v3 clients (dnnval validate -f32) are served reduced-precision, v2 clients stay bit-exact float64")
+	maxWire := fs.Int("max-wire", 0, "highest wire protocol version to negotiate, 0 = the build's highest (v4, so -wire quant clients get quantised delta-encoded replay); pin to 2 or 3 to serve exactly as a pre-v4 build would (interop/rollback)")
 	fs.Parse(args)
 
 	if *replicas < 1 {
 		return fmt.Errorf("need at least one replica, got %d", *replicas)
+	}
+	if *maxWire != 0 && (*maxWire < 2 || *maxWire > 4) {
+		return fmt.Errorf("-max-wire %d out of range: this build speaks v2-v4 (0 = highest)", *maxWire)
 	}
 	network, err := loadModel(*model)
 	if err != nil {
@@ -381,7 +434,7 @@ func cmdServe(args []string) error {
 			}
 			return fmt.Errorf("replica %d: %w", i, err)
 		}
-		srv := validate.ServeWith(l, network, validate.ServerOptions{Workers: *workers, F32: *f32})
+		srv := validate.ServeWith(l, network, validate.ServerOptions{Workers: *workers, F32: *f32, MaxVersion: byte(*maxWire)})
 		servers = append(servers, srv)
 		log.Printf("serving IP replica %d/%d on %s", i+1, *replicas, srv.Addr())
 	}

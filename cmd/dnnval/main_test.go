@@ -228,6 +228,44 @@ func TestCLIServeValidate(t *testing.T) {
 		t.Fatalf("f32 without tol: err=%v out:\n%s", err, out)
 	}
 
+	// A quantized-mode suite replays over the v4 quantised wire with
+	// verdicts identical to local QuantizedOutputs validation.
+	qsuite := filepath.Join(dir, "qsuite.bin")
+	if out, err := run(t, bin, "generate", "-model", model, "-data", "objects", "-size", "16",
+		"-n", "6", "-pool", "60", "-mode", "quantized", "-decimals", "5", "-key", "k1", "-o", qsuite); err != nil {
+		t.Fatalf("generate quantized: %v\n%s", err, out)
+	}
+	out, err = run(t, bin, "validate", "-addr", addrs, "-suite", qsuite, "-key", "k1",
+		"-wire", "quant", "-batch", "4", "-workers", "2")
+	if err != nil {
+		t.Fatalf("remote quant-wire validate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Fatalf("remote quant-wire validate output:\n%s", out)
+	}
+
+	// The quantised dialect also rides the float32 fleet this serve
+	// hosts (-wire quant -f32: v4 frames, float32 evaluation). Whether
+	// float32 rounding survives the suite's quantisation depends on the
+	// model, so the guaranteed property is verdict identity with the
+	// local float32 quantised replay, not PASS.
+	localOut, localErr := run(t, bin, "validate", "-model", model, "-suite", qsuite, "-key", "k1",
+		"-f32", "-batch", "4")
+	remoteOut, remoteErr := run(t, bin, "validate", "-addr", addrs, "-suite", qsuite, "-key", "k1",
+		"-wire", "quant", "-f32", "-batch", "4")
+	if (localErr == nil) != (remoteErr == nil) ||
+		strings.Contains(localOut, "PASS") != strings.Contains(remoteOut, "PASS") {
+		t.Fatalf("quant-wire f32 verdict differs from local f32 replay:\nlocal (%v):\n%s\nremote (%v):\n%s",
+			localErr, localOut, remoteErr, remoteOut)
+	}
+
+	// -wire quant needs a quantized-mode suite — an exact suite is a
+	// user error with a helpful message.
+	out, err = run(t, bin, "validate", "-addr", addrs, "-suite", suite, "-key", "k1", "-wire", "quant")
+	if err == nil || !strings.Contains(out, "quantized") {
+		t.Fatalf("quant wire with exact suite: err=%v out:\n%s", err, out)
+	}
+
 	// Local float32 replay takes the same flags without a server.
 	out, err = run(t, bin, "validate", "-model", model, "-suite", suite, "-key", "k1",
 		"-f32", "-tol", "1e-4", "-workers", "2", "-batch", "4")

@@ -78,6 +78,15 @@ func main() {
 	}
 	fmt.Println(prec.Render())
 
+	// Wire bandwidth columns: the measured bytes/query of replaying the
+	// same QuantizedOutputs suite over each protocol dialect (v2 gob,
+	// v3 float32, v4 quantised delta-encoded), steady state on loopback.
+	wire, err := experiments.RunWire([]*experiments.Setup{mnist, cifar}, *probes, *tol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(wire.Render())
+
 	for _, s := range []*experiments.Setup{mnist, cifar} {
 		f := experiments.RunFig2(s, *probes)
 		fmt.Println(f.Render())

@@ -541,9 +541,10 @@ func NeuronGreedy(net *nn.Network, train *data.Dataset, ncfg coverage.NeuronConf
 	}
 	inShape := []int{train.C, train.H, train.W}
 	nNeurons := coverage.NumNeurons(net, inShape)
-	workers := opts.workers()
+	rt := newGenRuntime(net, opts)
+	workers := rt.workers()
 
-	neuronSets := coverage.NeuronSets(net, train, ncfg, workers, opts.extractionBatch())
+	neuronSets := rt.neuronSets(train, ncfg)
 	used := make([]bool, train.Len())
 	nAcc := coverage.NewAccumulator(nNeurons)
 	pAcc := coverage.NewAccumulator(net.NumParams())

@@ -31,6 +31,9 @@ func TestPoolGeneratorsBitIdentical(t *testing.T) {
 		}},
 		{"combined", func(opts Options) (*Result, error) { return Combined(net, train, opts) }},
 		{"random", func(opts Options) (*Result, error) { return RandomSelect(net, train, opts) }},
+		{"neuron", func(opts Options) (*Result, error) {
+			return NeuronGreedy(net, train, coverage.NeuronConfig{}, opts)
+		}},
 	}
 	for _, g := range gens {
 		opts := parallelOpts(12, workers)

@@ -55,6 +55,17 @@ func (rt *genRuntime) paramSets(train *data.Dataset) []*bitset.Set {
 	return coverage.ParamSetsParallel(rt.net, train, rt.opts.Coverage, rt.opts.workers(), rt.opts.extractionBatch())
 }
 
+// neuronSets extracts every training sample's neuron-activation set —
+// the precomputation of the neuron-greedy baseline. Like paramSets it
+// rides the pinned clones when a pool is set and the spawn-per-call
+// path otherwise.
+func (rt *genRuntime) neuronSets(train *data.Dataset, ncfg coverage.NeuronConfig) []*bitset.Set {
+	if rt.opts.Pool != nil {
+		return rt.extractor().NeuronSets(train, ncfg)
+	}
+	return coverage.NeuronSets(rt.net, train, ncfg, rt.opts.workers(), rt.opts.extractionBatch())
+}
+
 // paramSetsOf extracts each input's activation set on the full network.
 func (rt *genRuntime) paramSetsOf(xs []*tensor.Tensor) []*bitset.Set {
 	if rt.opts.Pool != nil {

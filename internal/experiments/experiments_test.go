@@ -293,3 +293,40 @@ func TestSamplePoints(t *testing.T) {
 		t.Fatalf("small budget: %v", got)
 	}
 }
+
+func TestWireBandwidthTable(t *testing.T) {
+	w, err := RunWire([]*Setup{fastMNIST()}, 8, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Rows) != 3 {
+		t.Fatalf("%d rows for 3 dialects", len(w.Rows))
+	}
+	var v2, v4 WireRow
+	for _, r := range w.Rows {
+		if !r.ReplayPass {
+			t.Fatalf("%s %s: replay of the intact network failed", r.Model, r.Dialect)
+		}
+		if r.BytesPerQuery <= 0 {
+			t.Fatalf("%s %s: measured %v bytes/query", r.Model, r.Dialect, r.BytesPerQuery)
+		}
+		switch r.Dialect {
+		case "v2 gob float64":
+			v2 = r
+		case "v4 quant delta":
+			v4 = r
+		}
+	}
+	// The acceptance bar of the v4 dialect, measured on a live replay:
+	// at least 4x fewer bytes per query than the v2 gob frames.
+	if v4.BytesPerQuery*4 > v2.BytesPerQuery {
+		t.Fatalf("v4 replay used %.1f bytes/query vs %.1f on v2 — less than the 4x bar",
+			v4.BytesPerQuery, v2.BytesPerQuery)
+	}
+	out := w.Render()
+	for _, want := range []string{"bytes/query", "vs v2", "v4 quant delta", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("wire table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package quant
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file is the wire-protocol-v4 frame codec: output tensors of a
+// QuantizedOutputs replay are shipped as fixed-point integers at the
+// suite's decimal precision instead of full float64 payloads. A
+// QuantizedOutputs verdict only ever looks at round(v·10^decimals), so
+// the fixed-point integer IS the compared value — the client checks the
+// wire representation against its own quantised references directly,
+// with no dequantise-then-round round trip, and v4 verdicts are the
+// QuantizedOutputs verdicts by construction.
+//
+// Values are delta-encoded against a base frame (the suite's quantised
+// reference outputs when the requester shipped them, the previous
+// output frame of the exchange otherwise) and the deltas written as
+// zig-zag varints, so an intact IP's outputs — deltas of zero against
+// the references — cost about one byte per value instead of nine.
+//
+// The fixed-point domain cannot represent every float64 (NaN, ±Inf, or
+// magnitudes whose rounded value leaves the safe integer range), and
+// faulted networks do produce such outputs (divergence is exactly what
+// replay wants to catch). Those values ride an 8-byte raw-bits escape:
+// the comparison then quantises the escaped float64 on the client,
+// which is the identical computation the local replay would have done,
+// so the verdict still matches bit for bit.
+
+// MaxDecimals bounds the fixed-point precision the codec accepts: 10^18
+// is the largest power of ten below 2^62, so every in-range rounded
+// value of a sane logit fits the fixed domain with headroom.
+const MaxDecimals = 18
+
+// maxFixed bounds the fixed-point integers; rounded magnitudes beyond
+// it take the raw escape. Far below MaxInt64 so delta arithmetic
+// between two in-range values cannot overflow int64.
+const maxFixed = int64(1) << 62
+
+// Scale returns the comparison scale 10^decimals, or an error for a
+// precision outside [0, MaxDecimals].
+func Scale(decimals int) (float64, error) {
+	if decimals < 0 || decimals > MaxDecimals {
+		return 0, fmt.Errorf("quant: decimals %d out of range [0,%d]", decimals, MaxDecimals)
+	}
+	return math.Pow(10, float64(decimals)), nil
+}
+
+// Fixed is one value of a quantised frame: the fixed-point integer
+// round(v·scale) when Raw is false, or the escaped original float64
+// when the value has no fixed-point form.
+type Fixed struct {
+	Q   int64
+	F   float64
+	Raw bool
+}
+
+// Frame is one tensor's worth of quantised output values.
+type Frame []Fixed
+
+// QuantizeValue quantises v at the given scale.
+func QuantizeValue(v, scale float64) Fixed {
+	r := math.Round(v * scale)
+	// NaN fails every ordered comparison, so the bounds checks below
+	// reject it along with ±Inf and out-of-range magnitudes.
+	if r >= float64(-maxFixed) && r <= float64(maxFixed) {
+		return Fixed{Q: int64(r)}
+	}
+	return Fixed{F: v, Raw: true}
+}
+
+// QuantizeFrame quantises every value of vals at the given scale.
+func QuantizeFrame(vals []float64, scale float64) Frame {
+	f := make(Frame, len(vals))
+	for i, v := range vals {
+		f[i] = QuantizeValue(v, scale)
+	}
+	return f
+}
+
+// Matches reports whether this wire value equals the quantised form of
+// ref at the given scale — the QuantizedOutputs per-value verdict,
+// computed on the wire representation. round(x) of an in-range value is
+// an integral float64, so float64(f.Q) == round(ref·scale) is exact; a
+// raw-escaped value is compared by quantising it here, exactly as a
+// local replay would have. NaN on either side compares unequal, i.e. a
+// diverged output is always a mismatch, as locally.
+func (f Fixed) Matches(ref, scale float64) bool {
+	want := math.Round(ref * scale)
+	if !f.Raw {
+		return float64(f.Q) == want
+	}
+	return math.Round(f.F*scale) == want
+}
+
+// Value returns the float64 this wire value dequantises to: Q/scale for
+// fixed-point values, the escaped original otherwise. Only the generic
+// tensor path uses it — verdicts go through Matches and never
+// dequantise.
+func (f Fixed) Value(scale float64) float64 {
+	if !f.Raw {
+		return float64(f.Q) / scale
+	}
+	return f.F
+}
+
+// Wire tokens. Each value is one uvarint: rawEscape introduces 8
+// little-endian bytes of IEEE float64 bits; anything else is
+// zigzag(delta)+tokenBias, so the common zero delta costs one byte.
+const (
+	rawEscape = 0
+	tokenBias = 1
+)
+
+// baseAt returns the delta base for element i of a frame: the base
+// frame's fixed value when it has one, zero otherwise (missing base,
+// short base, or a raw-escaped base value).
+func baseAt(base Frame, i int) int64 {
+	if i < len(base) && !base[i].Raw {
+		return base[i].Q
+	}
+	return 0
+}
+
+// AppendFrame appends the wire encoding of f, delta-encoded against
+// base (nil for no base), to dst and returns the extended slice. The
+// value count is not part of the encoding — framing above carries it.
+func AppendFrame(dst []byte, f Frame, base Frame) []byte {
+	for i, v := range f {
+		if v.Raw {
+			dst = append(dst, rawEscape)
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+			continue
+		}
+		delta := uint64(v.Q - baseAt(base, i))
+		zz := (delta << 1) ^ uint64(int64(delta)>>63)
+		dst = binary.AppendUvarint(dst, zz+tokenBias)
+	}
+	return dst
+}
+
+// DecodeFrame decodes n values from src, delta-decoding against base
+// (nil for no base), and returns the frame and the remaining bytes. It
+// is safe on arbitrary input: truncation, varint overflow, and deltas
+// that leave the fixed domain are errors, never panics.
+func DecodeFrame(src []byte, n int, base Frame) (Frame, []byte, error) {
+	if n < 0 {
+		return nil, nil, fmt.Errorf("quant: negative frame length %d", n)
+	}
+	if n > len(src) {
+		// Every value costs at least one byte, so this cannot decode —
+		// reject before n can drive an allocation.
+		return nil, nil, fmt.Errorf("quant: frame of %d values cannot fit %d bytes", n, len(src))
+	}
+	f := make(Frame, 0, n)
+	for i := 0; i < n; i++ {
+		tok, used := binary.Uvarint(src)
+		if used <= 0 {
+			return nil, nil, fmt.Errorf("quant: truncated or malformed frame at value %d", i)
+		}
+		src = src[used:]
+		if tok == rawEscape {
+			if len(src) < 8 {
+				return nil, nil, fmt.Errorf("quant: truncated raw escape at value %d", i)
+			}
+			f = append(f, Fixed{F: math.Float64frombits(binary.LittleEndian.Uint64(src)), Raw: true})
+			src = src[8:]
+			continue
+		}
+		zz := tok - tokenBias
+		delta := int64(zz>>1) ^ -int64(zz&1)
+		q := delta + baseAt(base, i)
+		if q > maxFixed || q < -maxFixed {
+			return nil, nil, fmt.Errorf("quant: value %d decodes outside the fixed-point domain", i)
+		}
+		f = append(f, Fixed{Q: q})
+	}
+	return f, src, nil
+}

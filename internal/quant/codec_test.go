@@ -1,0 +1,197 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestScaleBounds(t *testing.T) {
+	for _, d := range []int{0, 1, 6, MaxDecimals} {
+		s, err := Scale(d)
+		if err != nil || s != math.Pow(10, float64(d)) {
+			t.Fatalf("Scale(%d) = (%v, %v)", d, s, err)
+		}
+	}
+	for _, d := range []int{-1, MaxDecimals + 1, 100} {
+		if _, err := Scale(d); err == nil {
+			t.Fatalf("Scale(%d) accepted", d)
+		}
+	}
+}
+
+// TestQuantizeValueDomains: ordinary values land in the fixed domain,
+// specials and out-of-range magnitudes take the raw escape with the
+// original bits preserved.
+func TestQuantizeValueDomains(t *testing.T) {
+	scale, _ := Scale(6)
+	for _, v := range []float64{0, 1, -1, 0.1234565, -273.625, 1e9} {
+		f := QuantizeValue(v, scale)
+		if f.Raw {
+			t.Fatalf("QuantizeValue(%v) escaped to raw", v)
+		}
+		if want := math.Round(v * scale); float64(f.Q) != want {
+			t.Fatalf("QuantizeValue(%v).Q = %d, want %v", v, f.Q, want)
+		}
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e300, -1e300} {
+		f := QuantizeValue(v, scale)
+		if !f.Raw {
+			t.Fatalf("QuantizeValue(%v) = fixed %d, want raw escape", v, f.Q)
+		}
+		if math.Float64bits(f.F) != math.Float64bits(v) {
+			t.Fatalf("raw escape of %v lost the original bits", v)
+		}
+	}
+}
+
+// TestMatchesAgreesWithQuantizedCompare: Fixed.Matches must answer
+// exactly what the QuantizedOutputs comparison
+// round(want·scale) == round(got·scale) answers, including for NaN and
+// infinities on either side.
+func TestMatchesAgreesWithQuantizedCompare(t *testing.T) {
+	vals := []float64{
+		0, 1, -1, 0.12345649, 0.12345651, -7.5, 3.1400004, 3.1399996,
+		math.NaN(), math.Inf(1), math.Inf(-1), 1e300, 5e-9, -5e-9,
+	}
+	for _, decimals := range []int{0, 1, 6, 8} {
+		scale, _ := Scale(decimals)
+		for _, want := range vals {
+			for _, got := range vals {
+				local := math.Round(want*scale) == math.Round(got*scale)
+				if math.IsNaN(want) || math.IsNaN(got) {
+					local = false
+				}
+				wire := QuantizeValue(got, scale).Matches(want, scale)
+				if wire != local {
+					t.Fatalf("decimals=%d want=%v got=%v: wire verdict %v, local %v",
+						decimals, want, got, wire, local)
+				}
+			}
+		}
+	}
+}
+
+func randomVals(rng *rand.Rand, n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		switch rng.Intn(10) {
+		case 0:
+			vals[i] = math.NaN()
+		case 1:
+			vals[i] = math.Inf(1 - 2*rng.Intn(2))
+		case 2:
+			vals[i] = (rng.Float64() - 0.5) * 1e300
+		default:
+			vals[i] = (rng.Float64() - 0.5) * 40 // logit-like
+		}
+	}
+	return vals
+}
+
+func framesEqual(a, b Frame) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Raw != b[i].Raw || a[i].Q != b[i].Q ||
+			math.Float64bits(a[i].F) != math.Float64bits(b[i].F) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFrameRoundTrip: encode→decode is the identity for random frames
+// at every precision, against a nil base, a matching base, a short
+// base, and a base containing raw-escaped values.
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, decimals := range []int{0, 1, 6, MaxDecimals} {
+		scale, _ := Scale(decimals)
+		for trial := 0; trial < 50; trial++ {
+			n := rng.Intn(40)
+			f := QuantizeFrame(randomVals(rng, n), scale)
+			bases := []Frame{
+				nil,
+				QuantizeFrame(randomVals(rng, n), scale),
+				QuantizeFrame(randomVals(rng, n/2), scale), // shorter than f
+			}
+			for bi, base := range bases {
+				enc := AppendFrame(nil, f, base)
+				got, rest, err := DecodeFrame(enc, n, base)
+				if err != nil {
+					t.Fatalf("decimals=%d trial=%d base=%d: %v", decimals, trial, bi, err)
+				}
+				if len(rest) != 0 {
+					t.Fatalf("decimals=%d trial=%d base=%d: %d trailing bytes", decimals, trial, bi, len(rest))
+				}
+				if !framesEqual(got, f) {
+					t.Fatalf("decimals=%d trial=%d base=%d: round trip changed the frame", decimals, trial, bi)
+				}
+			}
+		}
+	}
+}
+
+// TestFrameDeltaCompression: a frame equal to its base must cost about
+// one byte per value; the same frame against no base costs several.
+func TestFrameDeltaCompression(t *testing.T) {
+	scale, _ := Scale(6)
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = (rng.Float64() - 0.5) * 40
+	}
+	f := QuantizeFrame(vals, scale)
+	vsBase := AppendFrame(nil, f, f)
+	if len(vsBase) != len(f) {
+		t.Fatalf("zero-delta frame costs %d bytes for %d values, want 1 byte/value", len(vsBase), len(f))
+	}
+	raw := AppendFrame(nil, f, nil)
+	if len(raw) < 3*len(f) {
+		t.Fatalf("no-base frame of ~1e7-scale values costs %d bytes for %d values; encoding suspiciously dense", len(raw), len(f))
+	}
+}
+
+// TestDecodeFrameRejectsGarbage: truncated streams and short raw
+// escapes are descriptive errors, and a frame is decoded back-to-back
+// with a following one via the rest return.
+func TestDecodeFrameRejectsGarbage(t *testing.T) {
+	scale, _ := Scale(3)
+	f := QuantizeFrame([]float64{1.5, math.NaN(), -2.25}, scale)
+	enc := AppendFrame(nil, f, nil)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeFrame(enc[:cut], len(f), nil); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded", cut, len(enc))
+		}
+	}
+	if _, _, err := DecodeFrame(enc, -1, nil); err == nil {
+		t.Fatal("negative length accepted")
+	}
+	// Two frames in one buffer: rest threads through.
+	two := AppendFrame(enc, f, f)
+	first, rest, err := DecodeFrame(two, len(f), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, rest, err := DecodeFrame(rest, len(f), first)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("second frame: err=%v rest=%d", err, len(rest))
+	}
+	if !framesEqual(first, f) || !framesEqual(second, f) {
+		t.Fatal("back-to-back frames decoded wrong")
+	}
+}
+
+// TestDequantizeValue: the generic tensor path recovers Q/scale for
+// fixed values and the escaped original for raw ones.
+func TestDequantizeValue(t *testing.T) {
+	scale, _ := Scale(2)
+	if got := QuantizeValue(1.234, scale).Value(scale); got != 1.23 {
+		t.Fatalf("Value = %v, want 1.23", got)
+	}
+	if got := QuantizeValue(math.Inf(1), scale).Value(scale); !math.IsInf(got, 1) {
+		t.Fatalf("Value of +Inf escape = %v", got)
+	}
+}

@@ -1,0 +1,55 @@
+package quant
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodeFrame drives the v4 frame decoder with arbitrary bytes: it
+// must never panic, and whatever it accepts must re-encode and decode
+// back to the same frame (the codec is a bijection on its accepted
+// set). CI runs this natively (go test -fuzz) for a smoke interval on
+// every PR; the seed corpus under testdata/fuzz pins the interesting
+// shapes (zero deltas, raw escapes, multi-byte varints).
+func FuzzDecodeFrame(f *testing.F) {
+	scale, _ := Scale(6)
+	seedFrames := []Frame{
+		QuantizeFrame([]float64{0, 0, 0, 0}, scale),
+		QuantizeFrame([]float64{1.25, -3.5, math.NaN(), math.Inf(1), 1e300}, scale),
+		QuantizeFrame([]float64{1e9, -1e9, 0.0000005}, scale),
+	}
+	base := QuantizeFrame([]float64{1.25, -3.5, 17, 17, 17}, scale)
+	for _, fr := range seedFrames {
+		f.Add(AppendFrame(nil, fr, nil), len(fr), false)
+		f.Add(AppendFrame(nil, fr, base), len(fr), true)
+	}
+	f.Add([]byte{rawEscape}, 1, false)              // truncated escape
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}, 1, false) // varint torture
+
+	f.Fuzz(func(t *testing.T, data []byte, n int, useBase bool) {
+		if n < 0 || n > 1<<12 {
+			return // cap allocation, not semantics
+		}
+		var b Frame
+		if useBase {
+			b = base
+		}
+		frame, rest, err := DecodeFrame(data, n, b)
+		if err != nil {
+			return
+		}
+		if len(frame) != n {
+			t.Fatalf("decoded %d values, asked for %d", len(frame), n)
+		}
+		if len(rest) > len(data) {
+			t.Fatalf("rest grew: %d > %d", len(rest), len(data))
+		}
+		again, rest2, err := DecodeFrame(AppendFrame(nil, frame, b), n, b)
+		if err != nil || len(rest2) != 0 {
+			t.Fatalf("re-encode of an accepted frame failed: err=%v rest=%d", err, len(rest2))
+		}
+		if !framesEqual(frame, again) {
+			t.Fatal("decode∘encode∘decode changed the frame")
+		}
+	})
+}

@@ -1,4 +1,4 @@
-package quant
+package quant_test
 
 import (
 	"math"
@@ -10,6 +10,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/quant"
 	"repro/internal/train"
 	"repro/internal/validate"
 )
@@ -27,7 +28,7 @@ var quantNet = sync.OnceValue(func() *nn.Network {
 
 func cloneNet(t *testing.T, net *nn.Network) *nn.Network {
 	t.Helper()
-	m := Quantize(net) // cheap way to get an arch clone? No — use encode/decode.
+	m := quant.Quantize(net) // cheap way to get an arch clone? No — use encode/decode.
 	_ = m
 	var buf memBuffer
 	if err := net.Encode(&buf); err != nil {
@@ -61,7 +62,7 @@ func (eofError) Error() string { return "EOF" }
 
 func TestQuantizeRoundTripError(t *testing.T) {
 	net := quantNet()
-	m := Quantize(net)
+	m := quant.Quantize(net)
 	if m.NumParams() != net.NumParams() {
 		t.Fatalf("quantised %d of %d params", m.NumParams(), net.NumParams())
 	}
@@ -87,7 +88,7 @@ func TestQuantizedModelKeepsAccuracy(t *testing.T) {
 	accFloat := train.Accuracy(net, test)
 
 	deployed := cloneNet(t, net)
-	m := Quantize(net)
+	m := quant.Quantize(net)
 	if err := m.Dequantize(deployed); err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestQuantizedModelKeepsAccuracy(t *testing.T) {
 
 func TestDequantizeShapeMismatch(t *testing.T) {
 	net := quantNet()
-	m := Quantize(net)
+	m := quant.Quantize(net)
 	other := models.Tiny(nn.ReLU, 1, 8, 8, 2, 10, 404)
 	if err := m.Dequantize(other); err == nil {
 		t.Fatal("mismatched architecture accepted")
@@ -112,7 +113,7 @@ func TestDequantizeShapeMismatch(t *testing.T) {
 func TestAllZeroTensorQuantizes(t *testing.T) {
 	net := models.Tiny(nn.ReLU, 1, 8, 8, 2, 10, 405)
 	// Fresh biases are zero: their tensors must survive quantisation.
-	m := Quantize(net)
+	m := quant.Quantize(net)
 	deployed := models.Tiny(nn.ReLU, 1, 8, 8, 2, 10, 406)
 	if err := m.Dequantize(deployed); err != nil {
 		t.Fatal(err)
@@ -126,7 +127,7 @@ func TestAllZeroTensorQuantizes(t *testing.T) {
 
 func TestFlipBitsAndRevert(t *testing.T) {
 	net := quantNet()
-	m := Quantize(net)
+	m := quant.Quantize(net)
 	before := make([]int8, len(m.Tensors[0].Q))
 	copy(before, m.Tensors[0].Q)
 
@@ -164,7 +165,7 @@ func TestFlipBitsAndRevert(t *testing.T) {
 }
 
 func TestFlipBitsValidation(t *testing.T) {
-	m := Quantize(quantNet())
+	m := quant.Quantize(quantNet())
 	rng := rand.New(rand.NewSource(8))
 	if _, err := m.FlipBits(0, rng); err == nil {
 		t.Fatal("count=0 accepted")
@@ -189,7 +190,7 @@ func TestSuiteDetectsMemoryFaults(t *testing.T) {
 	}
 
 	deployed := cloneNet(t, net)
-	m := Quantize(net)
+	m := quant.Quantize(net)
 	if err := m.Dequantize(deployed); err != nil {
 		t.Fatal(err)
 	}

@@ -6,18 +6,26 @@ import (
 )
 
 // Validation-throughput benchmarks over real loopback TCP: the same
-// 64-test replay driven three ways. ReplaySerial is the v1-shaped
+// 64-test replay driven several ways. ReplaySerial is the v1-shaped
 // lockstep replay (one query, one round trip, wait); ReplayBatched
 // amortises round trips and rides the batched forward pass over one
 // connection; ReplayShardedBatched adds concurrent workers over a
-// 2-replica fleet. The reports are bit-identical across all three (see
-// replay_test.go); these measure what that equivalence buys. CI's
-// bench-regression job tracks them (queries/sec is also reported).
+// 2-replica fleet; ReplayF32 swaps in protocol-v3 float32 frames;
+// ReplayV4 replays a QuantizedOutputs suite in the protocol-v4
+// quantised delta-encoded dialect. The reports are equivalent to the
+// serial replay at each dialect's comparison semantics (see
+// replay_test.go and netip_v4_test.go); these measure what that buys.
+//
+// Every remote benchmark also reports bytes/query measured on the
+// client connection (WireStats over the timed region), so the wire
+// dialects' bandwidth claims are benchmarked numbers: CI's
+// bench-regression job fails when bytes/query on the v4 replay path
+// grows, exactly as it fails on sec/op regressions.
 const benchSuiteLen = 64
 
-func benchSuite(b *testing.B) *Suite {
+func benchSuite(b *testing.B, mode CompareMode) *Suite {
 	b.Helper()
-	return BuildSuite("bench", goldenNet(), testInputs(benchSuiteLen, 1234), ExactOutputs)
+	return BuildSuite("bench", goldenNet(), testInputs(benchSuiteLen, 1234), mode)
 }
 
 func benchServers(b *testing.B, n int) []string {
@@ -35,20 +43,29 @@ func benchServers(b *testing.B, n int) []string {
 	return addrs
 }
 
-func reportQPS(b *testing.B, queries int) {
+// wireMeter reports bytes/query over the timed region from any IP that
+// exposes WireStats (RemoteIP and ShardedIP both do).
+type wireMeter interface{ WireStats() WireStats }
+
+func reportQPS(b *testing.B, queries int, m wireMeter, start WireStats) {
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(queries*b.N)/s, "queries/s")
+	}
+	if m != nil {
+		used := m.WireStats().Sub(start)
+		b.ReportMetric(float64(used.Total())/float64(queries*b.N), "bytes/query")
 	}
 }
 
 func BenchmarkReplaySerial(b *testing.B) {
-	suite := benchSuite(b)
+	suite := benchSuite(b, ExactOutputs)
 	addrs := benchServers(b, 1)
 	ip, err := Dial(addrs[0])
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer ip.Close()
+	start := ip.WireStats()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := suite.Validate(ip)
@@ -59,11 +76,11 @@ func BenchmarkReplaySerial(b *testing.B) {
 			b.Fatal("benchmark replay failed")
 		}
 	}
-	reportQPS(b, suite.Len())
+	reportQPS(b, suite.Len(), ip, start)
 }
 
 func BenchmarkReplayBatched(b *testing.B) {
-	suite := benchSuite(b)
+	suite := benchSuite(b, ExactOutputs)
 	addrs := benchServers(b, 1)
 	ip, err := Dial(addrs[0])
 	if err != nil {
@@ -71,6 +88,7 @@ func BenchmarkReplayBatched(b *testing.B) {
 	}
 	defer ip.Close()
 	opts := ValidateOptions{Batch: 16}
+	start := ip.WireStats()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := suite.ValidateWith(ip, opts)
@@ -81,7 +99,7 @@ func BenchmarkReplayBatched(b *testing.B) {
 			b.Fatal("benchmark replay failed")
 		}
 	}
-	reportQPS(b, suite.Len())
+	reportQPS(b, suite.Len(), ip, start)
 }
 
 // BenchmarkReplayF32 is BenchmarkReplayBatched on the reduced-precision
@@ -89,7 +107,7 @@ func BenchmarkReplayBatched(b *testing.B) {
 // comparison. Against BenchmarkReplayBatched it measures what halving
 // the wire payload and the kernel element size buys end to end.
 func BenchmarkReplayF32(b *testing.B) {
-	suite := benchSuite(b)
+	suite := benchSuite(b, ExactOutputs)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -102,6 +120,7 @@ func BenchmarkReplayF32(b *testing.B) {
 	}
 	defer ip.Close()
 	opts := ValidateOptions{Batch: 16, Tolerance: 1e-4}
+	start := ip.WireStats()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := suite.ValidateWith(ip, opts)
@@ -112,17 +131,55 @@ func BenchmarkReplayF32(b *testing.B) {
 			b.Fatal("benchmark replay failed")
 		}
 	}
-	reportQPS(b, suite.Len())
+	reportQPS(b, suite.Len(), ip, start)
+}
+
+// BenchmarkReplayV4 is the quantised-dialect replay: a QuantizedOutputs
+// suite over a protocol-v4 session, fixed-point delta-encoded frames,
+// verdicts computed on the wire representation. One un-timed warm-up
+// replay populates the session's replay-frame cache, so the timed
+// region measures the steady-state traffic of validation workloads —
+// the same sealed suite replayed over and over, each frame a
+// back-reference and each response near-zero deltas against the
+// references. Compare bytes/query against BenchmarkReplayBatched (the
+// v2 gob float64 dialect) for the compression ratio; the acceptance
+// bar is ≥4× fewer bytes/query.
+func BenchmarkReplayV4(b *testing.B) {
+	suite := benchSuite(b, QuantizedOutputs)
+	addrs := benchServers(b, 1)
+	ip, err := DialWith(addrs[0], DialOptions{Quant: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ip.Close()
+	opts := ValidateOptions{Batch: 16}
+	// Warm the replay-frame cache: steady-state replay is the workload.
+	if rep, err := suite.ValidateWith(ip, opts); err != nil || !rep.Passed {
+		b.Fatalf("warm-up replay: rep=%+v err=%v", rep, err)
+	}
+	start := ip.WireStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := suite.ValidateWith(ip, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Passed {
+			b.Fatal("benchmark replay failed")
+		}
+	}
+	reportQPS(b, suite.Len(), ip, start)
 }
 
 func BenchmarkReplayShardedBatched(b *testing.B) {
-	suite := benchSuite(b)
+	suite := benchSuite(b, ExactOutputs)
 	cluster, err := DialShards(benchServers(b, 2), DialOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer cluster.Close()
 	opts := ValidateOptions{Batch: 16, Concurrency: 4}
+	start := cluster.WireStats()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := suite.ValidateWith(cluster, opts)
@@ -133,5 +190,5 @@ func BenchmarkReplayShardedBatched(b *testing.B) {
 			b.Fatal("benchmark replay failed")
 		}
 	}
-	reportQPS(b, suite.Len())
+	reportQPS(b, suite.Len(), cluster, start)
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/quant"
 	"repro/internal/tensor"
 )
 
@@ -214,7 +215,7 @@ func (s *ShardedIP) probeSucceeded(idx int) {
 // connection when the fleet knows how, then send the query half-open.
 // A QueryError counts as success for the replica's health — transport
 // worked, the query itself is bad everywhere.
-func (s *ShardedIP) probe(idx int, rep BatchIP, xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+func (s *ShardedIP) probe(idx int, rep BatchIP, do func(BatchIP) (any, error)) (any, error) {
 	s.mu.Lock()
 	redial := s.redial[idx]
 	s.mu.Unlock()
@@ -243,7 +244,7 @@ func (s *ShardedIP) probe(idx int, rep BatchIP, xs []*tensor.Tensor) ([]*tensor.
 		s.mu.Unlock()
 		rep = fresh
 	}
-	out, err := rep.QueryBatch(xs)
+	out, err := do(rep)
 	if err != nil {
 		var qe *QueryError
 		if errors.As(err, &qe) {
@@ -257,10 +258,11 @@ func (s *ShardedIP) probe(idx int, rep BatchIP, xs []*tensor.Tensor) ([]*tensor.
 	return out, nil
 }
 
-// QueryBatch implements BatchIP: the batch goes to the next healthy
-// replica round-robin, failing over to the others on transport errors
-// and half-open-probing any down replica whose backoff has expired.
-func (s *ShardedIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+// roundRobin runs one exchange against the next healthy replica,
+// failing over to the others on transport errors and half-open-probing
+// any down replica whose backoff has expired; the shared engine of
+// QueryBatch and QueryQuant.
+func (s *ShardedIP) roundRobin(do func(BatchIP) (any, error)) (any, error) {
 	s.mu.Lock()
 	n := len(s.replicas)
 	s.mu.Unlock()
@@ -273,7 +275,7 @@ func (s *ShardedIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 		case skipReplica:
 			continue
 		case useReplica:
-			out, err := rep.QueryBatch(xs)
+			out, err := do(rep)
 			if err == nil {
 				return out, nil
 			}
@@ -284,7 +286,7 @@ func (s *ShardedIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 			s.markDown(idx, rep)
 			lastErr = err
 		case probeReplica:
-			out, err := s.probe(idx, rep, xs)
+			out, err := s.probe(idx, rep, do)
 			if err == nil {
 				return out, nil
 			}
@@ -299,6 +301,45 @@ func (s *ShardedIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 		lastErr = fmt.Errorf("no healthy replicas")
 	}
 	return nil, fmt.Errorf("validate: all %d replicas failed: %w", n, lastErr)
+}
+
+// QueryBatch implements BatchIP over the fleet.
+func (s *ShardedIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	out, err := s.roundRobin(func(rep BatchIP) (any, error) { return rep.QueryBatch(xs) })
+	if err != nil {
+		return nil, err
+	}
+	return out.([]*tensor.Tensor), nil
+}
+
+// QuantWire reports whether the fleet speaks the quantised v4 dialect.
+// Replicas are dialled with one DialOptions, so the first answers for
+// all.
+func (s *ShardedIP) QuantWire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.replicas[0].(QuantIP); ok {
+		return q.QuantWire()
+	}
+	return false
+}
+
+// QueryQuant implements QuantIP over the fleet with the same
+// round-robin failover as QueryBatch. A replica that does not speak
+// the quantised dialect rejects with a QueryError — the whole fleet
+// shares one dial configuration, so failover could not help.
+func (s *ShardedIP) QueryQuant(xs []*tensor.Tensor, refs []quant.Frame, decimals int) ([]quant.Frame, error) {
+	out, err := s.roundRobin(func(rep BatchIP) (any, error) {
+		q, ok := rep.(QuantIP)
+		if !ok || !q.QuantWire() {
+			return nil, &QueryError{Msg: "validate: replica does not speak the quantised wire dialect — dial the fleet with DialOptions.Quant"}
+		}
+		return q.QueryQuant(xs, refs, decimals)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.([]quant.Frame), nil
 }
 
 // Close closes every replica that can be closed. No probe re-dials

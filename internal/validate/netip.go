@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/parallel"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 )
 
@@ -20,7 +21,7 @@ import (
 // never holding the parameters — the deployment shape of Fig. 1 where
 // only query access exists.
 //
-// Wire protocol v2/v3. A connection opens with a 5-byte preamble from
+// Wire protocol v2/v3/v4. A connection opens with a 5-byte preamble from
 // the client — the 4-byte magic "DNNV" followed by the highest version
 // byte the client wants — which the server answers with the negotiated
 // version (the lower of the two) before any payload flows. The
@@ -44,6 +45,16 @@ import (
 // the default dialect, and v2-only peers on either side keep working
 // unchanged.
 //
+// Protocol v4 carries quantised delta-encoded replay frames for
+// QuantizedOutputs suites: outputs ship as fixed-point integers at the
+// suite's decimal precision, delta-encoded against the quantised
+// reference outputs (or the previous output frame), and requests ride
+// a replay-frame cache so a re-sent suite frame is a fixed-size
+// back-reference. Verdicts are computed on the wire representation
+// directly; see wirev4.go. A client only requests v4 when it wants the
+// quantised dialect (DialOptions.Quant), so v2 stays the default and
+// v2/v3-only peers on either side keep working unchanged.
+//
 // Protocol v1 (historical): no preamble, a lockstep stream of
 // single-input gob requests answered in order, queries serialised by a
 // global forward mutex on the server.
@@ -54,7 +65,8 @@ import (
 const (
 	protocolV2      = 2
 	protocolV3      = 3
-	protocolVersion = protocolV3 // highest version this build speaks
+	protocolV4      = 4
+	protocolVersion = protocolV4 // highest version this build speaks
 )
 
 var protocolMagic = [4]byte{'D', 'N', 'N', 'V'}
@@ -121,12 +133,9 @@ func toWire32(t *tensor.Tensor) wireTensor32 {
 // fromWire32T32 validates a v3 frame and wraps it as a float32 tensor
 // (sharing the decoded payload).
 func fromWire32T32(w wireTensor32) (*tensor.T32, error) {
-	n := 1
-	for _, d := range w.Shape {
-		if d < 0 {
-			return nil, fmt.Errorf("validate: negative dimension in wire tensor")
-		}
-		n *= d
+	n, err := shapeSize(w.Shape)
+	if err != nil {
+		return nil, err
 	}
 	if n != len(w.Data) {
 		return nil, fmt.Errorf("validate: wire tensor shape %v does not match %d values", w.Shape, len(w.Data))
@@ -156,6 +165,13 @@ type ServerOptions struct {
 	// are float32. v2 sessions always evaluate float64 and are
 	// bit-exact either way.
 	F32 bool
+	// MaxVersion caps the wire protocol version this server negotiates
+	// (0 means the build's highest). An interop/rollback knob: a fleet
+	// pinned to 3 serves v4-capable clients a v3 session exactly as a
+	// pre-v4 build would, and the handshake-matrix tests use it to
+	// stand up genuine old-dialect servers. Values are clamped to
+	// [v2, highest].
+	MaxVersion byte
 }
 
 // Server hosts a network as a black-box IP endpoint. Requests are
@@ -163,9 +179,10 @@ type ServerOptions struct {
 // (the clones snapshot the parameters at Serve time; SyncParamsFrom
 // hot-updates them), so no global forward mutex serialises queries.
 type Server struct {
-	clones   *nn.ClonePool
-	clones32 *nn.ClonePoolF32 // float32 fleet for v3 sessions; nil unless ServerOptions.F32
-	listener net.Listener
+	clones     *nn.ClonePool
+	clones32   *nn.ClonePoolF32 // float32 fleet for v3/v4 sessions; nil unless ServerOptions.F32
+	listener   net.Listener
+	maxVersion byte
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -188,11 +205,19 @@ func ServeWith(l net.Listener, network *nn.Network, opts ServerOptions) *Server 
 	if workers <= 0 {
 		workers = parallel.Auto()
 	}
+	maxV := opts.MaxVersion
+	if maxV == 0 || maxV > protocolVersion {
+		maxV = protocolVersion
+	}
+	if maxV < protocolV2 {
+		maxV = protocolV2
+	}
 	s := &Server{
-		clones:   nn.NewClonePool(network, workers),
-		listener: l,
-		closed:   make(chan struct{}),
-		conns:    make(map[net.Conn]struct{}),
+		clones:     nn.NewClonePool(network, workers),
+		listener:   l,
+		maxVersion: maxV,
+		closed:     make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
 	}
 	if opts.F32 {
 		s.clones32 = nn.NewClonePoolF32(network, workers)
@@ -330,15 +355,16 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	// Negotiate the session version: the lower of the client's hello and
-	// our maximum, echoed back so the client knows what the stream will
-	// speak. A future client (hello > v3) lands on v3; a v2 client gets
-	// its v2 session untouched. A pre-v2 version byte is unservable —
-	// echo our own maximum so the peer can report the mismatch
-	// descriptively, then end the connection (nothing more can be said
-	// in an unknown dialect).
+	// our maximum (the build's highest, or ServerOptions.MaxVersion),
+	// echoed back so the client knows what the stream will speak. A
+	// future client (hello > v4) lands on v4; a v2 client gets its v2
+	// session untouched. A pre-v2 version byte is unservable — echo our
+	// own maximum so the peer can report the mismatch descriptively,
+	// then end the connection (nothing more can be said in an unknown
+	// dialect).
 	version := hello[4]
-	if version > protocolVersion {
-		version = protocolVersion
+	if version > s.maxVersion {
+		version = s.maxVersion
 	}
 	if _, err := conn.Write(preambleV(max(version, protocolV2))); err != nil {
 		return
@@ -356,6 +382,10 @@ func (s *Server) handle(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	var encMu sync.Mutex
 	var inflight sync.WaitGroup
+	var v4cache *frameCacheV4 // session replay-frame cache; v4 only
+	if version == protocolV4 {
+		v4cache = newFrameCacheV4()
+	}
 	defer inflight.Wait() // drain: every accepted request is answered before conn.Close
 	for {
 		// Decode the version-appropriate request, then check a clone out
@@ -366,7 +396,40 @@ func (s *Server) handle(conn net.Conn) {
 		// them.
 		var work func() any // evaluates the request on its checked-out clone
 		var release func()
-		if version == protocolV3 {
+		if version == protocolV4 {
+			var req requestV4
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			// Resolve the replay frame serially, in stream order, so the
+			// cache mirrors the client's registry; evaluation then fans
+			// out like any other request.
+			var sf *storedFrameV4
+			var ferr error
+			if req.Frame != nil {
+				if sf, ferr = resolveFrameV4(req.Frame); ferr == nil {
+					v4cache.insert(req.Seq, sf)
+				}
+			} else if cached, ok := v4cache.lookup(req.Seq); ok {
+				sf = cached
+			} else {
+				ferr = fmt.Errorf("validate: replay frame %d is not in this session's cache window", req.Seq)
+			}
+			switch {
+			case ferr != nil:
+				resp := responseV4{ID: req.ID, Err: ferr.Error()}
+				work = func() any { return resp }
+				release = func() {}
+			case sf.f32 && s.clones32 != nil:
+				clone := s.clones32.Acquire()
+				work = func() any { return answerV4On32(clone, sf, req.ID) }
+				release = func() { s.clones32.Release(clone) }
+			default:
+				clone := s.clones.Acquire()
+				work = func() any { return answerV4(clone, sf, req.ID) }
+				release = func() { s.clones.Release(clone) }
+			}
+		} else if version == protocolV3 {
 			var req requestV3
 			if err := dec.Decode(&req); err != nil {
 				return // EOF, broken stream, or an expired drain deadline ends the session
@@ -588,6 +651,20 @@ type DialOptions struct {
 	// fails with a descriptive version error — it cannot produce the
 	// frames this client asked for.
 	F32 bool
+	// Quant requests protocol v4: quantised delta-encoded replay
+	// frames, the dialect built for QuantizedOutputs suites (inputs
+	// still travel as exact float64 bits, so evaluation is untouched).
+	// Combined with F32 the session evaluates on the server's float32
+	// fleet when it has one; otherwise the float64 clones answer and
+	// the v4 verdicts equal the bit-exact path's QuantizedOutputs
+	// verdicts. Dialing a pre-v4 server with Quant set fails with a
+	// descriptive version error.
+	Quant bool
+	// Decimals is the fixed-point precision plain Query/QueryBatch
+	// calls use on a v4 session (suite replay passes the suite's own
+	// precision through QueryQuant instead). 0 means 6, the
+	// BuildSuite default.
+	Decimals int
 }
 
 func (o DialOptions) withDefaults() DialOptions {
@@ -599,6 +676,9 @@ func (o DialOptions) withDefaults() DialOptions {
 	}
 	if o.WriteTimeout <= 0 {
 		o.WriteTimeout = 10 * time.Second
+	}
+	if o.Decimals == 0 {
+		o.Decimals = 6
 	}
 	return o
 }
@@ -617,10 +697,21 @@ type RemoteIP struct {
 	sendMu sync.Mutex // serialises request encoding on the shared stream
 	enc    *gob.Encoder
 
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan responseV2
-	err     error // sticky transport failure; set once, fails everything after
+	// v4 replay-frame registry (guarded by sendMu, like the encoder it
+	// feeds): which frames the server's session cache still holds, so a
+	// repeated frame is sent as a back-reference. See wirev4.go.
+	v4seq   uint64
+	v4known map[string]uint64
+	v4order []v4sent
+	v4bytes int
+
+	counts *countingConn // byte instrumentation over the raw connection
+
+	mu       sync.Mutex
+	nextID   uint64
+	pending  map[uint64]chan responseV2
+	pendingQ map[uint64]chan responseV4 // v4 sessions' outstanding calls
+	err      error                      // sticky transport failure; set once, fails everything after
 
 	wake      chan struct{} // cap 1: receive loop nudge, a send may be pending
 	closed    chan struct{}
@@ -635,12 +726,16 @@ func Dial(addr string) (*RemoteIP, error) { return DialWith(addr, DialOptions{})
 func DialWith(addr string, opts DialOptions) (*RemoteIP, error) {
 	opts = opts.withDefaults()
 	// The hello carries the version this client wants: v3 only when
-	// float32 frames were asked for, so a plain client keeps speaking v2
-	// with servers of any age. (A v2-only server answering a v3 hello
-	// echoes v2 and hangs up — it cannot know v3 framing — so requesting
-	// v3 is a commitment, reported below as a descriptive error.)
+	// float32 frames were asked for, v4 only for the quantised dialect,
+	// so a plain client keeps speaking v2 with servers of any age. (An
+	// older server answering a newer hello echoes its own version and
+	// hangs up — it cannot know the newer framing — so requesting one
+	// is a commitment, reported below as a descriptive error.)
 	want := byte(protocolV2)
-	if opts.F32 {
+	switch {
+	case opts.Quant:
+		want = protocolV4
+	case opts.F32:
 		want = protocolV3
 	}
 	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
@@ -664,6 +759,10 @@ func DialWith(addr string, opts DialOptions) (*RemoteIP, error) {
 	}
 	if hello[4] != want {
 		conn.Close()
+		if opts.Quant && hello[4] < protocolV4 {
+			return nil, fmt.Errorf(
+				"validate: dial IP: protocol version mismatch: server speaks v%d but quantised frames need v%d — retry without the quant wire, or upgrade the server", hello[4], protocolV4)
+		}
 		if opts.F32 && hello[4] == protocolV2 {
 			return nil, fmt.Errorf(
 				"validate: dial IP: protocol version mismatch: server speaks v%d but float32 frames need v%d — retry without F32, or upgrade the server", hello[4], protocolV3)
@@ -671,14 +770,20 @@ func DialWith(addr string, opts DialOptions) (*RemoteIP, error) {
 		return nil, fmt.Errorf("validate: dial IP: protocol version mismatch: server speaks v%d, this client v%d", hello[4], want)
 	}
 	conn.SetDeadline(time.Time{})
+	counts := &countingConn{Conn: conn}
+	counts.wrote.Add(5) // the hello this side already sent
+	counts.read.Add(5)  // and the reply it already read
 	r := &RemoteIP{
-		conn:    conn,
-		opts:    opts,
-		version: want,
-		enc:     gob.NewEncoder(conn),
-		pending: make(map[uint64]chan responseV2),
-		wake:    make(chan struct{}, 1),
-		closed:  make(chan struct{}),
+		conn:     counts,
+		opts:     opts,
+		version:  want,
+		counts:   counts,
+		enc:      gob.NewEncoder(counts),
+		v4known:  make(map[string]uint64),
+		pending:  make(map[uint64]chan responseV2),
+		pendingQ: make(map[uint64]chan responseV4),
+		wake:     make(chan struct{}, 1),
+		closed:   make(chan struct{}),
 	}
 	go r.recvLoop()
 	return r, nil
@@ -696,10 +801,32 @@ func (r *RemoteIP) Query(x *tensor.Tensor) (*tensor.Tensor, error) {
 // QueryBatch implements BatchIP: one wire exchange answers all inputs.
 // On a v2 session each output is bit-identical to a single Query of
 // that input; on a v3 session inputs and outputs are float32 frames, so
-// outputs match a single Query to float32 rounding.
+// outputs match a single Query to float32 rounding. On a v4 session the
+// outputs are dequantised from DialOptions.Decimals fixed-point wire
+// frames — suite replay should go through QueryQuant instead, which
+// never dequantises.
 func (r *RemoteIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(xs) == 0 {
 		return nil, &QueryError{Msg: "validate: empty query batch"}
+	}
+	if r.version == protocolV4 {
+		frames, shapes, err := r.queryQuant(xs, nil, r.opts.Decimals)
+		if err != nil {
+			return nil, err
+		}
+		scale, err := quant.Scale(r.opts.Decimals)
+		if err != nil {
+			return nil, &QueryError{Msg: err.Error()}
+		}
+		out := make([]*tensor.Tensor, len(frames))
+		for i, f := range frames {
+			data := make([]float64, len(f))
+			for j, v := range f {
+				data[j] = v.Value(scale)
+			}
+			out[i] = tensor.FromSlice(data, shapes[i]...)
+		}
+		return out, nil
 	}
 	r.mu.Lock()
 	if r.err != nil {
@@ -780,7 +907,7 @@ func (r *RemoteIP) recvLoop() {
 		}
 		for {
 			r.mu.Lock()
-			n, err := len(r.pending), r.err
+			n, err := len(r.pending)+len(r.pendingQ), r.err
 			r.mu.Unlock()
 			if err != nil {
 				return
@@ -789,6 +916,30 @@ func (r *RemoteIP) recvLoop() {
 				break
 			}
 			r.conn.SetReadDeadline(time.Now().Add(r.opts.ReadTimeout))
+			if r.version == protocolV4 {
+				// v4 responses stay in wire form — the caller that holds
+				// the reference frames decodes them, so routing here is
+				// pure dispatch by ID.
+				var r4 responseV4
+				if derr := dec.Decode(&r4); derr != nil {
+					var nerr net.Error
+					if errors.As(derr, &nerr) && nerr.Timeout() {
+						derr = fmt.Errorf("no response within %v — server hung or unreachable: %w", r.opts.ReadTimeout, derr)
+					}
+					r.fail(fmt.Errorf("validate: receive response: %w", derr))
+					return
+				}
+				r.mu.Lock()
+				ch, ok := r.pendingQ[r4.ID]
+				delete(r.pendingQ, r4.ID)
+				r.mu.Unlock()
+				if !ok {
+					r.fail(fmt.Errorf("validate: receive response: unsolicited response id %d — stream out of sync", r4.ID))
+					return
+				}
+				ch <- r4
+				continue
+			}
 			// Decode the session dialect; a v3 response is widened to the
 			// v2 in-memory shape here so callers handle one form. The
 			// widening float32→float64 is exact, so it loses nothing the
@@ -841,6 +992,10 @@ func (r *RemoteIP) fail(err error) {
 		for id, ch := range r.pending {
 			close(ch)
 			delete(r.pending, id)
+		}
+		for id, ch := range r.pendingQ {
+			close(ch)
+			delete(r.pendingQ, id)
 		}
 	}
 	r.mu.Unlock()

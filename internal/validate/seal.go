@@ -44,12 +44,9 @@ func toWire(t *tensor.Tensor) wireTensor {
 }
 
 func fromWire(w wireTensor) (*tensor.Tensor, error) {
-	n := 1
-	for _, d := range w.Shape {
-		if d < 0 {
-			return nil, fmt.Errorf("validate: negative dimension in sealed tensor")
-		}
-		n *= d
+	n, err := shapeSize(w.Shape)
+	if err != nil {
+		return nil, err
 	}
 	if n != len(w.Data) {
 		return nil, fmt.Errorf("validate: sealed tensor shape %v does not match %d values", w.Shape, len(w.Data))

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/parallel"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 )
 
@@ -33,6 +34,22 @@ type IP interface {
 type BatchIP interface {
 	IP
 	QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error)
+}
+
+// QuantIP is an IP that can answer queries in the quantised wire
+// representation of protocol v4: each output as fixed-point integers
+// at a requested decimal precision, optionally delta-encoded against
+// caller-supplied reference frames. QuantWire reports whether the
+// quantised dialect is actually active — a RemoteIP on a v2/v3 session
+// has the method but not the dialect. When a QuantizedOutputs suite is
+// replayed against an active QuantIP (and no Tolerance is set), the
+// replay compares these frames against its own quantised references
+// directly, so the verdicts are the QuantizedOutputs verdicts by
+// construction — no dequantise-then-round round trip.
+type QuantIP interface {
+	BatchIP
+	QuantWire() bool
+	QueryQuant(xs []*tensor.Tensor, refs []quant.Frame, decimals int) ([]quant.Frame, error)
 }
 
 // QueryError is an application-level rejection from an IP (a malformed
@@ -240,8 +257,23 @@ func (s *Suite) ValidateWith(ip IP, opts ValidateOptions) (Report, error) {
 	if !batched || batch < 1 {
 		batch = 1
 	}
+	// The quantised wire path: a QuantizedOutputs suite over an active
+	// quant-dialect IP replays in wire representation, comparing the
+	// received fixed-point frames against the suite's own quantised
+	// references — the verdicts are the QuantizedOutputs verdicts by
+	// construction. A Tolerance opts out (its raw-value comparison
+	// needs the float outputs), falling back to the generic path.
+	qip, quantPath := ip.(QuantIP)
+	quantPath = quantPath && qip.QuantWire() && s.Mode == QuantizedOutputs && opts.Tolerance == 0
+	var qscale float64
+	if quantPath {
+		var err error
+		if qscale, err = quant.Scale(s.Decimals); err != nil {
+			return Report{}, fmt.Errorf("validate: quant wire replay: %w", err)
+		}
+	}
 	workers := parallel.Workers(opts.Concurrency)
-	if batch == 1 && workers <= 1 {
+	if !quantPath && batch == 1 && workers <= 1 {
 		return s.validateSerial(ip, opts.Tolerance)
 	}
 	if n == 0 {
@@ -261,6 +293,22 @@ func (s *Suite) ValidateWith(ip IP, opts ValidateOptions) (Report, error) {
 		for bi := lo; bi < hi && p.err == nil; bi++ {
 			start := bi * batch
 			end := min(start+batch, n)
+			if quantPath {
+				frames, err := s.queryQuantRange(qip, start, end, qscale)
+				if err != nil {
+					p.err, p.errLo, p.errHi = err, start, end-1
+					return
+				}
+				for i := start; i < end; i++ {
+					if !quantFrameMatches(s.Outputs[i], frames[i-start], qscale) {
+						p.mismatches++
+						if p.first < 0 {
+							p.first = i
+						}
+					}
+				}
+				continue
+			}
 			var got []*tensor.Tensor
 			var err error
 			if batch > 1 {
@@ -306,6 +354,41 @@ func (s *Suite) ValidateWith(ip IP, opts ValidateOptions) (Report, error) {
 	}
 	rep.Passed = rep.Mismatches == 0
 	return rep, nil
+}
+
+// queryQuantRange runs one quantised wire exchange for suite tests
+// [start,end): references quantised here on the client, shipped as the
+// response delta base, and the answer frames returned for the direct
+// wire-representation comparison.
+func (s *Suite) queryQuantRange(qip QuantIP, start, end int, scale float64) ([]quant.Frame, error) {
+	refs := make([]quant.Frame, end-start)
+	for i := start; i < end; i++ {
+		refs[i-start] = quant.QuantizeFrame(s.Outputs[i].Data(), scale)
+	}
+	frames, err := qip.QueryQuant(s.Inputs[start:end], refs, s.Decimals)
+	if err == nil && len(frames) != end-start {
+		err = fmt.Errorf("batch answered %d outputs for %d queries", len(frames), end-start)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return frames, nil
+}
+
+// quantFrameMatches is the per-test verdict of the quantised wire
+// path: every received fixed-point value must equal the quantised
+// reference — quant.Fixed.Matches, the QuantizedOutputs comparison on
+// the wire representation.
+func quantFrameMatches(want *tensor.Tensor, got quant.Frame, scale float64) bool {
+	if want.Size() != len(got) {
+		return false
+	}
+	for i, v := range want.Data() {
+		if !got[i].Matches(v, scale) {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *Suite) outputsMatch(want, got *tensor.Tensor, tol float64) bool {
@@ -387,6 +470,29 @@ func (s *Suite) DetectsWith(ip IP, opts ValidateOptions) (bool, error) {
 	bip, batched := ip.(BatchIP)
 	if !batched || batch < 1 {
 		batch = 1
+	}
+	// Same quantised wire path as ValidateWith, with the early exit.
+	qip, quantPath := ip.(QuantIP)
+	quantPath = quantPath && qip.QuantWire() && s.Mode == QuantizedOutputs && opts.Tolerance == 0
+	if quantPath {
+		qscale, err := quant.Scale(s.Decimals)
+		if err != nil {
+			return false, fmt.Errorf("validate: quant wire replay: %w", err)
+		}
+		n := len(s.Inputs)
+		for start := 0; start < n; start += batch {
+			end := min(start+batch, n)
+			frames, err := s.queryQuantRange(qip, start, end, qscale)
+			if err != nil {
+				return false, fmt.Errorf("validate: %s: %w", queryRange(start, end-1), err)
+			}
+			for i := start; i < end; i++ {
+				if !quantFrameMatches(s.Outputs[i], frames[i-start], qscale) {
+					return true, nil
+				}
+			}
+		}
+		return false, nil
 	}
 	if batch == 1 {
 		return s.detectsSerial(ip, opts.Tolerance)

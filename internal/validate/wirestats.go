@@ -1,0 +1,73 @@
+package validate
+
+import (
+	"net"
+	"sync/atomic"
+)
+
+// Byte-counting instrumentation on the client connection: the wire
+// protocols exist to cut replay bandwidth, so the compression ratio
+// must be a measured number, not a claim. Every dialled connection is
+// wrapped; BenchmarkReplay* report bytes/query from these counters and
+// the paperbench wire table renders them per dialect.
+
+// countingConn counts the bytes crossing a net.Conn in each direction.
+type countingConn struct {
+	net.Conn
+	read, wrote atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.wrote.Add(int64(n))
+	return n, err
+}
+
+// WireStats is a point-in-time snapshot of one side's connection
+// traffic, from the client's perspective (BytesWritten is the request
+// direction, BytesRead the response direction). Handshake bytes are
+// included.
+type WireStats struct {
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Total returns both directions combined.
+func (s WireStats) Total() int64 { return s.BytesRead + s.BytesWritten }
+
+// Sub returns the traffic since an earlier snapshot.
+func (s WireStats) Sub(earlier WireStats) WireStats {
+	return WireStats{
+		BytesRead:    s.BytesRead - earlier.BytesRead,
+		BytesWritten: s.BytesWritten - earlier.BytesWritten,
+	}
+}
+
+// WireStats returns the bytes this client has exchanged with its
+// server so far. Safe for concurrent use.
+func (r *RemoteIP) WireStats() WireStats {
+	return WireStats{BytesRead: r.counts.read.Load(), BytesWritten: r.counts.wrote.Load()}
+}
+
+// WireStats sums the traffic of the replicas currently in the fleet.
+// A replica replaced by the half-open probe's re-dial starts fresh
+// counters, so across a probe the sum is a lower bound.
+func (s *ShardedIP) WireStats() WireStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total WireStats
+	for _, rep := range s.replicas {
+		if c, ok := rep.(interface{ WireStats() WireStats }); ok {
+			st := c.WireStats()
+			total.BytesRead += st.BytesRead
+			total.BytesWritten += st.BytesWritten
+		}
+	}
+	return total
+}
