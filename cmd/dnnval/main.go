@@ -12,6 +12,10 @@
 //	serve    - host a model as a black-box IP over TCP, optionally as a
 //	           fleet of replicas with concurrent per-replica workers
 //	           (speaks wire protocols v2-v4; -max-wire pins the ceiling)
+//	sentinel - continuous fleet validation: trickle-replay random suite
+//	           subsets against a live fleet on a schedule under a query
+//	           budget, attribute divergence to replicas, quarantine and
+//	           readmit them, and expose /metrics + /status over HTTP
 //	info     - print a model summary and per-layer parameter counts
 //
 // Run `dnnval <subcommand> -h` for flags. Datasets are procedural and
@@ -19,16 +23,21 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/core"
@@ -38,6 +47,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/quant"
+	"repro/internal/sentinel"
 	"repro/internal/train"
 	"repro/internal/validate"
 )
@@ -74,6 +84,8 @@ func main() {
 		err = cmdValidate(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "sentinel":
+		err = cmdSentinel(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
 	default:
@@ -85,7 +97,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dnnval {train|generate|attack|validate|serve|info} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dnnval {train|generate|attack|validate|serve|sentinel|info} [flags]")
 	os.Exit(2)
 }
 
@@ -304,20 +316,19 @@ func cmdValidate(args []string) error {
 	tol := fs.Float64("tol", 0, "accept outputs within this absolute tolerance of the recorded references (0 = bit-exact, the paper's setting)")
 	fs.Parse(args)
 
-	quantWire := false
-	switch *wire {
-	case "":
-	case "gob":
+	dialect, err := validate.ParseWire(*wire)
+	if err != nil {
+		return fmt.Errorf("unknown -wire %q (want gob, f32 or quant)", *wire)
+	}
+	switch dialect {
+	case validate.WireGob:
 		if *f32 {
 			return fmt.Errorf("-wire gob requests the v2 float64 dialect, which -f32 contradicts: drop one of the two flags")
 		}
-	case "f32":
+	case validate.WireF32:
 		*f32 = true
-	case "quant":
-		quantWire = true
-	default:
-		return fmt.Errorf("unknown -wire %q (want gob, f32 or quant)", *wire)
 	}
+	quantWire := dialect == validate.WireQuant
 	if quantWire && *addr == "" {
 		return fmt.Errorf("-wire quant selects the v4 network dialect and needs -addr; local replay of a quantized suite already compares quantised")
 	}
@@ -347,7 +358,7 @@ func cmdValidate(args []string) error {
 	switch {
 	case *addr != "":
 		addrs := strings.Split(*addr, ",")
-		opts := validate.DialOptions{ReadTimeout: *timeout, F32: *f32, Quant: quantWire, Decimals: suite.Decimals}
+		opts := validate.DialOptions{ReadTimeout: *timeout, Wire: dialect, F32: *f32, Decimals: suite.Decimals}
 		if len(addrs) > 1 {
 			cluster, err := validate.DialShards(addrs, opts)
 			if err != nil {
@@ -434,7 +445,11 @@ func cmdServe(args []string) error {
 			}
 			return fmt.Errorf("replica %d: %w", i, err)
 		}
-		srv := validate.ServeWith(l, network, validate.ServerOptions{Workers: *workers, F32: *f32, MaxVersion: byte(*maxWire)})
+		srvWire := validate.WireAuto
+		if *f32 {
+			srvWire = validate.WireF32
+		}
+		srv := validate.ServeWith(l, network, validate.ServerOptions{Workers: *workers, Wire: srvWire, MaxVersion: byte(*maxWire)})
 		servers = append(servers, srv)
 		log.Printf("serving IP replica %d/%d on %s", i+1, *replicas, srv.Addr())
 	}
@@ -450,6 +465,131 @@ func cmdServe(args []string) error {
 		s.Close()
 	}
 	return nil
+}
+
+// cmdSentinel runs the continuous fleet-validation daemon of the
+// sentinel package against a served fleet: scheduled trickle replays
+// under a query budget, per-replica attribution on divergence,
+// quarantine/readmission, and HTTP observability.
+func cmdSentinel(args []string) error {
+	fs := flag.NewFlagSet("sentinel", flag.ExitOnError)
+	addr := fs.String("addr", "", "served IP address(es) of the fleet, comma-separated (as printed by dnnval serve)")
+	suitePath := fs.String("suite", "suite.bin", "sealed suite file")
+	key := fs.String("key", "", "suite sealing key")
+	interval := fs.Duration("interval", 30*time.Second, "time between validation rounds")
+	sample := fs.Int("sample", 16, "suite tests replayed per round, drawn from a seeded per-round permutation")
+	qps := fs.Float64("qps", 0, "cap on sentinel queries per second — the standing query budget (0 = unpaced)")
+	batch := fs.Int("batch", 4, "queries per batched exchange")
+	tol := fs.Float64("tol", 0, "accept outputs within this absolute tolerance (required with -f32 on an exact-mode suite)")
+	wire := fs.String("wire", "", "wire dialect: gob (v2, default), f32 (v3), quant (v4; needs a quantized-mode suite)")
+	f32 := fs.Bool("f32", false, "replay on the float32 inference path; requires -tol on an exact-mode suite")
+	seed := fs.Int64("seed", 1, "sampling seed; any round is reproducible from (-seed, round number) alone")
+	httpAddr := fs.String("http", "127.0.0.1:0", "observability listen address serving /metrics and /status (\"\" disables)")
+	rounds := fs.Uint64("rounds", 0, "stop after this many rounds (0 = run until interrupted)")
+	reprobe := fs.Duration("reprobe", time.Second, "minimum backoff before a down or quarantined replica is re-probed (doubles per failure, capped at 30s or this value if larger)")
+	timeout := fs.Duration("timeout", 0, "per-response wait bound (0 = default)")
+	fs.Parse(args)
+
+	if *addr == "" {
+		return fmt.Errorf("sentinel watches a served fleet: -addr is required")
+	}
+	if *key == "" {
+		return fmt.Errorf("a -key is required to open the suite")
+	}
+	dialect, err := validate.ParseWire(*wire)
+	if err != nil {
+		return fmt.Errorf("unknown -wire %q (want gob, f32 or quant)", *wire)
+	}
+	switch dialect {
+	case validate.WireGob:
+		if *f32 {
+			return fmt.Errorf("-wire gob requests the v2 float64 dialect, which -f32 contradicts: drop one of the two flags")
+		}
+	case validate.WireF32:
+		*f32 = true
+	}
+	f, err := os.Open(*suitePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	suite, err := validate.OpenSuite(f, []byte(*key))
+	if err != nil {
+		return err
+	}
+	if *f32 && *tol <= 0 && suite.Mode == validate.ExactOutputs {
+		return fmt.Errorf("-f32 computes in float32, which cannot match float64 references bit-exactly: pass -tol (1e-4 is a sound default for these models)")
+	}
+	if dialect == validate.WireQuant && suite.Mode != validate.QuantizedOutputs {
+		return fmt.Errorf("-wire quant compares fixed-point wire frames, which needs a quantized-mode suite (generate -mode quantized); this suite is %s", suite.Mode)
+	}
+
+	addrs := strings.Split(*addr, ",")
+	fleet, err := validate.DialShards(addrs, validate.DialOptions{ReadTimeout: *timeout, Wire: dialect, F32: *f32, Decimals: suite.Decimals})
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+	maxBackoff := 30 * time.Second
+	if *reprobe > maxBackoff {
+		maxBackoff = *reprobe
+	}
+	fleet.SetProbeBackoff(*reprobe, maxBackoff)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	sen, err := sentinel.New(sentinel.Config{
+		Suite:     suite,
+		Fleet:     fleet,
+		Interval:  *interval,
+		Sample:    *sample,
+		QPS:       *qps,
+		Batch:     *batch,
+		Tolerance: *tol,
+		Wire:      dialect,
+		Seed:      *seed,
+		OnAlert: func(a sentinel.Alert) {
+			// One machine-parseable line per incident: the alert record
+			// is the sentinel's product, so it ships whole.
+			if b, jerr := json.Marshal(a); jerr == nil {
+				log.Printf("ALERT %s", b)
+			}
+		},
+		OnRound: func(r sentinel.RoundResult) {
+			if *rounds > 0 && r.Round >= *rounds {
+				cancel()
+			}
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	var hsrv *http.Server
+	if *httpAddr != "" {
+		l, lerr := net.Listen("tcp", *httpAddr)
+		if lerr != nil {
+			return fmt.Errorf("observability listener: %w", lerr)
+		}
+		hsrv = &http.Server{Handler: sen.Handler()}
+		go hsrv.Serve(l)
+		defer hsrv.Close()
+		log.Printf("sentinel observability on http://%s (/metrics, /status)", l.Addr())
+	}
+
+	log.Printf("sentinel watching %d replica(s) at %s: every %v, sample %d, seed %d", len(addrs), *addr, *interval, *sample, *seed)
+	err = sen.Run(ctx)
+	if errors.Is(err, context.Canceled) {
+		st := sen.Status()
+		log.Printf("sentinel stopped after %d round(s): %d pass, %d fail, %d error, %d alert(s), %d readmission(s)",
+			st.Rounds, st.Passes, st.Fails, st.Errors, st.AlertsTotal, st.Readmissions)
+		return nil
+	}
+	return err
 }
 
 // fleetAddrs renders the serve fleet as a -addr value.

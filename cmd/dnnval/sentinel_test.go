@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// lineBuffer collects a process's stderr lines for pattern waiting.
+type lineBuffer struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (b *lineBuffer) follow(r io.Reader) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		b.mu.Lock()
+		b.lines = append(b.lines, sc.Text())
+		b.mu.Unlock()
+	}
+}
+
+// len returns the number of lines collected so far, for use as a
+// waitLine offset ("only lines after this point count").
+func (b *lineBuffer) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.lines)
+}
+
+// waitLine polls for the first line at or after index from that
+// contains every pattern.
+func (b *lineBuffer) waitLine(t *testing.T, from int, timeout time.Duration, patterns ...string) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		b.mu.Lock()
+		lines := b.lines
+		b.mu.Unlock()
+	scan:
+		for _, l := range lines[min(from, len(lines)):] {
+			for _, p := range patterns {
+				if !strings.Contains(l, p) {
+					continue scan
+				}
+			}
+			return l
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no line with %q within %v; got:\n%s", patterns, timeout, strings.Join(lines, "\n"))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// startServe launches `dnnval serve` and waits for its replicas to come
+// up, reporting false on a lost port race so the caller can retry.
+func startServe(t *testing.T, bin, model string, port, replicas int) (*exec.Cmd, bool) {
+	t.Helper()
+	cmd := exec.Command(bin, "serve", "-model", model,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port), "-replicas", fmt.Sprint(replicas), "-workers", "2")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	up := make(chan bool, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), fmt.Sprintf("replica %d/%d", replicas, replicas)) {
+				up <- true
+				return
+			}
+			if strings.Contains(sc.Text(), "address already in use") {
+				up <- false
+				return
+			}
+		}
+		up <- false
+	}()
+	select {
+	case ok := <-up:
+		if !ok {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+		return cmd, ok
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("serve did not come up")
+		return nil, false
+	}
+}
+
+// TestCLISentinel drives the sentinel daemon end to end against a
+// mixed fleet: two clean replicas and one serving an attacked model.
+// The sentinel must raise an alert naming the poisoned replica,
+// quarantine it while the survivors keep passing, expose the whole
+// state over /metrics and /status, readmit the replica once it is
+// redeployed with the clean model, and exit cleanly on SIGTERM.
+func TestCLISentinel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI workflow is slow")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.gob")
+	attacked := filepath.Join(dir, "attacked.gob")
+	suite := filepath.Join(dir, "suite.bin")
+
+	if out, err := run(t, bin, "train", "-arch", "cifar", "-size", "16", "-scale", "0.05",
+		"-n", "120", "-epochs", "2", "-o", model); err != nil {
+		t.Fatalf("train: %v\n%s", err, out)
+	}
+	if out, err := run(t, bin, "generate", "-model", model, "-data", "objects", "-size", "16",
+		"-n", "8", "-pool", "60", "-key", "k1", "-o", suite); err != nil {
+		t.Fatalf("generate: %v\n%s", err, out)
+	}
+	if out, err := run(t, bin, "attack", "-model", model, "-kind", "sba", "-magnitude", "5", "-o", attacked); err != nil {
+		t.Fatalf("attack: %v\n%s", err, out)
+	}
+
+	// A clean 2-replica serve plus a 1-replica serve of the attacked
+	// model; retried together on lost port races (see TestCLIServeValidate).
+	var clean, bad *exec.Cmd
+	var base int
+	started := false
+	for attempt := 0; attempt < 5 && !started; attempt++ {
+		base = freePorts(t, 3)
+		var ok bool
+		if clean, ok = startServe(t, bin, model, base, 2); !ok {
+			continue
+		}
+		if bad, ok = startServe(t, bin, attacked, base+2, 1); !ok {
+			clean.Process.Kill()
+			clean.Wait()
+			continue
+		}
+		started = true
+	}
+	if !started {
+		t.Fatal("fleet lost the port race on every attempt")
+	}
+	defer clean.Process.Kill()
+	defer func() { bad.Process.Kill() }()
+	badAddr := fmt.Sprintf("127.0.0.1:%d", base+2)
+	addrs := fmt.Sprintf("127.0.0.1:%d,127.0.0.1:%d,%s", base, base+1, badAddr)
+
+	sen := exec.Command(bin, "sentinel", "-addr", addrs, "-suite", suite, "-key", "k1",
+		"-interval", "100ms", "-sample", "6", "-batch", "3", "-seed", "5",
+		"-reprobe", "100ms", "-http", "127.0.0.1:0")
+	senErr, err := sen.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf lineBuffer
+	if err := sen.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sen.Process.Kill()
+	go buf.follow(senErr)
+
+	// The observability endpoint self-reports its picked port.
+	obsLine := buf.waitLine(t, 0, 15*time.Second, "sentinel observability on http://")
+	obsURL := strings.TrimSpace(strings.SplitN(obsLine, "on ", 2)[1])
+	obsURL = strings.Fields(obsURL)[0]
+
+	// The poisoned replica is named, alerted on and quarantined. The
+	// ALERT line carries the whole structured record.
+	alert := buf.waitLine(t, 0, 30*time.Second, "ALERT ", badAddr)
+	if !strings.Contains(alert, `"fleet_wide":false`) {
+		t.Fatalf("alert not attributed to one replica: %s", alert)
+	}
+	if !strings.Contains(alert, fmt.Sprintf(`"quarantined":["%s"]`, badAddr)) {
+		t.Fatalf("alert did not quarantine %s: %s", badAddr, alert)
+	}
+
+	scrape := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(obsURL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	metrics := scrape("/metrics")
+	for _, want := range []string{
+		"dnnval_sentinel_quarantined 1",
+		fmt.Sprintf("dnnval_replica_quarantined{replica=\"%s\"} 1", badAddr),
+		"dnnval_sentinel_alerts_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if status := scrape("/status"); !strings.Contains(status, `"state": "quarantined"`) ||
+		!strings.Contains(status, badAddr) {
+		t.Fatalf("/status does not show the quarantine:\n%s", status)
+	}
+
+	// Survivors keep validating clean while the quarantine holds —
+	// only rounds after the alert count.
+	buf.waitLine(t, buf.len(), 15*time.Second, ": pass (6 tests)")
+
+	// Redeploy the replica with the clean model on the same port; the
+	// sentinel's re-validation probe re-dials it and readmits.
+	bad.Process.Kill()
+	bad.Wait()
+	redeployed := false
+	for attempt := 0; attempt < 20 && !redeployed; attempt++ {
+		if bad, redeployed = startServe(t, bin, model, base+2, 1); !redeployed {
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	if !redeployed {
+		t.Fatal("could not rebind the repaired replica's port")
+	}
+	buf.waitLine(t, 0, 30*time.Second, badAddr, "readmitted after passing revalidation")
+
+	metrics = scrape("/metrics")
+	for _, want := range []string{
+		"dnnval_sentinel_readmissions_total 1",
+		"dnnval_sentinel_quarantined 0",
+		fmt.Sprintf("dnnval_replica_up{replica=\"%s\"} 1", badAddr),
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics after readmission missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// SIGTERM stops the daemon cleanly with a summary.
+	if err := sen.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- sen.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("sentinel exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("sentinel did not exit after SIGTERM")
+	}
+	buf.waitLine(t, 0, 5*time.Second, "sentinel stopped after")
+}

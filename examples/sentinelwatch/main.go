@@ -1,0 +1,160 @@
+// Sentinelwatch: continuous fleet validation with replica attribution.
+//
+// A vendor serves the same IP as a three-replica TCP fleet; the user
+// runs a sentinel that keeps replaying randomised suite subsets against
+// the fleet on a budget. Mid-run an attacker poisons one replica's
+// parameters through its hot-sync path. The sentinel's next round
+// diverges, its attribution sweep names the poisoned replica, the
+// replica is quarantined (the survivors keep validating clean), and —
+// after the operator repairs the deployment — a re-validation probe
+// readmits it. The whole story is visible over the sentinel's
+// /metrics and /status HTTP endpoints.
+//
+// Run: go run ./examples/sentinelwatch
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// ---------------- vendor side ----------------
+	model, err := repro.NewMNISTModel(16, 16, 0.1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainSet := repro.Digits(300, 16, 16, 2)
+	if _, err := repro.Train(model, trainSet, repro.TrainConfig{Epochs: 6, LR: 0.003, Seed: 3}); err != nil {
+		log.Fatal(err)
+	}
+	suite, err := repro.GenerateSuite(model, trainSet, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var servers []*repro.Server
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := repro.Serve(l, model)
+		defer srv.Close()
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	fmt.Printf("vendor: fleet of %d replicas at %s\n", len(servers), strings.Join(addrs, ", "))
+
+	// ---------------- user side: the sentinel ----------------
+	fleet, err := repro.DialShards(addrs, repro.DialOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+	// Short probe backoff so the demo's readmission probe runs promptly.
+	fleet.SetProbeBackoff(50*time.Millisecond, time.Second)
+
+	sen, err := repro.NewSentinel(repro.SentinelConfig{
+		Suite:  suite,
+		Fleet:  fleet,
+		Sample: 8,
+		Batch:  4,
+		QPS:    500, // the standing query budget
+		Seed:   42,
+		OnAlert: func(a repro.SentinelAlert) {
+			fmt.Printf("sentinel: ALERT round %d seed %d — %s — quarantined %v\n",
+				a.Round, a.Seed, a.Report, a.Quarantined)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Observability endpoints.
+	hl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hsrv := &http.Server{Handler: sen.Handler()}
+	go hsrv.Serve(hl)
+	defer hsrv.Close()
+	fmt.Printf("sentinel: observability on http://%s\n", hl.Addr())
+
+	ctx := context.Background()
+
+	// Round 1: the clean fleet passes.
+	res := sen.RunRound(ctx)
+	fmt.Printf("sentinel: round %d -> %s\n", res.Round, res.Report)
+
+	// ---------------- supply-chain tampering ----------------
+	// The attacker poisons replica 2's parameters through its hot-sync
+	// path; the other replicas keep serving the clean snapshot.
+	pert, err := repro.AttackRandom(model, 3, 0.5, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	servers[1].SyncParamsFrom(model)
+	pert.Revert(model)
+	fmt.Printf("attacker: %v -> synced into replica 2 only\n", pert)
+
+	// The next rounds catch it: the fleet replay diverges as soon as
+	// round-robin routes a sampled batch to the poisoned replica, the
+	// attribution sweep names it, and it is quarantined.
+	for i := 0; i < 4 && len(fleet.Quarantined()) == 0; i++ {
+		res = sen.RunRound(ctx)
+	}
+	if len(fleet.Quarantined()) == 0 {
+		log.Fatal("poisoned replica was not quarantined")
+	}
+	for _, st := range fleet.ReplicaStatuses() {
+		fmt.Printf("fleet: %-21s %-11s %s\n", st.Addr, st.State, st.QuarantineReason)
+	}
+
+	// The survivors keep validating clean.
+	res = sen.RunRound(ctx)
+	fmt.Printf("sentinel: round %d on survivors -> %s\n", res.Round, res.Report)
+
+	// ---------------- repair and readmission ----------------
+	servers[1].SyncParamsFrom(model)
+	fmt.Println("operator: repaired replica 2 from the clean master")
+	deadline := time.Now().Add(5 * time.Second)
+	for len(fleet.Quarantined()) > 0 && time.Now().Before(deadline) {
+		time.Sleep(60 * time.Millisecond) // wait out the probe backoff
+		sen.RunReadmissions(ctx)
+	}
+	if len(fleet.Quarantined()) > 0 {
+		log.Fatal("repaired replica was not readmitted")
+	}
+	fmt.Println("sentinel: replica 2 passed revalidation and rejoined the rotation")
+
+	// ---------------- observability ----------------
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", hl.Addr()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("metrics excerpt:")
+	for _, line := range strings.Split(string(bytes.TrimSpace(body)), "\n") {
+		if strings.HasPrefix(line, "dnnval_sentinel_") && !strings.HasPrefix(line, "#") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	st := sen.Status()
+	fmt.Printf("status: %d rounds, %d alerts, %d readmissions, %d queries spent\n",
+		st.Rounds, st.AlertsTotal, st.Readmissions, st.Queries)
+	fmt.Println("sentinel watch complete ✔")
+}

@@ -1,0 +1,180 @@
+package sentinel
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/validate"
+)
+
+// Status is the JSON snapshot served at /status: daemon counters, the
+// most recent round, the retained alerts (newest last) and every
+// replica's routing state.
+type Status struct {
+	Suite        string                   `json:"suite"`
+	Interval     string                   `json:"interval"`
+	Sample       int                      `json:"sample"`
+	QPS          float64                  `json:"qps"`
+	Wire         string                   `json:"wire"`
+	Seed         int64                    `json:"seed"`
+	Rounds       uint64                   `json:"rounds"`
+	Passes       uint64                   `json:"passes"`
+	Fails        uint64                   `json:"fails"`
+	Errors       uint64                   `json:"errors"`
+	Queries      uint64                   `json:"queries"`
+	AlertsTotal  uint64                   `json:"alerts_total"`
+	Readmissions uint64                   `json:"readmissions"`
+	LastRound    *RoundResult             `json:"last_round,omitempty"`
+	Alerts       []Alert                  `json:"alerts"`
+	Replicas     []validate.ReplicaStatus `json:"replicas"`
+}
+
+// Status snapshots the sentinel for /status. Safe for concurrent use.
+func (s *Sentinel) Status() Status {
+	s.mu.Lock()
+	st := Status{
+		Suite:        s.cfg.Suite.Name,
+		Interval:     s.cfg.Interval.String(),
+		Sample:       s.cfg.Sample,
+		QPS:          s.cfg.QPS,
+		Wire:         s.cfg.Wire.String(),
+		Seed:         s.cfg.Seed,
+		Rounds:       s.rounds,
+		Passes:       s.passes,
+		Fails:        s.fails,
+		Errors:       s.errors,
+		Queries:      s.queries,
+		AlertsTotal:  s.alertsTotal,
+		Readmissions: s.readmissions,
+		Alerts:       append([]Alert(nil), s.alerts...),
+	}
+	if s.last != nil {
+		last := *s.last
+		st.LastRound = &last
+	}
+	s.mu.Unlock()
+	st.Replicas = s.cfg.Fleet.ReplicaStatuses()
+	if st.Alerts == nil {
+		st.Alerts = []Alert{}
+	}
+	return st
+}
+
+// Handler returns the observability endpoints: GET /metrics in
+// Prometheus text exposition format 0.0.4 (hand-rolled — the module
+// takes no dependencies) and GET /status as a JSON Status snapshot.
+func (s *Sentinel) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, s.renderMetrics())
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Status())
+	})
+	return mux
+}
+
+// escapeLabel escapes a Prometheus label value per the text format:
+// backslash, double quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// renderMetrics renders the whole exposition. Counters come from the
+// sentinel's own tallies and the fleet's per-replica statuses; the
+// latency histogram is rendered cumulative per the Prometheus bucket
+// contract (each le bucket counts everything at or below its bound,
+// +Inf equals _count).
+func (s *Sentinel) renderMetrics() string {
+	s.mu.Lock()
+	rounds, passes, fails, errors := s.rounds, s.passes, s.fails, s.errors
+	queries, alerts, readmissions := s.queries, s.alertsTotal, s.readmissions
+	s.mu.Unlock()
+	replicas := s.cfg.Fleet.ReplicaStatuses()
+
+	var b strings.Builder
+	metric := func(name, help, typ string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	metric("dnnval_sentinel_rounds_total", "Validation rounds run.", "counter")
+	fmt.Fprintf(&b, "dnnval_sentinel_rounds_total %d\n", rounds)
+	metric("dnnval_sentinel_verdicts_total", "Round verdicts by outcome.", "counter")
+	fmt.Fprintf(&b, "dnnval_sentinel_verdicts_total{verdict=\"pass\"} %d\n", passes)
+	fmt.Fprintf(&b, "dnnval_sentinel_verdicts_total{verdict=\"fail\"} %d\n", fails)
+	fmt.Fprintf(&b, "dnnval_sentinel_verdicts_total{verdict=\"error\"} %d\n", errors)
+	metric("dnnval_sentinel_queries_total", "Suite queries the sentinel has spent (validation, attribution and readmission probes).", "counter")
+	fmt.Fprintf(&b, "dnnval_sentinel_queries_total %d\n", queries)
+	metric("dnnval_sentinel_alerts_total", "Alerts raised on divergent rounds.", "counter")
+	fmt.Fprintf(&b, "dnnval_sentinel_alerts_total %d\n", alerts)
+	metric("dnnval_sentinel_readmissions_total", "Quarantined replicas readmitted after passing revalidation.", "counter")
+	fmt.Fprintf(&b, "dnnval_sentinel_readmissions_total %d\n", readmissions)
+
+	quarantined := 0
+	for _, r := range replicas {
+		if r.State == "quarantined" {
+			quarantined++
+		}
+	}
+	metric("dnnval_sentinel_quarantined", "Replicas currently quarantined.", "gauge")
+	fmt.Fprintf(&b, "dnnval_sentinel_quarantined %d\n", quarantined)
+
+	metric("dnnval_replica_up", "1 when the replica is in the rotation, 0 when down or quarantined.", "gauge")
+	for _, r := range replicas {
+		up := 0
+		if r.State == "healthy" {
+			up = 1
+		}
+		fmt.Fprintf(&b, "dnnval_replica_up{replica=%q} %d\n", escapeLabel(r.Addr), up)
+	}
+	metric("dnnval_replica_quarantined", "1 when the replica is quarantined.", "gauge")
+	for _, r := range replicas {
+		q := 0
+		if r.State == "quarantined" {
+			q = 1
+		}
+		fmt.Fprintf(&b, "dnnval_replica_quarantined{replica=%q} %d\n", escapeLabel(r.Addr), q)
+	}
+	metric("dnnval_replica_exchanges_total", "Exchanges the replica answered.", "counter")
+	for _, r := range replicas {
+		fmt.Fprintf(&b, "dnnval_replica_exchanges_total{replica=%q} %d\n", escapeLabel(r.Addr), r.Served)
+	}
+	metric("dnnval_replica_errors_total", "Transport failures attributed to the replica.", "counter")
+	for _, r := range replicas {
+		fmt.Fprintf(&b, "dnnval_replica_errors_total{replica=%q} %d\n", escapeLabel(r.Addr), r.Errors)
+	}
+	metric("dnnval_replica_wire_bytes_total", "Cumulative bytes exchanged with the replica (survives probe re-dials), by direction from the client's perspective.", "counter")
+	for _, r := range replicas {
+		fmt.Fprintf(&b, "dnnval_replica_wire_bytes_total{replica=%q,direction=\"read\"} %d\n", escapeLabel(r.Addr), r.Wire.BytesRead)
+		fmt.Fprintf(&b, "dnnval_replica_wire_bytes_total{replica=%q,direction=\"written\"} %d\n", escapeLabel(r.Addr), r.Wire.BytesWritten)
+	}
+
+	metric("dnnval_replica_latency_seconds", "Latency of answered exchanges per replica.", "histogram")
+	for _, r := range replicas {
+		addr := escapeLabel(r.Addr)
+		var cum int64
+		for i, bound := range validate.LatencyBucketBounds {
+			if i < len(r.LatencyBuckets) {
+				cum += r.LatencyBuckets[i]
+			}
+			fmt.Fprintf(&b, "dnnval_replica_latency_seconds_bucket{replica=%q,le=\"%g\"} %d\n", addr, bound, cum)
+		}
+		fmt.Fprintf(&b, "dnnval_replica_latency_seconds_bucket{replica=%q,le=\"+Inf\"} %d\n", addr, r.LatencyCount)
+		fmt.Fprintf(&b, "dnnval_replica_latency_seconds_sum{replica=%q} %s\n", addr, formatFloat(r.LatencySeconds))
+		fmt.Fprintf(&b, "dnnval_replica_latency_seconds_count{replica=%q} %d\n", addr, r.LatencyCount)
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus expects (no
+// exponent-less integer ambiguity matters; %g is fine and compact).
+func formatFloat(f float64) string { return fmt.Sprintf("%g", f) }

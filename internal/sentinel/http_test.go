@@ -1,0 +1,165 @@
+package sentinel
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHandlerObservability scrapes /metrics and /status after a short
+// lifecycle (clean round, poisoned round with quarantine) and checks
+// the exposition against the sentinel's own counters: Prometheus text
+// format 0.0.4, cumulative histogram buckets with +Inf == _count, and
+// a JSON snapshot consistent with Status().
+func TestHandlerObservability(t *testing.T) {
+	servers, fleet := testFleet(t, 2)
+	suite := testSuite(t, 8)
+	s, err := New(Config{Suite: suite, Fleet: fleet, Sample: 4, Batch: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if res := s.RunRound(ctx); !res.Report.Passed {
+		t.Fatalf("clean round = %+v", res)
+	}
+	poison(t, servers[1], 99)
+	for i := 0; i < 5 && len(fleet.Quarantined()) == 0; i++ {
+		s.RunRound(ctx)
+	}
+	if len(fleet.Quarantined()) != 1 {
+		t.Fatal("poisoned replica not quarantined")
+	}
+
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := hs.Client().Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if ctype != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics Content-Type = %q", ctype)
+	}
+	st := s.Status()
+	for _, want := range []string{
+		fmt.Sprintf("dnnval_sentinel_rounds_total %d", st.Rounds),
+		fmt.Sprintf("dnnval_sentinel_verdicts_total{verdict=\"pass\"} %d", st.Passes),
+		fmt.Sprintf("dnnval_sentinel_verdicts_total{verdict=\"fail\"} %d", st.Fails),
+		fmt.Sprintf("dnnval_sentinel_queries_total %d", st.Queries),
+		fmt.Sprintf("dnnval_sentinel_alerts_total %d", st.AlertsTotal),
+		"dnnval_sentinel_quarantined 1",
+		fmt.Sprintf("dnnval_replica_up{replica=%q} 1", fleet.Addrs()[0]),
+		fmt.Sprintf("dnnval_replica_up{replica=%q} 0", fleet.Addrs()[1]),
+		fmt.Sprintf("dnnval_replica_quarantined{replica=%q} 1", fleet.Addrs()[1]),
+		"# TYPE dnnval_replica_latency_seconds histogram",
+	} {
+		if !strings.Contains(metrics, want+"\n") && !strings.HasSuffix(metrics, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+
+	// Histogram contract per replica: buckets are cumulative
+	// (non-decreasing in le order) and the +Inf bucket equals _count.
+	for _, r := range fleet.ReplicaStatuses() {
+		q := regexp.QuoteMeta(fmt.Sprintf("%q", r.Addr))
+		buckets := regexp.MustCompile(`dnnval_replica_latency_seconds_bucket\{replica=`+q+`,le="[^"]+"\} (\d+)`).
+			FindAllStringSubmatch(metrics, -1)
+		if len(buckets) == 0 {
+			t.Fatalf("no latency buckets for %s", r.Addr)
+		}
+		prev := int64(-1)
+		var last int64
+		for _, m := range buckets {
+			v, _ := strconv.ParseInt(m[1], 10, 64)
+			if v < prev {
+				t.Fatalf("bucket series for %s not cumulative: %v", r.Addr, buckets)
+			}
+			prev, last = v, v
+		}
+		countRe := regexp.MustCompile(`dnnval_replica_latency_seconds_count\{replica=` + q + `\} (\d+)`)
+		cm := countRe.FindStringSubmatch(metrics)
+		if cm == nil {
+			t.Fatalf("no _count for %s", r.Addr)
+		}
+		count, _ := strconv.ParseInt(cm[1], 10, 64)
+		if last != count {
+			t.Fatalf("+Inf bucket %d != _count %d for %s", last, count, r.Addr)
+		}
+		// Wire bytes are exported per direction and match the status.
+		wantRead := fmt.Sprintf("dnnval_replica_wire_bytes_total{replica=%q,direction=\"read\"} %d", r.Addr, r.Wire.BytesRead)
+		if !strings.Contains(metrics, wantRead) {
+			t.Fatalf("/metrics missing %q", wantRead)
+		}
+	}
+
+	statusBody, ctype := get("/status")
+	if ctype != "application/json" {
+		t.Fatalf("/status Content-Type = %q", ctype)
+	}
+	var decoded Status
+	if err := json.Unmarshal([]byte(statusBody), &decoded); err != nil {
+		t.Fatalf("/status is not JSON: %v\n%s", err, statusBody)
+	}
+	if decoded.Suite != suite.Name || decoded.Rounds != st.Rounds || decoded.AlertsTotal != st.AlertsTotal {
+		t.Fatalf("/status snapshot = %+v, want counters of %+v", decoded, st)
+	}
+	if len(decoded.Alerts) != 1 || len(decoded.Alerts[0].Quarantined) != 1 {
+		t.Fatalf("/status alerts = %+v", decoded.Alerts)
+	}
+	if decoded.LastRound == nil || decoded.LastRound.Round != st.Rounds {
+		t.Fatalf("/status last_round = %+v", decoded.LastRound)
+	}
+	if len(decoded.Replicas) != 2 || decoded.Replicas[1].State != "quarantined" {
+		t.Fatalf("/status replicas = %+v", decoded.Replicas)
+	}
+}
+
+// TestAlertHistoryBounded: the alert ring keeps only the configured
+// History newest alerts.
+func TestAlertHistoryBounded(t *testing.T) {
+	servers, fleet := testFleet(t, 1)
+	suite := testSuite(t, 6)
+	s, err := New(Config{Suite: suite, Fleet: fleet, Sample: 3, Batch: 3, History: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single-replica fleet diverging is fleet-wide by construction, so
+	// nothing is quarantined and every round keeps alerting.
+	poison(t, servers[0], 111)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if res := s.RunRound(ctx); !res.Alerted {
+			t.Fatalf("round %d did not alert: %+v", i+1, res)
+		}
+	}
+	st := s.Status()
+	if st.AlertsTotal != 4 || len(st.Alerts) != 2 {
+		t.Fatalf("alerts total=%d kept=%d, want 4/2", st.AlertsTotal, len(st.Alerts))
+	}
+	if st.Alerts[0].Round != 3 || st.Alerts[1].Round != 4 {
+		t.Fatalf("ring kept rounds %d,%d; want 3,4", st.Alerts[0].Round, st.Alerts[1].Round)
+	}
+	if !st.Alerts[1].FleetWide {
+		t.Fatal("single-replica divergence not flagged fleet-wide")
+	}
+}

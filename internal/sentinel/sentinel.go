@@ -1,0 +1,471 @@
+// Package sentinel is the standing-verification daemon over the
+// paper's one-shot replay: where the IP user of the paper replays the
+// sealed suite once, a production user keeps paying queries to a live
+// fleet and needs the validation verdict continuously. The sentinel
+// trickle-replays randomised suite subsets against a ShardedIP fleet
+// on a schedule, under a query budget (a queries/sec cap and a bounded
+// sample per round), with the sampling seeded deterministically so any
+// incident report can be reproduced bit-for-bit from its round seed.
+//
+// On the first divergent round the sentinel runs an attribution sweep
+// — the same subset replayed against each healthy replica individually
+// through ShardedIP.Replica pinned views — and raises a structured
+// Alert naming the offending replicas, quarantining them out of the
+// rotation (validation keeps running on the survivors). Quarantined
+// replicas are readmitted only after passing a dedicated re-validation
+// probe (ShardedIP.TryReadmit), which rides the half-open backoff
+// schedule. NotifySync triggers an immediate out-of-schedule round,
+// the hook for re-validating after a hot parameter sync. Handler
+// exposes the whole state over HTTP: Prometheus /metrics and a JSON
+// /status snapshot.
+package sentinel
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/validate"
+)
+
+// Config configures a Sentinel. Suite and Fleet are required; zero
+// values elsewhere take the documented defaults.
+type Config struct {
+	// Suite is the sealed validation artefact rounds sample from.
+	Suite *validate.Suite
+	// Fleet is the replica fleet under watch. The sentinel owns its
+	// quarantine decisions; it does not Close it.
+	Fleet *validate.ShardedIP
+	// Interval is the time between scheduled rounds. Default 30s.
+	Interval time.Duration
+	// Sample is the number of suite tests replayed per round, drawn
+	// without replacement from a per-round deterministic permutation.
+	// Default min(16, suite size); capped at the suite size.
+	Sample int
+	// QPS caps the sentinel's query rate (queries per second averaged
+	// over a round, enforced between batch exchanges), bounding what
+	// standing verification costs against a fleet that charges per
+	// query. <= 0 means unpaced.
+	QPS float64
+	// Batch is the batch size of replay exchanges. Default 4.
+	Batch int
+	// Tolerance is ReplayConfig.Tolerance for every replay the sentinel
+	// runs — required when the fleet evaluates in float32.
+	Tolerance float64
+	// Wire is ReplayConfig.Wire for every replay the sentinel runs.
+	Wire validate.Wire
+	// Seed makes the sampling deterministic: round r of any sentinel
+	// started with the same (Seed, Suite, Sample) replays the same
+	// indices, so an incident report is reproducible from its recorded
+	// round and seed alone.
+	Seed int64
+	// History bounds the alert ring buffer kept for /status. Default 32.
+	History int
+	// OnAlert, when set, is called synchronously with each raised
+	// alert — after the divergent replicas were quarantined.
+	OnAlert func(Alert)
+	// OnRound, when set, is called synchronously after every round.
+	OnRound func(RoundResult)
+	// Logf, when set, receives one line per notable event (round
+	// verdicts, quarantines, readmissions).
+	Logf func(format string, args ...any)
+}
+
+// ReplicaVerdict is one replica's answer in an attribution sweep: the
+// divergent subset replayed against that replica alone.
+type ReplicaVerdict struct {
+	Index    int             `json:"index"`
+	Addr     string          `json:"addr"`
+	Diverged bool            `json:"diverged"`
+	Report   validate.Report `json:"report"`
+	Err      string          `json:"err,omitempty"`
+}
+
+// Alert is the structured incident record raised on a divergent round.
+// Replaying Indices of the named suite against the fleet reproduces
+// the divergence (while it persists); Seed and Round re-derive Indices
+// from the sentinel configuration alone.
+type Alert struct {
+	Time    time.Time       `json:"time"`
+	Round   uint64          `json:"round"`
+	Seed    int64           `json:"seed"`
+	Suite   string          `json:"suite"`
+	Indices []int           `json:"indices"`
+	Report  validate.Report `json:"report"`
+	// Attribution holds the per-replica sweep verdicts, one per replica
+	// that was healthy when the round diverged.
+	Attribution []ReplicaVerdict `json:"attribution"`
+	// Quarantined names the replicas this alert pulled from the
+	// rotation.
+	Quarantined []string `json:"quarantined"`
+	// FleetWide is set when every answering replica diverged: the fault
+	// is upstream of routing (a poisoned master synced everywhere, or a
+	// stale suite), so no replica is quarantined — there would be no
+	// clean fleet left to serve.
+	FleetWide bool `json:"fleet_wide"`
+}
+
+// RoundResult summarises one sentinel round for OnRound and /status.
+type RoundResult struct {
+	Round   uint64          `json:"round"`
+	Time    time.Time       `json:"time"`
+	Seed    int64           `json:"seed"`
+	Indices []int           `json:"indices"`
+	Report  validate.Report `json:"report"`
+	Err     string          `json:"err,omitempty"`
+	Alerted bool            `json:"alerted"`
+}
+
+// Sentinel is the continuous fleet-validation daemon. Create with New,
+// drive with Run (or RunRound for one synchronous round), observe with
+// Handler/Status.
+type Sentinel struct {
+	cfg    Config
+	syncCh chan struct{}
+
+	mu           sync.Mutex
+	rounds       uint64
+	passes       uint64
+	fails        uint64
+	errors       uint64
+	queries      uint64
+	alertsTotal  uint64
+	readmissions uint64
+	last         *RoundResult
+	alerts       []Alert // ring of the most recent cfg.History alerts
+}
+
+// New builds a Sentinel over the suite and fleet, applying defaults.
+func New(cfg Config) (*Sentinel, error) {
+	if cfg.Suite == nil {
+		return nil, fmt.Errorf("sentinel: config needs a Suite")
+	}
+	if cfg.Fleet == nil {
+		return nil, fmt.Errorf("sentinel: config needs a Fleet")
+	}
+	if cfg.Suite.Len() == 0 {
+		return nil, fmt.Errorf("sentinel: suite %q has no tests", cfg.Suite.Name)
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	if cfg.Sample <= 0 {
+		cfg.Sample = 16
+	}
+	if cfg.Sample > cfg.Suite.Len() {
+		cfg.Sample = cfg.Suite.Len()
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 4
+	}
+	if cfg.History <= 0 {
+		cfg.History = 32
+	}
+	return &Sentinel{cfg: cfg, syncCh: make(chan struct{}, 1)}, nil
+}
+
+// logf forwards to cfg.Logf when set.
+func (s *Sentinel) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// NotifySync requests an immediate out-of-schedule round — the hook to
+// call after a hot parameter sync (Server.SyncParamsFrom), so the
+// fleet is re-validated right away instead of waiting out the
+// interval. Coalesces: at most one extra round is pending at a time.
+// Safe from any goroutine.
+func (s *Sentinel) NotifySync() {
+	select {
+	case s.syncCh <- struct{}{}:
+	default:
+	}
+}
+
+// Run drives rounds until ctx is cancelled: one immediately, then one
+// per Interval tick or NotifySync nudge, each followed by a
+// readmission pass over the quarantined replicas. Returns ctx.Err().
+func (s *Sentinel) Run(ctx context.Context) error {
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	s.tick(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			s.tick(ctx)
+		case <-s.syncCh:
+			s.tick(ctx)
+		}
+	}
+}
+
+// tick is one scheduled step: a validation round, then a readmission
+// pass, then the OnRound callback.
+func (s *Sentinel) tick(ctx context.Context) {
+	res := s.RunRound(ctx)
+	s.RunReadmissions(ctx)
+	if s.cfg.OnRound != nil {
+		s.cfg.OnRound(res)
+	}
+}
+
+// roundSeed derives round r's sampling seed from the configured seed —
+// a splitmix-style mix, so consecutive rounds draw unrelated
+// permutations while any round is reproducible from (Seed, r) alone.
+func (s *Sentinel) roundSeed(r uint64) int64 {
+	z := uint64(s.cfg.Seed) ^ (r * 0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// sampleIndices draws the round's test subset: a Sample-sized prefix
+// of the seeded permutation of the suite, sorted ascending so the
+// replay walks the suite in order and an alert's index list reads like
+// the suite.
+func (s *Sentinel) sampleIndices(seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	idx := append([]int(nil), rng.Perm(s.cfg.Suite.Len())[:s.cfg.Sample]...)
+	sort.Ints(idx)
+	return idx
+}
+
+// RunRound runs one validation round synchronously: sample, paced
+// replay against the fleet, and on divergence the attribution sweep,
+// quarantine and alert. Returns the round summary (also delivered to
+// OnRound when driven by Run).
+func (s *Sentinel) RunRound(ctx context.Context) RoundResult {
+	s.mu.Lock()
+	s.rounds++
+	round := s.rounds
+	s.mu.Unlock()
+
+	seed := s.roundSeed(round)
+	indices := s.sampleIndices(seed)
+	res := RoundResult{Round: round, Time: time.Now(), Seed: seed, Indices: indices}
+
+	sub, err := s.cfg.Suite.Subset(indices)
+	if err == nil {
+		res.Report, err = s.pacedReplay(ctx, sub, s.cfg.Fleet)
+	}
+	s.mu.Lock()
+	switch {
+	case err != nil:
+		s.errors++
+		res.Err = err.Error()
+	case res.Report.Passed:
+		s.passes++
+	default:
+		s.fails++
+	}
+	s.mu.Unlock()
+
+	if err != nil {
+		s.logf("sentinel: round %d: replay error: %v", round, err)
+	} else if !res.Report.Passed {
+		alert := s.raiseAlert(ctx, round, seed, indices, res.Report)
+		res.Alerted = true
+		s.logf("sentinel: round %d: DIVERGENCE %s — quarantined %v (fleet-wide=%v)",
+			round, res.Report, alert.Quarantined, alert.FleetWide)
+	} else {
+		s.logf("sentinel: round %d: pass (%d tests)", round, res.Report.Total)
+	}
+
+	s.mu.Lock()
+	r := res
+	s.last = &r
+	s.mu.Unlock()
+	return res
+}
+
+// raiseAlert runs the attribution sweep for a divergent round,
+// quarantines the divergent replicas (unless the divergence is
+// fleet-wide), records the alert and invokes OnAlert.
+func (s *Sentinel) raiseAlert(ctx context.Context, round uint64, seed int64, indices []int, rep validate.Report) Alert {
+	alert := Alert{
+		Time:    time.Now(),
+		Round:   round,
+		Seed:    seed,
+		Suite:   s.cfg.Suite.Name,
+		Indices: indices,
+		Report:  rep,
+	}
+	sub, err := s.cfg.Suite.Subset(indices)
+	if err == nil {
+		alert.Attribution, alert.FleetWide = s.attribute(ctx, sub)
+	}
+	for _, v := range alert.Attribution {
+		if !v.Diverged || alert.FleetWide {
+			continue
+		}
+		reason := fmt.Sprintf("diverged on %d/%d tests of suite %q (round %d, seed %d, first at subset index %d)",
+			v.Report.Mismatches, v.Report.Total, s.cfg.Suite.Name, round, seed, v.Report.FirstFailure)
+		if qerr := s.cfg.Fleet.Quarantine(v.Index, reason); qerr == nil {
+			alert.Quarantined = append(alert.Quarantined, v.Addr)
+		}
+	}
+	s.mu.Lock()
+	s.alertsTotal++
+	s.alerts = append(s.alerts, alert)
+	if len(s.alerts) > s.cfg.History {
+		s.alerts = s.alerts[len(s.alerts)-s.cfg.History:]
+	}
+	s.mu.Unlock()
+	if s.cfg.OnAlert != nil {
+		s.cfg.OnAlert(alert)
+	}
+	return alert
+}
+
+// attribute replays the divergent subset against each healthy replica
+// individually (pinned views, no failover) and reports which replicas
+// diverged. fleetWide is true when every replica that answered
+// diverged — then the fault is upstream of routing and quarantining
+// would empty the fleet for nothing.
+func (s *Sentinel) attribute(ctx context.Context, sub *validate.Suite) (verdicts []ReplicaVerdict, fleetWide bool) {
+	statuses := s.cfg.Fleet.ReplicaStatuses()
+	var diverged, passed int
+	for _, st := range statuses {
+		if st.State != "healthy" {
+			continue
+		}
+		view, err := s.cfg.Fleet.Replica(st.Index)
+		if err != nil {
+			continue
+		}
+		v := ReplicaVerdict{Index: st.Index, Addr: st.Addr}
+		v.Report, err = s.pacedReplay(ctx, sub, view)
+		if err != nil {
+			v.Err = err.Error()
+		} else if !v.Report.Passed {
+			v.Diverged = true
+			diverged++
+		} else {
+			passed++
+		}
+		verdicts = append(verdicts, v)
+	}
+	return verdicts, diverged > 0 && passed == 0
+}
+
+// RunReadmissions offers every quarantined replica its re-validation
+// probe: a fresh deterministic sample replayed against that replica
+// alone, through ShardedIP.TryReadmit so the probe respects the
+// half-open backoff schedule and re-dials repaired servers. Run calls
+// this after every round; it is exported so callers driving rounds
+// manually (RunRound) can drive readmission too.
+func (s *Sentinel) RunReadmissions(ctx context.Context) {
+	for _, idx := range s.cfg.Fleet.Quarantined() {
+		idx := idx
+		s.mu.Lock()
+		round := s.rounds
+		s.mu.Unlock()
+		// A distinct seed stream from the validation rounds: readmission
+		// probes of round r draw their own sample, still reproducible.
+		seed := s.roundSeed(round ^ 0x5EED5EED)
+		sub, err := s.cfg.Suite.Subset(s.sampleIndices(seed))
+		if err != nil {
+			return
+		}
+		probed, err := s.cfg.Fleet.TryReadmit(idx, func(rep validate.BatchIP) error {
+			r, rerr := s.pacedReplay(ctx, sub, rep)
+			if rerr != nil {
+				return rerr
+			}
+			if !r.Passed {
+				return fmt.Errorf("revalidation still diverges: %s", r)
+			}
+			return nil
+		})
+		if !probed {
+			continue
+		}
+		addr := fmt.Sprintf("replica %d", idx)
+		if addrs := s.cfg.Fleet.Addrs(); idx < len(addrs) {
+			addr = addrs[idx]
+		}
+		if err != nil {
+			s.logf("sentinel: readmission probe of %s failed: %v", addr, err)
+			continue
+		}
+		s.mu.Lock()
+		s.readmissions++
+		s.mu.Unlock()
+		s.logf("sentinel: %s readmitted after passing revalidation", addr)
+	}
+}
+
+// pacedReplay replays sub against ip in Batch-sized chunks under the
+// QPS cap, merging the chunk reports into the report one unpaced
+// replay would produce. Respects ctx between chunks.
+func (s *Sentinel) pacedReplay(ctx context.Context, sub *validate.Suite, ip validate.IP) (validate.Report, error) {
+	n := sub.Len()
+	cfg := validate.ReplayConfig{Batch: s.cfg.Batch, Tolerance: s.cfg.Tolerance, Wire: s.cfg.Wire}
+	merged := validate.Report{Passed: true, FirstFailure: -1}
+	next := time.Now()
+	for start := 0; start < n; start += s.cfg.Batch {
+		end := min(start+s.cfg.Batch, n)
+		if err := s.pace(ctx, &next, end-start); err != nil {
+			return validate.Report{}, err
+		}
+		chunkIdx := make([]int, end-start)
+		for i := range chunkIdx {
+			chunkIdx[i] = start + i
+		}
+		chunk, err := sub.Subset(chunkIdx)
+		if err != nil {
+			return validate.Report{}, err
+		}
+		rep, err := chunk.Replay(ip, cfg)
+		s.mu.Lock()
+		s.queries += uint64(end - start)
+		s.mu.Unlock()
+		if err != nil {
+			return validate.Report{}, err
+		}
+		merged.Total += rep.Total
+		merged.Mismatches += rep.Mismatches
+		if rep.FirstFailure >= 0 && merged.FirstFailure < 0 {
+			merged.FirstFailure = start + rep.FirstFailure
+		}
+	}
+	merged.Passed = merged.Mismatches == 0
+	return merged, nil
+}
+
+// pace sleeps until the budget admits the next k queries: a
+// token-bucketless next-allowed-time scheme — each chunk books k/QPS
+// seconds of budget, and the next chunk waits for the booking to
+// mature. Cancellable via ctx.
+func (s *Sentinel) pace(ctx context.Context, next *time.Time, k int) error {
+	if s.cfg.QPS <= 0 {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
+	now := time.Now()
+	if wait := next.Sub(now); wait > 0 {
+		if ctx == nil {
+			time.Sleep(wait)
+		} else {
+			t := time.NewTimer(wait)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+	} else {
+		*next = now // idle budget does not accumulate into bursts
+	}
+	*next = next.Add(time.Duration(float64(k) / s.cfg.QPS * float64(time.Second)))
+	return nil
+}

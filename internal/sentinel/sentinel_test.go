@@ -1,0 +1,369 @@
+package sentinel
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/train"
+	"repro/internal/validate"
+)
+
+// The fleet under watch: one small trained network served as n
+// bit-identical TCP replicas, plus a sealed suite selected from its
+// training distribution — the same fixture shape the validate package
+// tests use, rebuilt here because test helpers do not cross packages.
+
+var testNet = sync.OnceValue(func() *nn.Network {
+	net := models.Tiny(nn.ReLU, 1, 10, 10, 4, 10, 301)
+	ds := data.Digits(150, 10, 10, 302)
+	if _, err := train.Fit(net, ds, train.Config{
+		Epochs: 5, BatchSize: 16, Optimizer: train.NewAdam(0.003), Seed: 1,
+	}); err != nil {
+		panic(err)
+	}
+	return net
+})
+
+func testSuite(t *testing.T, n int) *validate.Suite {
+	t.Helper()
+	network := testNet()
+	ds := data.Digits(60, 10, 10, 303)
+	res, err := core.SelectFromTraining(network, ds, core.DefaultOptions(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return validate.BuildSuite("digits", network, res.Tests, validate.ExactOutputs)
+}
+
+func testFleet(t *testing.T, n int) ([]*validate.Server, *validate.ShardedIP) {
+	t.Helper()
+	servers := make([]*validate.Server, n)
+	addrs := make([]string, n)
+	for i := range servers {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = validate.Serve(l, testNet())
+		addrs[i] = servers[i].Addr()
+		srv := servers[i]
+		t.Cleanup(func() { srv.Close() })
+	}
+	fleet, err := validate.DialShards(addrs, validate.DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fleet.Close() })
+	return servers, fleet
+}
+
+// poison hot-syncs an attacked parameter snapshot into one server,
+// leaving the shared test network clean on return.
+func poison(t *testing.T, srv *validate.Server, seed int64) {
+	t.Helper()
+	network := testNet()
+	p, err := attack.RandomNoise(network, 3, 0.5, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SyncParamsFrom(network)
+	p.Revert(network)
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	_, fleet := testFleet(t, 1)
+	suite := testSuite(t, 4)
+	if _, err := New(Config{Fleet: fleet}); err == nil {
+		t.Fatal("New accepted a config without a suite")
+	}
+	if _, err := New(Config{Suite: suite}); err == nil {
+		t.Fatal("New accepted a config without a fleet")
+	}
+	empty := validate.BuildSuite("empty", testNet(), nil, validate.ExactOutputs)
+	if _, err := New(Config{Suite: empty, Fleet: fleet}); err == nil {
+		t.Fatal("New accepted an empty suite")
+	}
+	s, err := New(Config{Suite: suite, Fleet: fleet, Sample: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.Sample != suite.Len() {
+		t.Fatalf("Sample not capped at suite size: %d", s.cfg.Sample)
+	}
+	if s.cfg.Interval != 30*time.Second || s.cfg.Batch != 4 || s.cfg.History != 32 {
+		t.Fatalf("defaults not applied: %+v", s.cfg)
+	}
+}
+
+// TestDeterministicSampling: the incident-reproducibility contract —
+// round r of any sentinel with the same (Seed, Suite, Sample) draws
+// the same indices, and the draw is a valid sorted sample.
+func TestDeterministicSampling(t *testing.T) {
+	_, fleet := testFleet(t, 1)
+	suite := testSuite(t, 12)
+	mk := func(seed int64) *Sentinel {
+		s, err := New(Config{Suite: suite, Fleet: fleet, Sample: 5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b, c := mk(42), mk(42), mk(43)
+	for r := uint64(1); r <= 4; r++ {
+		ia := a.sampleIndices(a.roundSeed(r))
+		ib := b.sampleIndices(b.roundSeed(r))
+		if len(ia) != 5 {
+			t.Fatalf("round %d sampled %d indices, want 5", r, len(ia))
+		}
+		seen := map[int]bool{}
+		for i, v := range ia {
+			if v < 0 || v >= suite.Len() || seen[v] || (i > 0 && ia[i-1] >= v) {
+				t.Fatalf("round %d sample invalid: %v", r, ia)
+			}
+			seen[v] = true
+		}
+		if !equalInts(ia, ib) {
+			t.Fatalf("round %d differs across same-seed sentinels: %v vs %v", r, ia, ib)
+		}
+		if equalInts(ia, c.sampleIndices(c.roundSeed(r))) {
+			t.Fatalf("round %d identical across different seeds", r)
+		}
+	}
+	// Consecutive rounds draw unrelated permutations.
+	if equalInts(a.sampleIndices(a.roundSeed(1)), a.sampleIndices(a.roundSeed(2))) {
+		t.Fatal("rounds 1 and 2 drew the same sample")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLifecycle drives the whole story synchronously: clean pass, a
+// poisoned replica caught and attributed by addr, quarantine with the
+// survivors still validating, and readmission after repair.
+func TestLifecycle(t *testing.T) {
+	servers, fleet := testFleet(t, 3)
+	fleet.SetProbeBackoff(20*time.Millisecond, 100*time.Millisecond)
+	suite := testSuite(t, 12)
+	addrs := fleet.Addrs()
+
+	var alerts []Alert
+	s, err := New(Config{
+		Suite: suite, Fleet: fleet,
+		Sample: 6, Batch: 3, Seed: 7,
+		OnAlert: func(a Alert) { alerts = append(alerts, a) },
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	res := s.RunRound(ctx)
+	if !res.Report.Passed || res.Alerted || res.Round != 1 {
+		t.Fatalf("clean round = %+v", res)
+	}
+	if res.Seed != s.roundSeed(1) || !equalInts(res.Indices, s.sampleIndices(res.Seed)) {
+		t.Fatalf("round result not reproducible from its seed: %+v", res)
+	}
+
+	poison(t, servers[1], 77)
+	for i := 0; i < 6 && len(alerts) == 0; i++ {
+		res = s.RunRound(ctx)
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("poisoned replica raised %d alerts in 6 rounds", len(alerts))
+	}
+	a := alerts[0]
+	if !res.Alerted || a.Round != res.Round || a.Seed != res.Seed {
+		t.Fatalf("alert does not match its round: alert=%+v round=%+v", a, res)
+	}
+	if a.FleetWide {
+		t.Fatalf("single poisoned replica reported fleet-wide: %+v", a)
+	}
+	if len(a.Quarantined) != 1 || a.Quarantined[0] != addrs[1] {
+		t.Fatalf("alert quarantined %v, want [%s]", a.Quarantined, addrs[1])
+	}
+	var attributed bool
+	for _, v := range a.Attribution {
+		if v.Diverged != (v.Addr == addrs[1]) {
+			t.Fatalf("attribution wrong for %s: %+v", v.Addr, v)
+		}
+		if v.Addr == addrs[1] {
+			attributed = true
+		}
+	}
+	if !attributed {
+		t.Fatalf("attribution sweep never reached the poisoned replica: %+v", a.Attribution)
+	}
+	if q := fleet.Quarantined(); len(q) != 1 || q[0] != 1 {
+		t.Fatalf("fleet quarantine state = %v", q)
+	}
+	st := fleet.ReplicaStatuses()[1]
+	if st.State != "quarantined" || st.QuarantineReason == "" {
+		t.Fatalf("quarantined replica status = %+v", st)
+	}
+
+	// Survivors keep validating clean.
+	res = s.RunRound(ctx)
+	if !res.Report.Passed {
+		t.Fatalf("survivor round failed: %+v", res)
+	}
+
+	// Still poisoned: the readmission probe must not readmit.
+	time.Sleep(30 * time.Millisecond)
+	s.RunReadmissions(ctx)
+	if len(fleet.Quarantined()) != 1 {
+		t.Fatal("poisoned replica readmitted by a failing probe")
+	}
+
+	// Repair and readmit.
+	servers[1].SyncParamsFrom(testNet())
+	deadline := time.Now().Add(10 * time.Second)
+	for len(fleet.Quarantined()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("repaired replica never readmitted")
+		}
+		time.Sleep(15 * time.Millisecond)
+		s.RunReadmissions(ctx)
+	}
+	if h := fleet.Healthy(); h != 3 {
+		t.Fatalf("Healthy = %d after readmission", h)
+	}
+	status := s.Status()
+	if status.Readmissions != 1 || status.AlertsTotal != 1 || status.Fails == 0 || status.Passes == 0 {
+		t.Fatalf("counters after lifecycle: %+v", status)
+	}
+	if res = s.RunRound(ctx); !res.Report.Passed {
+		t.Fatalf("full-fleet round after readmission: %+v", res)
+	}
+}
+
+// TestFleetWideDivergence: when every replica diverges the fault is
+// upstream of routing — the alert says so and nobody is quarantined.
+func TestFleetWideDivergence(t *testing.T) {
+	servers, fleet := testFleet(t, 2)
+	suite := testSuite(t, 8)
+	var alerts []Alert
+	s, err := New(Config{
+		Suite: suite, Fleet: fleet, Sample: 4, Batch: 2, Seed: 3,
+		OnAlert: func(a Alert) { alerts = append(alerts, a) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, srv := range servers {
+		poison(t, srv, 88)
+	}
+	res := s.RunRound(context.Background())
+	if res.Report.Passed || !res.Alerted {
+		t.Fatalf("poisoned fleet passed: %+v", res)
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("%d alerts", len(alerts))
+	}
+	a := alerts[0]
+	if !a.FleetWide || len(a.Quarantined) != 0 {
+		t.Fatalf("fleet-wide alert = %+v", a)
+	}
+	if h := fleet.Healthy(); h != 2 {
+		t.Fatalf("fleet-wide divergence emptied the fleet: Healthy=%d", h)
+	}
+}
+
+// TestRunAndNotifySync: Run ticks once immediately, NotifySync forces
+// an out-of-schedule round, and cancellation stops the daemon.
+func TestRunAndNotifySync(t *testing.T) {
+	_, fleet := testFleet(t, 2)
+	suite := testSuite(t, 8)
+	roundCh := make(chan RoundResult, 8)
+	s, err := New(Config{
+		Suite: suite, Fleet: fleet, Sample: 4, Batch: 2,
+		Interval: time.Hour, // only NotifySync can trigger extra rounds
+		OnRound:  func(r RoundResult) { roundCh <- r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+
+	wait := func(label string) RoundResult {
+		t.Helper()
+		select {
+		case r := <-roundCh:
+			return r
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s round never ran", label)
+			panic("unreachable")
+		}
+	}
+	first := wait("immediate")
+	if first.Round != 1 || !first.Report.Passed {
+		t.Fatalf("immediate round = %+v", first)
+	}
+	s.NotifySync()
+	second := wait("notify-sync")
+	if second.Round != 2 {
+		t.Fatalf("NotifySync round = %+v", second)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not stop on cancellation")
+	}
+}
+
+// TestPacing: the QPS cap books wall-clock time between batch
+// exchanges — a 4-query round at 50 QPS books 80ms, of which the
+// trailing chunk's 40ms wait must actually elapse; unpaced rounds
+// must not slow down; cancellation interrupts a pending wait.
+func TestPacing(t *testing.T) {
+	_, fleet := testFleet(t, 1)
+	suite := testSuite(t, 8)
+	s, err := New(Config{Suite: suite, Fleet: fleet, Sample: 4, Batch: 2, QPS: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if res := s.RunRound(context.Background()); !res.Report.Passed {
+		t.Fatalf("paced round = %+v", res)
+	}
+	// Chunk 1 runs immediately and books 40ms; chunk 2 waits that out.
+	if el := time.Since(t0); el < 35*time.Millisecond {
+		t.Fatalf("paced round finished in %v, pacing not applied", el)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := s.RunRound(ctx)
+	if res.Err == "" {
+		t.Fatalf("cancelled paced round reported no error: %+v", res)
+	}
+	if st := s.Status(); st.Errors == 0 {
+		t.Fatalf("cancelled round not counted as error: %+v", st)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,13 +42,30 @@ type ShardedIP struct {
 	mu        sync.Mutex
 	closed    bool
 	replicas  []BatchIP
+	addrs     []string // replica names in errors/metrics; dial addresses for DialShards fleets
 	down      []bool
 	probing   []bool
 	nextProbe []time.Time
 	backoff   []time.Duration
+	// quarantined marks replicas pulled from the rotation by validation
+	// evidence (a divergent replay attributed to them) rather than by a
+	// transport failure. Unlike down, a quarantined replica is never
+	// readmitted by the transport-level half-open probe — answering TCP
+	// is no evidence its parameters are clean — only by TryReadmit's
+	// dedicated re-validation probe, which rides the same backoff
+	// schedule.
+	quarantined []bool
+	quarReason  []string
+	lastErr     []string // last transport error per replica, for operators
 	// redial reconnects replica i from scratch; nil entries (in-process
 	// fleets) probe the existing replica object instead.
 	redial []func() (BatchIP, error)
+	// baseWire accumulates the byte counters of connections retired by
+	// probe re-dials, so per-replica WireStats are cumulative across
+	// reconnects instead of resetting with each fresh connection.
+	baseWire []WireStats
+
+	stats []*replicaStats // per-replica exchange counters; slice immutable after construction
 
 	probeMin, probeMax time.Duration
 }
@@ -69,16 +87,27 @@ func NewShardedIP(replicas ...BatchIP) (*ShardedIP, error) {
 		return nil, fmt.Errorf("validate: sharded IP needs at least one replica")
 	}
 	n := len(replicas)
-	return &ShardedIP{
-		replicas:  append([]BatchIP(nil), replicas...),
-		down:      make([]bool, n),
-		probing:   make([]bool, n),
-		nextProbe: make([]time.Time, n),
-		backoff:   make([]time.Duration, n),
-		redial:    make([]func() (BatchIP, error), n),
-		probeMin:  probeBackoffMin,
-		probeMax:  probeBackoffMax,
-	}, nil
+	s := &ShardedIP{
+		replicas:    append([]BatchIP(nil), replicas...),
+		addrs:       make([]string, n),
+		down:        make([]bool, n),
+		probing:     make([]bool, n),
+		nextProbe:   make([]time.Time, n),
+		backoff:     make([]time.Duration, n),
+		quarantined: make([]bool, n),
+		quarReason:  make([]string, n),
+		lastErr:     make([]string, n),
+		redial:      make([]func() (BatchIP, error), n),
+		baseWire:    make([]WireStats, n),
+		stats:       make([]*replicaStats, n),
+		probeMin:    probeBackoffMin,
+		probeMax:    probeBackoffMax,
+	}
+	for i := range s.stats {
+		s.addrs[i] = fmt.Sprintf("replica-%d", i+1)
+		s.stats[i] = &replicaStats{}
+	}
+	return s, nil
 }
 
 // DialShards connects to every addr and returns a ShardedIP over the
@@ -104,6 +133,7 @@ func DialShards(addrs []string, opts DialOptions) (*ShardedIP, error) {
 	s, _ := NewShardedIP(replicas...)
 	for i, addr := range addrs {
 		addr := addr
+		s.addrs[i] = addr
 		s.redial[i] = func() (BatchIP, error) { return DialWith(addr, opts) }
 	}
 	return s, nil
@@ -126,14 +156,14 @@ func (s *ShardedIP) Replicas() int {
 	return len(s.replicas)
 }
 
-// Healthy returns how many replicas are currently in the rotation (not
-// marked down).
+// Healthy returns how many replicas are currently in the rotation
+// (neither marked down nor quarantined).
 func (s *ShardedIP) Healthy() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
-	for _, d := range s.down {
-		if !d {
+	for i := range s.down {
+		if !s.down[i] && !s.quarantined[i] {
 			n++
 		}
 	}
@@ -164,6 +194,12 @@ const (
 func (s *ShardedIP) checkout(idx int) (BatchIP, replicaMode) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.quarantined[idx] {
+		// Quarantine is validation evidence, not a transport state: live
+		// traffic never auto-probes its way back in. Readmission goes
+		// through TryReadmit's re-validation probe only.
+		return nil, skipReplica
+	}
 	if !s.down[idx] {
 		return s.replicas[idx], useReplica
 	}
@@ -225,9 +261,7 @@ func (s *ShardedIP) probe(idx int, rep BatchIP, do func(BatchIP) (any, error)) (
 			s.probeFailed(idx)
 			return nil, err
 		}
-		if c, ok := rep.(io.Closer); ok {
-			c.Close() // the dead connection; harmless if already closed
-		}
+		s.retire(idx, rep) // fold the dead connection's byte counters, then close it
 		s.mu.Lock()
 		if s.closed {
 			// Close ran while the re-dial was in flight; it cannot have
@@ -244,7 +278,9 @@ func (s *ShardedIP) probe(idx int, rep BatchIP, do func(BatchIP) (any, error)) (
 		s.mu.Unlock()
 		rep = fresh
 	}
+	t0 := time.Now()
 	out, err := do(rep)
+	s.observe(idx, time.Since(t0), err)
 	if err != nil {
 		var qe *QueryError
 		if errors.As(err, &qe) {
@@ -275,7 +311,9 @@ func (s *ShardedIP) roundRobin(do func(BatchIP) (any, error)) (any, error) {
 		case skipReplica:
 			continue
 		case useReplica:
+			t0 := time.Now()
 			out, err := do(rep)
+			s.observe(idx, time.Since(t0), err)
 			if err == nil {
 				return out, nil
 			}
@@ -300,7 +338,33 @@ func (s *ShardedIP) roundRobin(do func(BatchIP) (any, error)) (any, error) {
 	if lastErr == nil {
 		lastErr = fmt.Errorf("no healthy replicas")
 	}
-	return nil, fmt.Errorf("validate: all %d replicas failed: %w", n, lastErr)
+	// Name every replica with its state, last transport error and
+	// quarantine reason: "all replicas failed" alone gives an operator
+	// nothing to act on.
+	return nil, fmt.Errorf("validate: all %d replicas failed: %w [%s]", n, lastErr, s.replicaSummary())
+}
+
+// replicaSummary renders one line of per-replica detail for the
+// all-replicas-failed error: address, state, and the state's cause.
+func (s *ShardedIP) replicaSummary() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parts := make([]string, len(s.replicas))
+	for i := range s.replicas {
+		state, detail := "healthy", ""
+		switch {
+		case s.quarantined[i]:
+			state, detail = "quarantined", s.quarReason[i]
+		case s.down[i]:
+			state, detail = "down", s.lastErr[i]
+		}
+		if detail != "" {
+			parts[i] = fmt.Sprintf("%s: %s (%s)", s.addrs[i], state, detail)
+		} else {
+			parts[i] = fmt.Sprintf("%s: %s", s.addrs[i], state)
+		}
+	}
+	return strings.Join(parts, "; ")
 }
 
 // QueryBatch implements BatchIP over the fleet.

@@ -1,0 +1,222 @@
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+)
+
+// poisonReplica hot-syncs an attacked parameter set into one server of
+// a goldenNet fleet, leaving the shared golden network clean on return.
+func poisonReplica(t *testing.T, srv *Server) {
+	t.Helper()
+	net := goldenNet()
+	p, err := attack.RandomNoise(net, 3, 0.5, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SyncParamsFrom(net)
+	p.Revert(net)
+}
+
+// repairReplica re-syncs the clean golden parameters into a server.
+func repairReplica(srv *Server) { srv.SyncParamsFrom(goldenNet()) }
+
+// TestQuarantineLifecycle drives the full attribution story against a
+// real TCP fleet: one poisoned replica is named by pinned-view replay,
+// quarantined out of the rotation while the survivors keep validating
+// clean, kept out by a failing re-validation probe while still
+// poisoned, and readmitted by TryReadmit once repaired.
+func TestQuarantineLifecycle(t *testing.T) {
+	servers, addrs := startFleet(t, 3)
+	suite := goldenSuite(t, 8, ExactOutputs)
+	cluster, err := DialShards(addrs, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.SetProbeBackoff(50*time.Millisecond, 200*time.Millisecond)
+
+	poisonReplica(t, servers[1])
+
+	// Attribution: pinned views replay the suite per replica with no
+	// failover, so only slot 1 diverges.
+	for i := 0; i < 3; i++ {
+		view, err := cluster.Replica(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Addr() != addrs[i] {
+			t.Fatalf("Replica(%d).Addr = %q, want %q", i, view.Addr(), addrs[i])
+		}
+		rep, err := suite.Replay(view, ReplayConfig{Batch: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diverged := !rep.Passed; diverged != (i == 1) {
+			t.Fatalf("replica %d diverged=%v: %+v", i, diverged, rep)
+		}
+	}
+
+	if err := cluster.Quarantine(1, "diverged on 8/8 tests"); err != nil {
+		t.Fatal(err)
+	}
+	if h := cluster.Healthy(); h != 2 {
+		t.Fatalf("Healthy = %d after quarantine, want 2", h)
+	}
+	sts := cluster.ReplicaStatuses()
+	if sts[1].State != "quarantined" || sts[1].QuarantineReason != "diverged on 8/8 tests" {
+		t.Fatalf("replica 1 status = %+v", sts[1])
+	}
+
+	// Survivors keep validating clean — and the quarantined replica
+	// serves none of that traffic, not even as a half-open probe
+	// (answering TCP is no evidence its parameters are clean).
+	servedBefore := cluster.ReplicaStatuses()[1].Served
+	for i := 0; i < 3; i++ {
+		rep, err := suite.Replay(cluster, ReplayConfig{Batch: 2, Workers: 2})
+		if err != nil || !rep.Passed {
+			t.Fatalf("survivor replay %d: rep=%+v err=%v", i, rep, err)
+		}
+	}
+	if served := cluster.ReplicaStatuses()[1].Served; served != servedBefore {
+		t.Fatalf("quarantined replica served fleet traffic: %d -> %d", servedBefore, served)
+	}
+
+	revalidate := func(rep BatchIP) error {
+		r, err := suite.Replay(rep, ReplayConfig{Batch: 4})
+		if err != nil {
+			return err
+		}
+		if !r.Passed {
+			return fmt.Errorf("still diverges: %s", r)
+		}
+		return nil
+	}
+
+	// Still poisoned: the re-validation probe must run and fail,
+	// keeping the quarantine.
+	time.Sleep(60 * time.Millisecond) // wait out the first readmission backoff
+	probed, perr := cluster.TryReadmit(1, revalidate)
+	if !probed || perr == nil {
+		t.Fatalf("TryReadmit on poisoned replica: probed=%v err=%v", probed, perr)
+	}
+	if got := cluster.Quarantined(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Quarantined = %v after failed probe", got)
+	}
+	// The failed probe doubled the backoff; an immediate retry must be
+	// rate-limited (no probe runs).
+	if probed, _ := cluster.TryReadmit(1, revalidate); probed {
+		t.Fatal("TryReadmit probed again before the backoff expired")
+	}
+
+	// Repair, wait out the doubled backoff, readmit.
+	repairReplica(servers[1])
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		probed, perr = cluster.TryReadmit(1, revalidate)
+		if probed && perr == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("repaired replica never readmitted: probed=%v err=%v", probed, perr)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	if h := cluster.Healthy(); h != 3 {
+		t.Fatalf("Healthy = %d after readmission, want 3", h)
+	}
+	if st := cluster.ReplicaStatuses()[1]; st.State != "healthy" || st.QuarantineReason != "" {
+		t.Fatalf("readmitted replica status = %+v", st)
+	}
+	rep, err := suite.Replay(cluster, ReplayConfig{Batch: 2, Workers: 3})
+	if err != nil || !rep.Passed {
+		t.Fatalf("full-fleet replay after readmission: rep=%+v err=%v", rep, err)
+	}
+}
+
+// TestAllReplicasFailedErrorDetail: the aggregated failover error must
+// name every replica with its address, state and last error, so an
+// operator can act on it.
+func TestAllReplicasFailedErrorDetail(t *testing.T) {
+	servers, addrs := startFleet(t, 2)
+	cluster, err := DialShards(addrs, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	servers[0].Close()
+	servers[1].Close()
+
+	var qerr error
+	for i := 0; i < 3 && qerr == nil; i++ {
+		_, qerr = cluster.QueryBatch(testInputs(2, 95))
+	}
+	if qerr == nil {
+		t.Fatal("query against a fully dead fleet succeeded")
+	}
+	msg := qerr.Error()
+	if !strings.Contains(msg, "all 2 replicas failed") {
+		t.Fatalf("error lost the aggregate prefix: %v", msg)
+	}
+	for _, addr := range addrs {
+		if !strings.Contains(msg, addr) {
+			t.Fatalf("error does not name replica %s: %v", addr, msg)
+		}
+	}
+
+	// Quarantine reasons surface in the detail too.
+	if err := cluster.Quarantine(0, "poisoned by test"); err != nil {
+		t.Fatal(err)
+	}
+	_, qerr = cluster.QueryBatch(testInputs(2, 96))
+	if qerr == nil || !strings.Contains(qerr.Error(), "poisoned by test") || !strings.Contains(qerr.Error(), "quarantined") {
+		t.Fatalf("error does not carry the quarantine reason: %v", qerr)
+	}
+}
+
+// TestReplicaViewStats: pinned-view exchanges are recorded in the
+// viewed replica's counters and nobody else's.
+func TestReplicaViewStats(t *testing.T) {
+	_, addrs := startFleet(t, 2)
+	cluster, err := DialShards(addrs, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	view, err := cluster.Replica(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := view.QueryBatch(testInputs(3, 97)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := view.Query(testInputs(1, 98)[0]); err != nil {
+		t.Fatal(err)
+	}
+	sts := cluster.ReplicaStatuses()
+	if sts[0].Served != 0 {
+		t.Fatalf("unviewed replica served %d exchanges", sts[0].Served)
+	}
+	if sts[1].Served != 2 || sts[1].LatencyCount != 2 {
+		t.Fatalf("viewed replica stats = %+v, want 2 served", sts[1])
+	}
+	var bucketSum int64
+	for _, b := range sts[1].LatencyBuckets {
+		bucketSum += b
+	}
+	if bucketSum != sts[1].LatencyCount {
+		t.Fatalf("latency buckets sum to %d, count is %d", bucketSum, sts[1].LatencyCount)
+	}
+	if sts[1].Wire.Total() <= sts[0].Wire.Total() {
+		t.Fatalf("viewed replica exchanged %d bytes, unviewed %d", sts[1].Wire.Total(), sts[0].Wire.Total())
+	}
+	if _, err := cluster.Replica(5); err == nil {
+		t.Fatal("out-of-range Replica accepted")
+	}
+}

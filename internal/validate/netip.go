@@ -158,12 +158,22 @@ type ServerOptions struct {
 	// queries on — the bound on concurrently served requests. Values
 	// <= 0 use the whole machine (parallel.Auto).
 	Workers int
-	// F32 additionally hosts a float32 inference fleet (Workers clones
-	// converted from the served network): protocol-v3 sessions are then
-	// evaluated in float32 on it, halving kernel memory traffic. Without
-	// it, v3 sessions evaluate on the float64 clones and only the frames
-	// are float32. v2 sessions always evaluate float64 and are
-	// bit-exact either way.
+	// Wire provisions the server for a wire dialect. WireF32 hosts a
+	// float32 inference fleet (Workers clones converted from the served
+	// network) in addition to the float64 clones: protocol-v3 sessions
+	// are then evaluated in float32 on it, halving kernel memory
+	// traffic. Without it, v3 sessions evaluate on the float64 clones
+	// and only the frames are float32. The other dialects need no
+	// provisioning — a server answers v2 and v4 sessions from whichever
+	// fleets it has (v2 always on the bit-exact float64 clones) — so
+	// WireAuto, WireGob and WireQuant configure nothing extra here; the
+	// dialect actually spoken is negotiated per connection, capped by
+	// MaxVersion.
+	Wire Wire
+	// F32 hosts the float32 fleet.
+	//
+	// Deprecated: set Wire: WireF32 instead; this boolean is the
+	// pre-enum spelling and is honoured as an alias.
 	F32 bool
 	// MaxVersion caps the wire protocol version this server negotiates
 	// (0 means the build's highest). An interop/rollback knob: a fleet
@@ -173,6 +183,11 @@ type ServerOptions struct {
 	// [v2, highest].
 	MaxVersion byte
 }
+
+// hostF32 is the one place the deprecated F32 alias folds into the
+// Wire enum: the server hosts a float32 fleet when either spelling
+// asks for it.
+func (o ServerOptions) hostF32() bool { return o.F32 || o.Wire == WireF32 }
 
 // Server hosts a network as a black-box IP endpoint. Requests are
 // evaluated concurrently on a pool of clones of the served network
@@ -219,7 +234,7 @@ func ServeWith(l net.Listener, network *nn.Network, opts ServerOptions) *Server 
 		closed:     make(chan struct{}),
 		conns:      make(map[net.Conn]struct{}),
 	}
-	if opts.F32 {
+	if opts.hostF32() {
 		s.clones32 = nn.NewClonePoolF32(network, workers)
 	}
 	s.wg.Add(1)
@@ -643,22 +658,43 @@ type DialOptions struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds sending one request. Default 10s.
 	WriteTimeout time.Duration
-	// F32 requests protocol v3: float32 tensor frames in both
-	// directions (half the replay bandwidth) and, on an -f32 server,
-	// float32 evaluation. Outputs then approximate the float64
-	// references to rounding error, so replay must use
-	// ValidateOptions.Tolerance. Dialing a v2-only server with F32 set
-	// fails with a descriptive version error — it cannot produce the
-	// frames this client asked for.
+	// Wire selects the wire dialect this client requests in the
+	// handshake:
+	//
+	//   - WireGob — protocol v2, gob-framed float64 tensors; the
+	//     bit-exact default, spoken by servers of any age.
+	//   - WireF32 — protocol v3: float32 tensor frames in both
+	//     directions (half the replay bandwidth) and, on an -f32
+	//     server, float32 evaluation. Outputs then approximate the
+	//     float64 references to rounding error, so replay must use a
+	//     Tolerance. Dialing a v2-only server with WireF32 fails with
+	//     a descriptive version error — it cannot produce the frames
+	//     this client asked for.
+	//   - WireQuant — protocol v4: quantised delta-encoded replay
+	//     frames, the dialect built for QuantizedOutputs suites
+	//     (inputs still travel as exact float64 bits, so evaluation is
+	//     untouched). Combined with F32 the session evaluates on the
+	//     server's float32 fleet when it has one; otherwise the
+	//     float64 clones answer and the v4 verdicts equal the
+	//     bit-exact path's QuantizedOutputs verdicts. Dialing a pre-v4
+	//     server with WireQuant fails with a descriptive version
+	//     error.
+	//   - WireAuto (the zero value) — defer to the deprecated
+	//     F32/Quant aliases below, landing on WireGob when they are
+	//     unset too.
+	Wire Wire
+	// F32 requests WireF32 when Wire is WireAuto. On a WireQuant
+	// session it keeps its second, orthogonal meaning: evaluate on the
+	// server's float32 fleet (when it has one) while the frames stay
+	// quantised.
+	//
+	// Deprecated: set Wire: WireF32 instead; as a dialect request this
+	// boolean is the pre-enum spelling and is honoured as an alias.
 	F32 bool
-	// Quant requests protocol v4: quantised delta-encoded replay
-	// frames, the dialect built for QuantizedOutputs suites (inputs
-	// still travel as exact float64 bits, so evaluation is untouched).
-	// Combined with F32 the session evaluates on the server's float32
-	// fleet when it has one; otherwise the float64 clones answer and
-	// the v4 verdicts equal the bit-exact path's QuantizedOutputs
-	// verdicts. Dialing a pre-v4 server with Quant set fails with a
-	// descriptive version error.
+	// Quant requests WireQuant when Wire is WireAuto.
+	//
+	// Deprecated: set Wire: WireQuant instead; this boolean is the
+	// pre-enum spelling and is honoured as an alias.
 	Quant bool
 	// Decimals is the fixed-point precision plain Query/QueryBatch
 	// calls use on a v4 session (suite replay passes the suite's own
@@ -681,6 +717,23 @@ func (o DialOptions) withDefaults() DialOptions {
 		o.Decimals = 6
 	}
 	return o
+}
+
+// resolveWire is the one place the deprecated F32/Quant aliases fold
+// into the Wire enum. An explicit Wire wins; otherwise Quant outranks
+// F32 (their legacy combination meant "quant dialect, float32
+// evaluation"), and nothing set means the v2 default.
+func (o DialOptions) resolveWire() Wire {
+	if o.Wire != WireAuto {
+		return o.Wire
+	}
+	if o.Quant {
+		return WireQuant
+	}
+	if o.F32 {
+		return WireF32
+	}
+	return WireGob
 }
 
 // RemoteIP is the user-side client of a served IP. It implements
@@ -731,11 +784,12 @@ func DialWith(addr string, opts DialOptions) (*RemoteIP, error) {
 	// older server answering a newer hello echoes its own version and
 	// hangs up — it cannot know the newer framing — so requesting one
 	// is a commitment, reported below as a descriptive error.)
+	wire := opts.resolveWire()
 	want := byte(protocolV2)
-	switch {
-	case opts.Quant:
+	switch wire {
+	case WireQuant:
 		want = protocolV4
-	case opts.F32:
+	case WireF32:
 		want = protocolV3
 	}
 	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
@@ -759,11 +813,11 @@ func DialWith(addr string, opts DialOptions) (*RemoteIP, error) {
 	}
 	if hello[4] != want {
 		conn.Close()
-		if opts.Quant && hello[4] < protocolV4 {
+		if wire == WireQuant && hello[4] < protocolV4 {
 			return nil, fmt.Errorf(
 				"validate: dial IP: protocol version mismatch: server speaks v%d but quantised frames need v%d — retry without the quant wire, or upgrade the server", hello[4], protocolV4)
 		}
-		if opts.F32 && hello[4] == protocolV2 {
+		if wire == WireF32 && hello[4] == protocolV2 {
 			return nil, fmt.Errorf(
 				"validate: dial IP: protocol version mismatch: server speaks v%d but float32 frames need v%d — retry without F32, or upgrade the server", hello[4], protocolV3)
 		}

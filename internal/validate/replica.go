@@ -1,0 +1,386 @@
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Per-replica routing introspection for ShardedIP: which replica
+// answered how often, how fast, over how many bytes, and in what health
+// state — the attribution layer the sentinel daemon and its /metrics
+// endpoint are built on. The counters live outside the routing mutex
+// (atomics on a slice fixed at construction), so observation costs the
+// hot path two atomic adds, not a lock.
+
+// LatencyBucketBounds are the upper bounds, in seconds, of the
+// per-replica latency histogram buckets (a final implicit +Inf bucket
+// catches the rest). They follow the conventional Prometheus decade
+// spacing, centred on the exchange times of a local fleet.
+var LatencyBucketBounds = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// replicaStats counts one replica's exchanges.
+type replicaStats struct {
+	served   atomic.Int64 // exchanges the replica answered (incl. QueryError rejections — transport worked)
+	errs     atomic.Int64 // transport failures attributed to the replica
+	latCount atomic.Int64
+	latNanos atomic.Int64
+	buckets  [len(LatencyBucketBounds) + 1]atomic.Int64 // non-cumulative; last is the +Inf overflow
+}
+
+// observe records one exchange against replica idx: latency on
+// success (a QueryError is a success for the replica — transport
+// worked, the query is bad everywhere), error counter and last-error
+// text on transport failure.
+func (s *ShardedIP) observe(idx int, d time.Duration, err error) {
+	st := s.stats[idx]
+	if err != nil {
+		var qe *QueryError
+		if !errors.As(err, &qe) {
+			st.errs.Add(1)
+			s.mu.Lock()
+			s.lastErr[idx] = err.Error()
+			s.mu.Unlock()
+			return
+		}
+	}
+	st.served.Add(1)
+	st.latCount.Add(1)
+	st.latNanos.Add(int64(d))
+	sec := d.Seconds()
+	b := len(LatencyBucketBounds) // +Inf overflow
+	for i, bound := range LatencyBucketBounds {
+		if sec <= bound {
+			b = i
+			break
+		}
+	}
+	st.buckets[b].Add(1)
+}
+
+// retire folds the outgoing connection's byte counters into the
+// replica's cumulative base and closes it, so per-replica WireStats
+// survive the probe machinery's re-dials instead of resetting with
+// each fresh connection.
+func (s *ShardedIP) retire(idx int, old BatchIP) {
+	if c, ok := old.(interface{ WireStats() WireStats }); ok {
+		st := c.WireStats()
+		s.mu.Lock()
+		s.baseWire[idx].BytesRead += st.BytesRead
+		s.baseWire[idx].BytesWritten += st.BytesWritten
+		s.mu.Unlock()
+	}
+	if c, ok := old.(io.Closer); ok {
+		c.Close() // harmless if already closed
+	}
+}
+
+// replicaWireLocked returns replica idx's cumulative traffic (current
+// connection plus retired predecessors). Caller holds s.mu.
+func (s *ShardedIP) replicaWireLocked(idx int) WireStats {
+	total := s.baseWire[idx]
+	if c, ok := s.replicas[idx].(interface{ WireStats() WireStats }); ok {
+		st := c.WireStats()
+		total.BytesRead += st.BytesRead
+		total.BytesWritten += st.BytesWritten
+	}
+	return total
+}
+
+// ReplicaStatus is a point-in-time snapshot of one replica's routing
+// state and counters, as reported by ReplicaStatuses.
+type ReplicaStatus struct {
+	// Index is the replica's slot in the fleet (0-based).
+	Index int `json:"index"`
+	// Addr names the replica: its dial address for DialShards fleets,
+	// "replica-N" (1-based) for in-process fleets.
+	Addr string `json:"addr"`
+	// State is "healthy", "down" (transport failure, half-open probe
+	// pending) or "quarantined" (validation evidence, re-validation
+	// probe pending).
+	State string `json:"state"`
+	// LastErr is the text of the last transport error attributed to the
+	// replica, "" if none yet.
+	LastErr string `json:"last_err,omitempty"`
+	// QuarantineReason is why the replica was quarantined, "" outside
+	// quarantine.
+	QuarantineReason string `json:"quarantine_reason,omitempty"`
+	// Served counts exchanges the replica answered (including
+	// application-level QueryError rejections).
+	Served int64 `json:"served"`
+	// Errors counts transport failures attributed to the replica.
+	Errors int64 `json:"errors"`
+	// Wire is the replica's cumulative byte traffic, surviving probe
+	// re-dials.
+	Wire WireStats `json:"wire"`
+	// LatencyCount and LatencySeconds aggregate answered-exchange
+	// latency; LatencyBuckets are the non-cumulative histogram counts
+	// per LatencyBucketBounds bucket, with a final +Inf overflow entry.
+	LatencyCount   int64   `json:"latency_count"`
+	LatencySeconds float64 `json:"latency_seconds"`
+	LatencyBuckets []int64 `json:"latency_buckets"`
+}
+
+// ReplicaStatuses snapshots every replica's routing state and counters
+// in slot order. Safe for concurrent use.
+func (s *ShardedIP) ReplicaStatuses() []ReplicaStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ReplicaStatus, len(s.replicas))
+	for i := range s.replicas {
+		st := s.stats[i]
+		rs := ReplicaStatus{
+			Index:            i,
+			Addr:             s.addrs[i],
+			State:            "healthy",
+			LastErr:          s.lastErr[i],
+			QuarantineReason: s.quarReason[i],
+			Served:           st.served.Load(),
+			Errors:           st.errs.Load(),
+			Wire:             s.replicaWireLocked(i),
+			LatencyCount:     st.latCount.Load(),
+			LatencySeconds:   time.Duration(st.latNanos.Load()).Seconds(),
+			LatencyBuckets:   make([]int64, len(st.buckets)),
+		}
+		switch {
+		case s.quarantined[i]:
+			rs.State = "quarantined"
+		case s.down[i]:
+			rs.State = "down"
+		}
+		for b := range st.buckets {
+			rs.LatencyBuckets[b] = st.buckets[b].Load()
+		}
+		out[i] = rs
+	}
+	return out
+}
+
+// Addrs returns the replica names in slot order (dial addresses for
+// DialShards fleets).
+func (s *ShardedIP) Addrs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.addrs...)
+}
+
+// Quarantine pulls replica i from the rotation on validation evidence,
+// recording why. A quarantined replica serves no traffic — not even
+// the transport-level half-open probe, which could only prove its
+// socket works, not that its parameters are clean — until a TryReadmit
+// re-validation probe passes. The first readmission probe is allowed
+// after the minimum probe backoff, doubling per failed probe like the
+// down-replica schedule.
+func (s *ShardedIP) Quarantine(i int, reason string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.replicas) {
+		return fmt.Errorf("validate: quarantine: replica %d out of range (fleet has %d)", i, len(s.replicas))
+	}
+	s.quarantined[i] = true
+	s.quarReason[i] = reason
+	s.backoff[i] = s.probeMin
+	s.nextProbe[i] = time.Now().Add(s.backoff[i])
+	return nil
+}
+
+// Readmit unconditionally lifts replica i's quarantine — the manual
+// override. The replica rejoins the rotation immediately (subject to
+// its transport down state, which the normal half-open probe clears).
+// Prefer TryReadmit, which readmits only after the replica passes a
+// re-validation probe.
+func (s *ShardedIP) Readmit(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.replicas) {
+		return fmt.Errorf("validate: readmit: replica %d out of range (fleet has %d)", i, len(s.replicas))
+	}
+	s.quarantined[i] = false
+	s.quarReason[i] = ""
+	return nil
+}
+
+// Quarantined returns the slots currently in quarantine, ascending.
+func (s *ShardedIP) Quarantined() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int
+	for i, q := range s.quarantined {
+		if q {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TryReadmit runs one re-validation probe of quarantined replica i:
+// re-dial a fresh connection when the fleet knows how (the quarantined
+// parameters may since have been repaired by a hot sync, and the old
+// connection may have died in the meantime), run revalidate against
+// the pinned replica, and readmit on success. Failure keeps the
+// quarantine and doubles the probe backoff, exactly like the
+// transport-level half-open probe.
+//
+// The probe is rate-limited by the same backoff schedule: probed
+// reports whether a probe actually ran — false when the replica is not
+// quarantined, its backoff has not expired, or another probe is in
+// flight. err is the revalidation (or re-dial) failure when probed.
+func (s *ShardedIP) TryReadmit(i int, revalidate func(BatchIP) error) (probed bool, err error) {
+	s.mu.Lock()
+	if i < 0 || i >= len(s.replicas) {
+		s.mu.Unlock()
+		return false, fmt.Errorf("validate: readmit: replica %d out of range (fleet has %d)", i, len(s.replicas))
+	}
+	if !s.quarantined[i] || s.closed || s.probing[i] || time.Now().Before(s.nextProbe[i]) {
+		s.mu.Unlock()
+		return false, nil
+	}
+	s.probing[i] = true
+	rep := s.replicas[i]
+	redial := s.redial[i]
+	s.mu.Unlock()
+	if redial != nil {
+		fresh, derr := redial()
+		if derr != nil {
+			s.probeFailed(i)
+			return true, derr
+		}
+		s.retire(i, rep) // fold the old connection's byte counters, then close it
+		s.mu.Lock()
+		if s.closed {
+			// Close ran while the re-dial was in flight; it cannot have
+			// seen the fresh connection, so it is ours to close — nothing
+			// may outlive a closed cluster.
+			s.mu.Unlock()
+			if c, ok := fresh.(io.Closer); ok {
+				c.Close()
+			}
+			s.probeFailed(i)
+			return true, fmt.Errorf("validate: sharded IP closed")
+		}
+		s.replicas[i] = fresh
+		s.mu.Unlock()
+		rep = fresh
+	}
+	if verr := revalidate(rep); verr != nil {
+		s.probeFailed(i)
+		return true, verr
+	}
+	s.mu.Lock()
+	s.probing[i] = false
+	s.quarantined[i] = false
+	s.quarReason[i] = ""
+	s.down[i] = false
+	s.backoff[i] = 0
+	s.lastErr[i] = ""
+	s.mu.Unlock()
+	return true, nil
+}
+
+// ReplicaView is a pinned view of one fleet slot: an IP whose
+// exchanges go to that replica only, with no failover — the
+// attribution probe of a sentinel sweep, where the whole point is to
+// know which replica produced which answer. Exchanges run against the
+// slot's current connection regardless of its health state and are
+// recorded in the replica's counters; a transport failure marks the
+// replica down exactly as fleet traffic would.
+type ReplicaView struct {
+	s   *ShardedIP
+	idx int
+}
+
+// Replica returns the pinned view of fleet slot i.
+func (s *ShardedIP) Replica(i int) (*ReplicaView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.replicas) {
+		return nil, fmt.Errorf("validate: replica %d out of range (fleet has %d)", i, len(s.replicas))
+	}
+	return &ReplicaView{s: s, idx: i}, nil
+}
+
+// Index returns the viewed slot.
+func (v *ReplicaView) Index() int { return v.idx }
+
+// Addr returns the viewed replica's name (its dial address for
+// DialShards fleets).
+func (v *ReplicaView) Addr() string {
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	return v.s.addrs[v.idx]
+}
+
+// do runs one pinned exchange, recording it in the replica's counters.
+func (v *ReplicaView) do(fn func(BatchIP) (any, error)) (any, error) {
+	s := v.s
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("validate: sharded IP closed")
+	}
+	rep := s.replicas[v.idx]
+	s.mu.Unlock()
+	t0 := time.Now()
+	out, err := fn(rep)
+	s.observe(v.idx, time.Since(t0), err)
+	if err != nil {
+		var qe *QueryError
+		if !errors.As(err, &qe) {
+			s.markDown(v.idx, rep)
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// Query implements IP against the pinned replica.
+func (v *ReplicaView) Query(x *tensor.Tensor) (*tensor.Tensor, error) {
+	out, err := v.QueryBatch([]*tensor.Tensor{x})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// QueryBatch implements BatchIP against the pinned replica.
+func (v *ReplicaView) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	out, err := v.do(func(rep BatchIP) (any, error) { return rep.QueryBatch(xs) })
+	if err != nil {
+		return nil, err
+	}
+	return out.([]*tensor.Tensor), nil
+}
+
+// QuantWire reports whether the pinned replica speaks the quantised v4
+// dialect.
+func (v *ReplicaView) QuantWire() bool {
+	v.s.mu.Lock()
+	rep := v.s.replicas[v.idx]
+	v.s.mu.Unlock()
+	if q, ok := rep.(QuantIP); ok {
+		return q.QuantWire()
+	}
+	return false
+}
+
+// QueryQuant implements QuantIP against the pinned replica.
+func (v *ReplicaView) QueryQuant(xs []*tensor.Tensor, refs []quant.Frame, decimals int) ([]quant.Frame, error) {
+	out, err := v.do(func(rep BatchIP) (any, error) {
+		q, ok := rep.(QuantIP)
+		if !ok || !q.QuantWire() {
+			return nil, &QueryError{Msg: "validate: replica does not speak the quantised wire dialect — dial the fleet with Wire: WireQuant"}
+		}
+		return q.QueryQuant(xs, refs, decimals)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.([]quant.Frame), nil
+}

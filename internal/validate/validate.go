@@ -181,10 +181,12 @@ func (r Report) String() string {
 }
 
 // Validate replays the suite against the IP one query at a time and
-// compares outputs — the reference replay. ValidateWith batches and
-// fans the same replay out; its reports are bit-identical to this one.
+// compares outputs — the reference replay. It is Replay with the
+// generic float comparison (Wire: WireGob) and no batching; ValidateWith
+// batches and fans the same replay out, and all of them produce reports
+// bit-identical to this one.
 func (s *Suite) Validate(ip IP) (Report, error) {
-	return s.validateSerial(ip, 0)
+	return s.Replay(ip, ReplayConfig{Wire: WireGob})
 }
 
 func (s *Suite) validateSerial(ip IP, tol float64) (Report, error) {
@@ -246,13 +248,69 @@ type ValidateOptions struct {
 }
 
 // ValidateWith replays the suite against the IP with batching and
-// concurrency and returns the same report Validate would.
+// concurrency and returns the same report Validate would. It is a thin
+// wrapper over Replay — ValidateOptions map field-for-field onto
+// ReplayConfig (Concurrency is Workers) with the default WireAuto
+// comparison, which takes the quantised wire path exactly when this
+// method always has.
 func (s *Suite) ValidateWith(ip IP, opts ValidateOptions) (Report, error) {
+	return s.Replay(ip, ReplayConfig{Batch: opts.Batch, Workers: opts.Concurrency, Tolerance: opts.Tolerance})
+}
+
+// ReplayConfig tunes one suite replay — the single configuration every
+// replay entry point (Validate, ValidateWith, Detects, DetectsWith, the
+// sentinel daemon) feeds into the one internal replay engine. The zero
+// value replays serially, one query per exchange, bit-exact, full scan,
+// with the session-native comparison. Any setting produces the verdict
+// the serial single-query replay would: batching rides the
+// bit-identical batched forward pass, concurrent workers replay
+// disjoint contiguous index ranges whose partial reports merge
+// associatively, and the quantised wire comparison equals the local
+// QuantizedOutputs comparison by construction.
+type ReplayConfig struct {
+	// Batch is the number of queries grouped into one QueryBatch
+	// exchange when the IP supports it (BatchIP); values <= 1, or a
+	// plain IP, replay one query at a time.
+	Batch int
+	// Workers is the number of goroutines replaying batches in
+	// parallel; values <= 1 replay serially. Against a RemoteIP the
+	// workers pipeline over one connection; against a ShardedIP they
+	// spread across the replicas. The IP must be safe for concurrent
+	// use when Workers > 1. Ignored under EarlyExit — exiting at the
+	// first divergence is the point there, and detection campaigns
+	// already parallelise across trials.
+	Workers int
+	// Tolerance relaxes the output comparison for reduced-precision
+	// replay: with Tolerance > 0 an output value matches its reference
+	// when |want−got| <= Tolerance (see ValidateOptions.Tolerance for
+	// the mode interactions). Zero keeps the bit-exact comparison. A
+	// Tolerance opts out of the quantised wire comparison — its
+	// raw-value check needs the float outputs.
+	Tolerance float64
+	// EarlyExit stops the replay at the first divergent test — the
+	// Detects behaviour. The report then covers only the scanned
+	// prefix: Mismatches is 1, FirstFailure is the first divergent
+	// index, and tests past it are not replayed (a fault is usually
+	// caught within the first few tests, so early exit saves most of
+	// the replay cost).
+	EarlyExit bool
+	// Wire selects the comparison path. WireAuto (the default) prefers
+	// the dialect-native verdict: a QuantizedOutputs suite over an IP
+	// with an active quantised wire session (and no Tolerance) compares
+	// fixed-point wire frames directly. WireGob and WireF32 force the
+	// generic float-tensor comparison on whatever the session delivers.
+	// WireQuant requires the quantised path and fails the replay with a
+	// descriptive error when the suite or session cannot provide it.
+	Wire Wire
+}
+
+// Replay is the replay engine behind every validation entry point:
+// replay the suite against the IP under cfg and report the verdict.
+func (s *Suite) Replay(ip IP, cfg ReplayConfig) (Report, error) {
 	if len(s.Inputs) != len(s.Outputs) {
 		return Report{}, fmt.Errorf("validate: suite has %d inputs but %d outputs", len(s.Inputs), len(s.Outputs))
 	}
-	n := len(s.Inputs)
-	batch := opts.Batch
+	batch := cfg.Batch
 	bip, batched := ip.(BatchIP)
 	if !batched || batch < 1 {
 		batch = 1
@@ -263,8 +321,21 @@ func (s *Suite) ValidateWith(ip IP, opts ValidateOptions) (Report, error) {
 	// references — the verdicts are the QuantizedOutputs verdicts by
 	// construction. A Tolerance opts out (its raw-value comparison
 	// needs the float outputs), falling back to the generic path.
-	qip, quantPath := ip.(QuantIP)
-	quantPath = quantPath && qip.QuantWire() && s.Mode == QuantizedOutputs && opts.Tolerance == 0
+	qip, quantOK := ip.(QuantIP)
+	quantOK = quantOK && qip.QuantWire() && s.Mode == QuantizedOutputs && cfg.Tolerance == 0
+	var quantPath bool
+	switch cfg.Wire {
+	case WireAuto:
+		quantPath = quantOK
+	case WireQuant:
+		if !quantOK {
+			return Report{}, fmt.Errorf("validate: ReplayConfig.Wire WireQuant needs a quantized-mode suite over an active quantised-dialect IP with no Tolerance (suite mode %s)", s.Mode)
+		}
+		quantPath = true
+	default:
+		// WireGob / WireF32: the generic float comparison on whatever
+		// frames the session carries.
+	}
 	var qscale float64
 	if quantPath {
 		var err error
@@ -272,9 +343,19 @@ func (s *Suite) ValidateWith(ip IP, opts ValidateOptions) (Report, error) {
 			return Report{}, fmt.Errorf("validate: quant wire replay: %w", err)
 		}
 	}
-	workers := parallel.Workers(opts.Concurrency)
+	if cfg.EarlyExit {
+		return s.replayEarlyExit(ip, bip, qip, quantPath, qscale, batch, cfg.Tolerance)
+	}
+	return s.replayFull(ip, bip, qip, quantPath, qscale, batch, cfg.Workers, cfg.Tolerance)
+}
+
+// replayFull is the full-scan drive loop of the replay engine: every
+// test replayed, partial reports merged in index order.
+func (s *Suite) replayFull(ip IP, bip BatchIP, qip QuantIP, quantPath bool, qscale float64, batch, workersCfg int, tol float64) (Report, error) {
+	n := len(s.Inputs)
+	workers := parallel.Workers(workersCfg)
 	if !quantPath && batch == 1 && workers <= 1 {
-		return s.validateSerial(ip, opts.Tolerance)
+		return s.validateSerial(ip, tol)
 	}
 	if n == 0 {
 		return Report{Passed: true, FirstFailure: -1}, nil
@@ -327,7 +408,7 @@ func (s *Suite) ValidateWith(ip IP, opts ValidateOptions) (Report, error) {
 				return
 			}
 			for i := start; i < end; i++ {
-				if !s.outputsMatch(s.Outputs[i], got[i-start], opts.Tolerance) {
+				if !s.outputsMatch(s.Outputs[i], got[i-start], tol) {
 					p.mismatches++
 					if p.first < 0 {
 						p.first = i
@@ -435,24 +516,28 @@ func (s *Suite) Len() int { return len(s.Inputs) }
 // any mismatch, returning at the first failing test. Detection
 // campaigns use this instead of Validate: a fault is usually caught by
 // one of the first tests, so early exit saves most of the replay cost.
+// It is Replay with EarlyExit and the generic float comparison.
 func (s *Suite) Detects(ip IP) (bool, error) {
-	return s.detectsSerial(ip, 0)
+	rep, err := s.Replay(ip, ReplayConfig{EarlyExit: true, Wire: WireGob})
+	if err != nil {
+		return false, err
+	}
+	return !rep.Passed, nil
 }
 
-func (s *Suite) detectsSerial(ip IP, tol float64) (bool, error) {
-	if len(s.Inputs) != len(s.Outputs) {
-		return false, fmt.Errorf("validate: suite has %d inputs but %d outputs", len(s.Inputs), len(s.Outputs))
-	}
+// detectsSerial is the serial early-exit scan: the index of the first
+// divergent test, -1 when every test matches.
+func (s *Suite) detectsSerial(ip IP, tol float64) (int, error) {
 	for i, x := range s.Inputs {
 		got, err := ip.Query(x)
 		if err != nil {
-			return false, fmt.Errorf("validate: query %d: %w", i, err)
+			return -1, fmt.Errorf("validate: query %d: %w", i, err)
 		}
 		if !s.outputsMatch(s.Outputs[i], got, tol) {
-			return true, nil
+			return i, nil
 		}
 	}
-	return false, nil
+	return -1, nil
 }
 
 // DetectsWith is Detects with batched queries: the replay walks the
@@ -461,59 +546,70 @@ func (s *Suite) detectsSerial(ip IP, tol float64) (bool, error) {
 // is identical to Detects at any batch size; a fault caught by test i
 // costs at most a batch's worth of extra queries past i. Concurrency is
 // ignored — early exit is the point of Detects, and detection campaigns
-// already parallelise across trials.
+// already parallelise across trials. It is a thin wrapper over Replay
+// with EarlyExit set and the default WireAuto comparison, which takes
+// the quantised wire path exactly when this method always has.
 func (s *Suite) DetectsWith(ip IP, opts ValidateOptions) (bool, error) {
-	if len(s.Inputs) != len(s.Outputs) {
-		return false, fmt.Errorf("validate: suite has %d inputs but %d outputs", len(s.Inputs), len(s.Outputs))
+	rep, err := s.Replay(ip, ReplayConfig{Batch: opts.Batch, Tolerance: opts.Tolerance, EarlyExit: true})
+	if err != nil {
+		return false, err
 	}
-	batch := opts.Batch
-	bip, batched := ip.(BatchIP)
-	if !batched || batch < 1 {
-		batch = 1
+	return !rep.Passed, nil
+}
+
+// replayEarlyExit is the early-exit drive loop of the replay engine:
+// walk the suite in order, batch by batch, and stop at the first batch
+// containing a divergence. The returned report covers the scanned
+// prefix only — Mismatches is 1 and FirstFailure the first divergent
+// index — but Total is still the full suite size, and a clean scan
+// returns the same all-pass report the full replay would.
+func (s *Suite) replayEarlyExit(ip IP, bip BatchIP, qip QuantIP, quantPath bool, qscale float64, batch int, tol float64) (Report, error) {
+	n := len(s.Inputs)
+	failAt := func(i int) Report {
+		return Report{Passed: false, Mismatches: 1, FirstFailure: i, Total: n}
 	}
-	// Same quantised wire path as ValidateWith, with the early exit.
-	qip, quantPath := ip.(QuantIP)
-	quantPath = quantPath && qip.QuantWire() && s.Mode == QuantizedOutputs && opts.Tolerance == 0
+	pass := Report{Passed: true, FirstFailure: -1, Total: n}
 	if quantPath {
-		qscale, err := quant.Scale(s.Decimals)
-		if err != nil {
-			return false, fmt.Errorf("validate: quant wire replay: %w", err)
-		}
-		n := len(s.Inputs)
 		for start := 0; start < n; start += batch {
 			end := min(start+batch, n)
 			frames, err := s.queryQuantRange(qip, start, end, qscale)
 			if err != nil {
-				return false, fmt.Errorf("validate: %s: %w", queryRange(start, end-1), err)
+				return Report{}, fmt.Errorf("validate: %s: %w", queryRange(start, end-1), err)
 			}
 			for i := start; i < end; i++ {
 				if !quantFrameMatches(s.Outputs[i], frames[i-start], qscale) {
-					return true, nil
+					return failAt(i), nil
 				}
 			}
 		}
-		return false, nil
+		return pass, nil
 	}
 	if batch == 1 {
-		return s.detectsSerial(ip, opts.Tolerance)
+		first, err := s.detectsSerial(ip, tol)
+		if err != nil {
+			return Report{}, err
+		}
+		if first >= 0 {
+			return failAt(first), nil
+		}
+		return pass, nil
 	}
-	n := len(s.Inputs)
 	for start := 0; start < n; start += batch {
 		end := min(start+batch, n)
 		got, err := bip.QueryBatch(s.Inputs[start:end])
 		if err != nil {
-			return false, fmt.Errorf("validate: %s: %w", queryRange(start, end-1), err)
+			return Report{}, fmt.Errorf("validate: %s: %w", queryRange(start, end-1), err)
 		}
 		if len(got) != end-start {
-			return false, fmt.Errorf("validate: %s: batch answered %d outputs for %d queries", queryRange(start, end-1), len(got), end-start)
+			return Report{}, fmt.Errorf("validate: %s: batch answered %d outputs for %d queries", queryRange(start, end-1), len(got), end-start)
 		}
 		for i := start; i < end; i++ {
-			if !s.outputsMatch(s.Outputs[i], got[i-start], opts.Tolerance) {
-				return true, nil
+			if !s.outputsMatch(s.Outputs[i], got[i-start], tol) {
+				return failAt(i), nil
 			}
 		}
 	}
-	return false, nil
+	return pass, nil
 }
 
 // Prefix returns a suite consisting of the first n tests (sharing the
@@ -530,4 +626,28 @@ func (s *Suite) Prefix(n int) *Suite {
 		Mode:     s.Mode,
 		Decimals: s.Decimals,
 	}
+}
+
+// Subset returns a suite view of the selected tests, in the given
+// order, sharing the underlying tensors. The sentinel daemon replays
+// randomised subsets through this: a subset verdict is the full-suite
+// verdict restricted to those indices, so a subset mismatch is a real
+// divergence (never a sampling artefact), while a subset pass only
+// bounds the evidence by the sample.
+func (s *Suite) Subset(indices []int) (*Suite, error) {
+	sub := &Suite{
+		Name:     fmt.Sprintf("%s[sub:%d]", s.Name, len(indices)),
+		Inputs:   make([]*tensor.Tensor, 0, len(indices)),
+		Outputs:  make([]*tensor.Tensor, 0, len(indices)),
+		Mode:     s.Mode,
+		Decimals: s.Decimals,
+	}
+	for _, i := range indices {
+		if i < 0 || i >= len(s.Inputs) || i >= len(s.Outputs) {
+			return nil, fmt.Errorf("validate: subset index %d out of range (suite has %d tests)", i, s.Len())
+		}
+		sub.Inputs = append(sub.Inputs, s.Inputs[i])
+		sub.Outputs = append(sub.Outputs, s.Outputs[i])
+	}
+	return sub, nil
 }

@@ -55,19 +55,18 @@ func (r *RemoteIP) WireStats() WireStats {
 	return WireStats{BytesRead: r.counts.read.Load(), BytesWritten: r.counts.wrote.Load()}
 }
 
-// WireStats sums the traffic of the replicas currently in the fleet.
-// A replica replaced by the half-open probe's re-dial starts fresh
-// counters, so across a probe the sum is a lower bound.
+// WireStats sums the cumulative traffic of the fleet. Connections
+// replaced by probe re-dials fold their counters into a per-replica
+// base before closing (ShardedIP.retire), so the sum covers the
+// fleet's whole lifetime, not just the connections currently open.
 func (s *ShardedIP) WireStats() WireStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var total WireStats
-	for _, rep := range s.replicas {
-		if c, ok := rep.(interface{ WireStats() WireStats }); ok {
-			st := c.WireStats()
-			total.BytesRead += st.BytesRead
-			total.BytesWritten += st.BytesWritten
-		}
+	for i := range s.replicas {
+		st := s.replicaWireLocked(i)
+		total.BytesRead += st.BytesRead
+		total.BytesWritten += st.BytesWritten
 	}
 	return total
 }

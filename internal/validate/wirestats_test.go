@@ -1,0 +1,154 @@
+package validate
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// The metrics layer reports bytes from these counters, so they are
+// pinned by tests: handshake accounting, per-dialect ordering, the
+// per-replica/fleet-total invariant, and survival across probe
+// re-dials.
+
+// TestWireStatsHandshakeBytes: a fresh session has exchanged exactly
+// the 5-byte hello in each direction and nothing else.
+func TestWireStatsHandshakeBytes(t *testing.T) {
+	_, addrs := startFleet(t, 1)
+	ip, err := Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ip.Close()
+	st := ip.WireStats()
+	if st.BytesRead != 5 || st.BytesWritten != 5 {
+		t.Fatalf("handshake-only WireStats = %+v, want 5/5", st)
+	}
+}
+
+// TestWireStatsPerDialect: replaying the same quantized suite over the
+// three dialects must order the byte totals v4 < v3 < v2 — the
+// protocols exist to cut replay bandwidth, so the ordering is the
+// measured claim, per dialect. The claim is steady-state: v4's first
+// pass ships the full replay frame (inputs + quantised references) and
+// later passes are cache back-references, so the workload here is the
+// sentinel's — the same suite replayed repeatedly on one session.
+func TestWireStatsPerDialect(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, goldenNet())
+	defer srv.Close()
+	suite := goldenSuite(t, 8, QuantizedOutputs)
+
+	replayBytes := func(w Wire) WireStats {
+		t.Helper()
+		ip, err := DialWith(srv.Addr(), DialOptions{Wire: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ip.Close()
+		for pass := 0; pass < 3; pass++ {
+			// The verdict is irrelevant here (the v3 float32 frames
+			// round past the suite precision); only the transport may
+			// not error.
+			if _, err := suite.Replay(ip, ReplayConfig{Batch: 4, Wire: w}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ip.WireStats()
+	}
+
+	gob := replayBytes(WireGob)
+	f32 := replayBytes(WireF32)
+	qnt := replayBytes(WireQuant)
+	if !(qnt.Total() < f32.Total() && f32.Total() < gob.Total()) {
+		t.Fatalf("dialect byte totals out of order: gob=%d f32=%d quant=%d",
+			gob.Total(), f32.Total(), qnt.Total())
+	}
+	// The response direction is where the dialects differ most: v3
+	// halves the frame floats, v4 delta-encodes against references.
+	if !(qnt.BytesRead < f32.BytesRead && f32.BytesRead < gob.BytesRead) {
+		t.Fatalf("response bytes out of order: gob=%d f32=%d quant=%d",
+			gob.BytesRead, f32.BytesRead, qnt.BytesRead)
+	}
+}
+
+// TestShardedWireStatsPerReplica: the fleet total must equal the sum
+// of the per-replica statuses — the same counters feed both.
+func TestShardedWireStatsPerReplica(t *testing.T) {
+	_, addrs := startFleet(t, 3)
+	suite := goldenSuite(t, 8, ExactOutputs)
+	cluster, err := DialShards(addrs, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if rep, err := suite.Replay(cluster, ReplayConfig{Batch: 2, Workers: 3}); err != nil || !rep.Passed {
+		t.Fatalf("replay: rep=%+v err=%v", rep, err)
+	}
+	var sum WireStats
+	for _, st := range cluster.ReplicaStatuses() {
+		if st.Wire.Total() < 10 {
+			t.Fatalf("replica %s exchanged only %d bytes — round robin skipped it?", st.Addr, st.Wire.Total())
+		}
+		sum.BytesRead += st.Wire.BytesRead
+		sum.BytesWritten += st.Wire.BytesWritten
+	}
+	if total := cluster.WireStats(); total != sum {
+		t.Fatalf("fleet WireStats %+v != per-replica sum %+v", total, sum)
+	}
+}
+
+// TestShardedWireStatsSurviveRedial: a replica's byte counters must be
+// cumulative across the probe's re-dial, not reset with the fresh
+// connection — the metrics layer exports them as Prometheus counters,
+// which must never go backwards.
+func TestShardedWireStatsSurviveRedial(t *testing.T) {
+	servers, addrs := startFleet(t, 2)
+	suite := goldenSuite(t, 6, ExactOutputs)
+	cluster, err := DialShards(addrs, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.SetProbeBackoff(10*time.Millisecond, 50*time.Millisecond)
+
+	if rep, err := suite.Replay(cluster, ReplayConfig{Batch: 2, Workers: 2}); err != nil || !rep.Passed {
+		t.Fatalf("replay: rep=%+v err=%v", rep, err)
+	}
+	before := cluster.ReplicaStatuses()[0].Wire
+	beforeTotal := cluster.WireStats()
+
+	// Kill replica 0, observe the failure, restart it, wait for the
+	// probe to re-dial it back in.
+	servers[0].Close()
+	if rep, err := suite.Replay(cluster, ReplayConfig{Batch: 2}); err != nil || !rep.Passed {
+		t.Fatalf("replay with dead replica: rep=%+v err=%v", rep, err)
+	}
+	l, err := net.Listen("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted := Serve(l, goldenNet())
+	t.Cleanup(func() { restarted.Close() })
+	deadline := time.Now().Add(10 * time.Second)
+	for cluster.Healthy() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("replica never rejoined")
+		}
+		time.Sleep(15 * time.Millisecond)
+		if _, err := cluster.QueryBatch(suite.Inputs[:2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	after := cluster.ReplicaStatuses()[0].Wire
+	if after.BytesRead < before.BytesRead || after.BytesWritten < before.BytesWritten {
+		t.Fatalf("replica counters went backwards across the re-dial: before=%+v after=%+v", before, after)
+	}
+	if afterTotal := cluster.WireStats(); afterTotal.Total() < beforeTotal.Total() {
+		t.Fatalf("fleet total went backwards: before=%+v after=%+v", beforeTotal, afterTotal)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/sentinel"
 	"repro/internal/tensor"
 	"repro/internal/train"
 	"repro/internal/validate"
@@ -58,11 +59,65 @@ type (
 	LocalIP = validate.LocalIP
 	// RemoteIP is a TCP client for a served IP.
 	RemoteIP = validate.RemoteIP
+	// Server hosts a network as a black-box IP endpoint (Serve/ServeWith).
+	Server = validate.Server
+	// ShardedIP fans queries across a fleet of replicas with failover,
+	// half-open probing, per-replica introspection and quarantine.
+	ShardedIP = validate.ShardedIP
+	// ReplicaStatus snapshots one fleet replica's routing state and
+	// counters (ShardedIP.ReplicaStatuses).
+	ReplicaStatus = validate.ReplicaStatus
+	// ReplayConfig is the one replay configuration every validation
+	// entry point feeds into Suite.Replay.
+	ReplayConfig = validate.ReplayConfig
+	// ValidateOptions tunes ValidateWith/DetectsWith (the legacy
+	// spelling of ReplayConfig's batch/workers/tolerance fields).
+	ValidateOptions = validate.ValidateOptions
+	// Wire names a wire dialect of the served-IP protocol family.
+	Wire = validate.Wire
+	// DialOptions bounds and configures the client side of a served-IP
+	// connection, including the requested Wire dialect.
+	DialOptions = validate.DialOptions
+	// ServerOptions configures a served IP endpoint, including the Wire
+	// dialect it is provisioned for.
+	ServerOptions = validate.ServerOptions
+	// WireStats counts the bytes a client exchanged with its server.
+	WireStats = validate.WireStats
 	// Perturbation records an applied parameter attack.
 	Perturbation = attack.Perturbation
 	// CoverageConfig sets the parameter-activation threshold.
 	CoverageConfig = coverage.Config
+	// SentinelConfig configures the continuous fleet-validation daemon.
+	SentinelConfig = sentinel.Config
+	// Sentinel is the continuous fleet-validation daemon: scheduled
+	// trickle replays under a query budget, replica attribution,
+	// quarantine/readmission, and HTTP observability.
+	Sentinel = sentinel.Sentinel
+	// SentinelAlert is the structured incident record a sentinel raises
+	// on a divergent round.
+	SentinelAlert = sentinel.Alert
 )
+
+// Wire dialects, mirroring the CLI's -wire gob|f32|quant flag.
+const (
+	// WireAuto defers the dialect choice (DialOptions: the deprecated
+	// F32/Quant aliases, then gob; ReplayConfig: the session-native
+	// comparison).
+	WireAuto = validate.WireAuto
+	// WireGob is protocol v2: gob-framed float64 tensors, bit-exact.
+	WireGob = validate.WireGob
+	// WireF32 is protocol v3: float32 frames at half the bandwidth.
+	WireF32 = validate.WireF32
+	// WireQuant is protocol v4: quantised delta-encoded replay frames.
+	WireQuant = validate.WireQuant
+)
+
+// ParseWire maps a -wire flag spelling onto the Wire enum.
+var ParseWire = validate.ParseWire
+
+// NewSentinel builds the continuous fleet-validation daemon; drive it
+// with Run and observe it over Handler's /metrics and /status.
+var NewSentinel = sentinel.New
 
 // Dataset constructors (procedural substitutes for MNIST, CIFAR-10 and
 // the Fig. 2 probe sets; see DESIGN.md for the substitution rationale).
