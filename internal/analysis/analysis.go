@@ -1,0 +1,266 @@
+// Package analysis is the repo's determinism static-analysis suite: a
+// small analyzer framework in the style of golang.org/x/tools/go/analysis
+// (which this module cannot depend on — it takes no dependencies) plus
+// the five repo-specific analyzers that guard the bit-identity
+// contract:
+//
+//   - maporder: `for range` over a map in determinism-critical code
+//     (iteration order is randomised per run and corrupts any
+//     byte-identity guarantee downstream of the loop).
+//   - globalrand: math/rand package-level functions and time-seeded
+//     sources (all randomness must thread an explicitly seeded
+//     *rand.Rand, the splitmix round-seed discipline the sentinel
+//     follows).
+//   - walltime: wall-clock reads inside deterministic packages
+//     (replays must be reproducible from seeds alone).
+//   - floatreduce: ad-hoc scalar floating-point reduction loops
+//     outside internal/tensor (accumulation order IS the bit-identity
+//     contract; reductions go through the approved serial kernels).
+//   - poolcontract: parallel.Pool region callbacks that mutate shared
+//     state without the per-worker-id pinning pattern (racy, and even
+//     when lock-guarded the fold order becomes schedule-dependent).
+//
+// A finding is suppressed by an allow comment on the same line or the
+// line immediately above:
+//
+//	//detlint:allow <analyzer>(<one-line justification>)
+//
+// The justification is mandatory; an empty reason is itself reported.
+// The suite runs under `go vet -vettool` via tools/detlint.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. The API deliberately mirrors
+// x/tools/go/analysis so the analyzers read idiomatically and could be
+// ported to a real multichecker if the module ever takes the
+// dependency.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in allow comments
+	Doc  string // one-paragraph description of the invariant
+	Run  func(*Pass) error
+}
+
+// Pass holds one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allows map[string][]*allowEntry // file name -> entries, built lazily
+	diags  []Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless an allow comment for this
+// analyzer covers that line. Suppressed findings consume the allow
+// entry so unused annotations stay detectable.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings recorded so far in file/line order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool {
+		a, b := p.diags[i].Pos, p.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return p.diags
+}
+
+type allowEntry struct {
+	line     int    // line the comment appears on
+	analyzer string // analyzer name inside the comment
+	reason   string // justification text; empty is invalid
+	used     bool
+}
+
+const allowPrefix = "//detlint:allow "
+
+// parseAllow parses one comment's text into (analyzer, reason, ok).
+// The accepted form is exactly `//detlint:allow name(reason)`.
+func parseAllow(text string) (string, string, bool) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+	open := strings.IndexByte(rest, '(')
+	if open <= 0 || !strings.HasSuffix(rest, ")") {
+		return "", "", false
+	}
+	name := strings.TrimSpace(rest[:open])
+	reason := strings.TrimSpace(rest[open+1 : len(rest)-1])
+	return name, reason, true
+}
+
+// allowIndex builds the per-file allow table on first use.
+func (p *Pass) allowIndex() map[string][]*allowEntry {
+	if p.allows != nil {
+		return p.allows
+	}
+	p.allows = make(map[string][]*allowEntry)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok := parseAllow(c.Text)
+				if !ok {
+					continue // malformed directives are reported by CheckDirectives
+				}
+				pos := p.Fset.Position(c.Pos())
+				p.allows[pos.Filename] = append(p.allows[pos.Filename], &allowEntry{
+					line:     pos.Line,
+					analyzer: name,
+					reason:   reason,
+				})
+			}
+		}
+	}
+	return p.allows
+}
+
+// allowedAt reports whether a finding by this analyzer at position is
+// covered by an allow comment on its line or the line above.
+func (p *Pass) allowedAt(position token.Position) bool {
+	for _, e := range p.allowIndex()[position.Filename] {
+		if e.analyzer != p.Analyzer.Name {
+			continue
+		}
+		if e.line != position.Line && e.line != position.Line-1 {
+			continue
+		}
+		if e.reason == "" {
+			p.diags = append(p.diags, Diagnostic{
+				Pos:      position,
+				Analyzer: p.Analyzer.Name,
+				Message:  fmt.Sprintf("allow comment for %s has no justification; write //detlint:allow %s(reason)", p.Analyzer.Name, p.Analyzer.Name),
+			})
+			e.used = true
+			return true // suppress the finding itself; the empty reason is the report
+		}
+		e.used = true
+		return true
+	}
+	return false
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		GlobalRand,
+		WallTime,
+		FloatReduce,
+		PoolContract,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAnalyzer runs one analyzer over a type-checked package and
+// returns its findings. Allow comments naming this analyzer that do
+// not suppress anything are reported as stale, so annotations cannot
+// outlive the finding they justify.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+	pass.allowIndex()
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	//detlint:allow maporder(order-insensitive: Diagnostics() sorts all findings by position before returning)
+	for file, entries := range pass.allows {
+		if strings.HasSuffix(file, "_test.go") {
+			continue // analyzers skip test files, so allows there never match
+		}
+		for _, e := range entries {
+			if e.analyzer != a.Name || e.used {
+				continue
+			}
+			pass.diags = append(pass.diags, Diagnostic{
+				Pos:      token.Position{Filename: file, Line: e.line, Column: 1},
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("unused //detlint:allow %s comment: no %s finding on this or the next line; remove it", a.Name, a.Name),
+			})
+		}
+	}
+	return pass.Diagnostics(), nil
+}
+
+// CheckDirectives validates the detlint directives themselves, once
+// per package: anything starting with //detlint: must be a
+// well-formed allow comment naming a known analyzer.
+func CheckDirectives(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//detlint:") {
+					continue
+				}
+				name, _, ok := parseAllow(c.Text)
+				if !ok {
+					diags = append(diags, Diagnostic{
+						Pos:      fset.Position(c.Pos()),
+						Analyzer: "detlint",
+						Message:  fmt.Sprintf("malformed detlint directive %q; want //detlint:allow name(reason)", c.Text),
+					})
+					continue
+				}
+				if ByName(name) == nil {
+					diags = append(diags, Diagnostic{
+						Pos:      fset.Position(c.Pos()),
+						Analyzer: "detlint",
+						Message:  fmt.Sprintf("allow comment names unknown analyzer %q", name),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}

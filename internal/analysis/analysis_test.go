@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MapOrder, "maporder")
+}
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.GlobalRand, "globalrand")
+}
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.WallTime, "walltime/core", "walltime/validate")
+}
+
+// TestWallTimeOutOfScope pins the driver/cmd exemption: the same
+// wall-clock reads in an interactive driver package are not findings.
+func TestWallTimeOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.WallTime, "walltime/cmd/clock")
+}
+
+func TestFloatReduce(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.FloatReduce, "floatreduce/coverage", "floatreduce/tensor")
+}
+
+func TestPoolContract(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.PoolContract, "poolcontract")
+}

@@ -1,0 +1,245 @@
+// Package analysistest runs repo analyzers over GOPATH-style fixture
+// trees and checks their findings against // want comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest (which this
+// module cannot depend on).
+//
+// A fixture package lives at <dir>/src/<importpath>/*.go. Imports of
+// other fixture packages resolve by path under <dir>/src; all other
+// imports (the standard library) resolve through export data obtained
+// from `go list -export`, so fixtures type-check exactly like real
+// code. Expected findings are written on the offending line:
+//
+//	s += v // want `ad-hoc floating-point accumulation`
+//
+// Every diagnostic must match a want on its line and every want must
+// be matched by a diagnostic; regexps are matched against the message.
+package analysistest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package under dir/src and applies the
+// analyzer, comparing findings to // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	l := newLoader(abs)
+	for _, path := range pkgpaths {
+		p, err := l.load(path)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", path, err)
+		}
+		diags, err := analysis.RunAnalyzer(a, l.fset, p.files, p.pkg, p.info)
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, l.fset, p.files, diags)
+	}
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	root    string // testdata dir containing src/
+	fset    *token.FileSet
+	pkgs    map[string]*loadedPkg
+	gc      types.Importer
+	exports map[string]string // stdlib import path -> export data file
+}
+
+func newLoader(root string) *loader {
+	l := &loader{
+		root: root,
+		fset: token.NewFileSet(),
+		pkgs: map[string]*loadedPkg{},
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, err := l.exportFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	})
+	return l
+}
+
+// Import implements types.Importer over fixture-local packages first,
+// falling back to export data for everything else.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.root, "src", path)); err == nil {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.gc.Import(path)
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle marker
+	srcdir := filepath.Join(l.root, "src", path)
+	entries, err := os.ReadDir(srcdir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(srcdir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", srcdir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// exportFile resolves a non-fixture import path to its export data,
+// populating the cache with `go list -export -deps` on first use.
+func (l *loader) exportFile(path string) (string, error) {
+	if f, ok := l.exports[path]; ok {
+		return f, nil
+	}
+	out, err := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Export", path).Output()
+	if err != nil {
+		msg := err.Error()
+		var exit *exec.ExitError
+		if errors.As(err, &exit) {
+			msg = string(exit.Stderr)
+		}
+		return "", fmt.Errorf("go list -export %s: %s", path, msg)
+	}
+	if l.exports == nil {
+		l.exports = map[string]string{}
+	}
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err != nil {
+			return "", err
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	f, ok := l.exports[path]
+	if !ok {
+		return "", fmt.Errorf("no export data for %s", path)
+	}
+	return f, nil
+}
+
+var (
+	wantRe    = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+					text := arg[1]
+					if text == "" {
+						text = arg[2]
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, text, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}

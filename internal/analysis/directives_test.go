@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text         string
+		name, reason string
+		ok           bool
+	}{
+		{"//detlint:allow walltime(latency metric)", "walltime", "latency metric", true},
+		{"//detlint:allow maporder(sorted after (twice))", "maporder", "sorted after (twice)", true},
+		{"//detlint:allow walltime()", "walltime", "", true},
+		{"//detlint:allow walltime", "", "", false},
+		{"//detlint:allow (no name)", "", "", false},
+		{"// detlint:allow walltime(spaced prefix is not a directive)", "", "", false},
+		{"//detlint:allowwalltime(reason)", "", "", false},
+		{"// plain comment", "", "", false},
+	}
+	for _, c := range cases {
+		name, reason, ok := parseAllow(c.text)
+		if name != c.name || reason != c.reason || ok != c.ok {
+			t.Errorf("parseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, name, reason, ok, c.name, c.reason, c.ok)
+		}
+	}
+}
+
+// typecheck parses and type-checks one source string as a package
+// with the given import path.
+func typecheck(t *testing.T, path, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+func TestCheckDirectives(t *testing.T) {
+	src := `package core
+
+//detlint:allow walltime(fine)
+var a int
+
+//detlint:allow nosuchanalyzer(reason)
+var b int
+
+//detlint:allow walltime
+var c int
+
+//detlint:wrongverb walltime(reason)
+var d int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := CheckDirectives(fset, []*ast.File{f})
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	wants := []string{"unknown analyzer", "malformed detlint directive", "malformed detlint directive"}
+	for i, w := range wants {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want containing %q", i, diags[i].Message, w)
+		}
+	}
+}
+
+// TestUnusedAllow pins the staleness check: an allow comment that no
+// longer suppresses anything is itself a finding.
+func TestUnusedAllow(t *testing.T) {
+	src := `package core
+
+//detlint:allow walltime(stale: nothing on the next line reads the clock)
+var x = 1
+`
+	fset, files, pkg, info := typecheck(t, "repro/internal/core", src)
+	diags, err := RunAnalyzer(WallTime, fset, files, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unused //detlint:allow walltime") {
+		t.Fatalf("got %v, want one unused-allow finding", diags)
+	}
+}
+
+// TestSuppressionCountsAsUse: the same comment is not stale when it
+// does suppress a finding.
+func TestSuppressionCountsAsUse(t *testing.T) {
+	src := `package core
+
+import "time"
+
+func now() time.Time {
+	//detlint:allow walltime(unit test)
+	return time.Now()
+}
+`
+	fset, files, pkg, info := typecheck(t, "repro/internal/core", src)
+	diags, err := RunAnalyzer(WallTime, fset, files, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want no findings", diags)
+	}
+}

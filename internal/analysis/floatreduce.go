@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatReduce flags ad-hoc scalar floating-point reductions — a loop
+// folding values into a float variable with +=, -=, *= or x = x + e —
+// outside internal/tensor. Floating-point addition does not
+// associate, so the accumulation order of every reduction IS part of
+// the bit-identity contract; scattering hand-written folds across
+// packages is how two code paths silently disagree in the last ulp.
+// Reductions belong in the approved serial kernels
+// (tensor.Sum / tensor.SumSquares / tensor.Dot and the GEMM family),
+// whose left-to-right order is pinned and tested.
+//
+// Indexed accumulation (out[i] += ...) is the kernel scatter idiom
+// and stays in scope of the kernels' own equivalence tests, so only
+// scalar folds are flagged. Loops that are genuinely not reductions
+// over data (e.g. a sequential fold whose order is fixed by a
+// schedule) carry //detlint:allow floatreduce(reason).
+var FloatReduce = &Analyzer{
+	Name: "floatreduce",
+	Doc:  "flags ad-hoc scalar floating-point accumulation loops outside the tensor kernels",
+	Run:  runFloatReduce,
+}
+
+func runFloatReduce(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if isTensorKernel(path) || isDriver(path) {
+		return nil
+	}
+	for _, f := range pass.sourceFiles() {
+		// Bodies of all for/range loops; an accumulation is only a
+		// reduction when it happens repeatedly.
+		loops := rangesOf(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				return true
+			}
+			return false
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lhs := as.Lhs[0]
+			if !isScalarLvalue(lhs) {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(lhs)
+			if t == nil || !isFloatType(t) {
+				return true
+			}
+			accum := false
+			switch as.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+				accum = true
+			case token.ASSIGN:
+				accum = selfReferential(pass, lhs, as.Rhs[0])
+			}
+			if !accum || !anyContains(loops, as.Pos()) {
+				return true
+			}
+			pass.Reportf(as.Pos(), "ad-hoc floating-point accumulation into %s; route the reduction through an approved internal/tensor kernel (tensor.Sum, tensor.SumSquares, tensor.Dot) or annotate //detlint:allow floatreduce(reason)",
+				exprString(pass.Fset, lhs))
+			return true
+		})
+	}
+	return nil
+}
+
+// isScalarLvalue reports whether e is a plain variable or field —
+// not an element write like out[i], which is the kernels' scatter
+// idiom.
+func isScalarLvalue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return isScalarLvalue(e.X)
+	case *ast.StarExpr:
+		return isScalarLvalue(e.X)
+	}
+	return false
+}
+
+// selfReferential reports whether rhs mentions the lvalue, i.e.
+// x = x + e spelled without a compound token.
+func selfReferential(pass *Pass, lhs, rhs ast.Expr) bool {
+	obj := lvalueObject(pass, lhs)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func lvalueObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.ObjectOf(e); obj != nil {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.ObjectOf(e.Sel); obj != nil {
+			return obj
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand flags randomness that does not thread an explicitly
+// seeded *rand.Rand:
+//
+//   - calls to math/rand (or math/rand/v2) package-level functions
+//     (rand.Intn, rand.Perm, rand.Shuffle, ...), which draw from the
+//     shared, unreproducible global source;
+//   - sources seeded from the wall clock
+//     (rand.New(rand.NewSource(time.Now().UnixNano()))), which are
+//     seeded but not reproducible.
+//
+// The repo's discipline is rand.New(rand.NewSource(seed)) with the
+// seed threaded from configuration — the splitmix round-seed pattern
+// the sentinel follows — so every run is replayable from seeds alone.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "flags math/rand global-source calls and wall-clock-seeded rand.New",
+	Run:  runGlobalRand,
+}
+
+// randConstructors are package-level math/rand functions that do not
+// draw from the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runGlobalRand(pass *Pass) error {
+	for _, f := range pass.sourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on an explicit *rand.Rand are the approved form
+			}
+			if !randConstructors[fn.Name()] {
+				pass.Reportf(call.Pos(), "%s.%s draws from the process-global source and is not reproducible; thread an explicitly seeded *rand.Rand instead",
+					fn.Pkg().Name(), fn.Name())
+				return true
+			}
+			// Constructor: seeded, but reject wall-clock seeds.
+			for _, arg := range call.Args {
+				if containsCallTo(pass.TypesInfo, arg, "time", "Now") {
+					pass.Reportf(call.Pos(), "%s.%s seeded from the wall clock is not reproducible; thread a configured seed instead",
+						fn.Pkg().Name(), fn.Name())
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for range` over a map. Map iteration order is
+// randomised per run, so any byte stream, report, metric exposition or
+// selection decision downstream of such a loop silently loses the
+// repo's byte-identity guarantees. The check is a conservative
+// over-approximation of "reachable from sealing, wire encoding, report
+// rendering and /metrics output": it fires in every package, because
+// in this codebase those sinks are reachable from almost everywhere.
+//
+// Two loop shapes are provably order-insensitive and exempt:
+//
+//   - sort-after-collect: the body only appends to slices that are
+//     sorted later in the same block (the canonical fix);
+//   - commutative aggregation: the body only counts or sums integers
+//     (exact arithmetic commutes), fills other maps, or deletes keys.
+//
+// Everything else needs a sorted key slice or a
+// //detlint:allow maporder(reason) annotation.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags nondeterministic `for range` over maps in determinism-critical code",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.sourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.TypesInfo.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				checkMapRange(pass, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange reports rs unless its body is order-insensitive.
+// rest is the statement tail of the enclosing block, scanned for
+// sort calls over collected slices.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	appended := map[types.Object]bool{}
+	if orderInsensitiveStmts(pass, rs, rs.Body.List, appended) {
+		unsorted := unsortedAfter(pass, appended, rest)
+		if unsorted == nil {
+			return
+		}
+		pass.Reportf(rs.For, "map iteration over %s collects into %s which is never sorted afterwards; sort it before use or annotate //detlint:allow maporder(reason)",
+			exprString(pass.Fset, rs.X), unsorted.Name())
+		return
+	}
+	pass.Reportf(rs.For, "iteration over map %s has nondeterministic order; iterate a sorted key slice or annotate //detlint:allow maporder(reason)",
+		exprString(pass.Fset, rs.X))
+}
+
+// orderInsensitiveStmts reports whether every statement is one of the
+// allowed order-insensitive forms, recording slice variables the loop
+// appends to (those additionally need a later sort).
+func orderInsensitiveStmts(pass *Pass, rs *ast.RangeStmt, stmts []ast.Stmt, appended map[types.Object]bool) bool {
+	for _, s := range stmts {
+		if !orderInsensitiveStmt(pass, rs, s, appended) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *Pass, rs *ast.RangeStmt, s ast.Stmt, appended map[types.Object]bool) bool {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		// n++ / n-- on an integer: exact arithmetic commutes.
+		return s.Tok == token.INC || s.Tok == token.DEC
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Integer accumulation commutes; float accumulation does not.
+			t := pass.TypesInfo.TypeOf(s.Lhs[0])
+			return t != nil && isIntegerType(t)
+		case token.ASSIGN:
+			// m2[k] = v: filling another map is order-insensitive
+			// (keyed writes, no order observable).
+			if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+				if t := pass.TypesInfo.TypeOf(ix.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return true
+					}
+				}
+			}
+			// s = append(s, ...): order-insensitive iff sorted later.
+			if id, ok := s.Lhs[0].(*ast.Ident); ok {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+					if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isBuiltin(pass, fn, "append") {
+						if len(call.Args) > 0 {
+							if arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && arg0.Name == id.Name {
+								if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+									appended[obj] = true
+									return true
+								}
+							}
+						}
+					}
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	case *ast.ExprStmt:
+		// delete(m, k) on the ranged map (or any map) is order-free.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isBuiltin(pass, fn, "delete") {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			return false
+		}
+		if !orderInsensitiveStmts(pass, rs, s.Body.List, appended) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return orderInsensitiveStmts(pass, rs, e.List, appended)
+		case *ast.IfStmt:
+			return orderInsensitiveStmt(pass, rs, e, appended)
+		}
+		return false
+	case *ast.BlockStmt:
+		return orderInsensitiveStmts(pass, rs, s.List, appended)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	case *ast.EmptyStmt:
+		return true
+	}
+	return false
+}
+
+// isBuiltin reports whether id refers to the named predeclared
+// builtin (not a shadowing declaration).
+func isBuiltin(pass *Pass, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	_, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// unsortedAfter returns a variable from appended that is not passed to
+// a sort.* or slices.Sort* call in the statement tail, or nil if all
+// collected slices are sorted.
+func unsortedAfter(pass *Pass, appended map[types.Object]bool, rest []ast.Stmt) *types.Var {
+	var missing *types.Var
+	for obj := range appended { //detlint:allow maporder(order-insensitive: every entry is checked independently and any failure is reported by name)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return nil
+		}
+		if sortedIn(pass, obj, rest) {
+			continue
+		}
+		if missing == nil || v.Pos() < missing.Pos() {
+			missing = v // report the earliest-declared offender, deterministically
+		}
+	}
+	return missing
+}
+
+func sortedIn(pass *Pass, obj types.Object, rest []ast.Stmt) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := funcFor(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			// Look anywhere inside the arguments so conversions like
+			// sort.Sort(byAddr(keys)) still count as sorting keys.
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

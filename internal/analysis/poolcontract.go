@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolContract enforces the parallel region discipline: a callback
+// passed to parallel.Pool.For / Pool.Each or the package-level
+// parallel.For may only write through per-worker slots. Worker w's
+// chunks always run on pinned goroutine w, so writes indexed by the
+// worker id (or by a region-local induction variable over the
+// region's [start,end) chunk) are race-free AND fold in a fixed
+// order; any other write to captured state is either a data race or —
+// when lock-guarded — a schedule-dependent accumulation order, which
+// breaks bit-identity just as surely.
+//
+// Concretely, inside such a callback the analyzer flags assignments
+// and ++/-- whose left-hand side captures an outer variable without
+// mentioning any variable declared inside the callback (parameters
+// included). results[w] = ..., out[i] += ... (i region-local) and
+// locals are fine; shared = ..., results[j] = ... (j captured) and
+// s = append(s, ...) are not. Calls (including sync/atomic counters)
+// are not writes and are left to the race detector. Intentional
+// exceptions carry //detlint:allow poolcontract(reason).
+var PoolContract = &Analyzer{
+	Name: "poolcontract",
+	Doc:  "flags parallel.Pool callbacks that mutate shared state without per-worker pinning",
+	Run:  runPoolContract,
+}
+
+func runPoolContract(pass *Pass) error {
+	for _, f := range pass.sourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			lit := poolCallback(pass, call)
+			if lit == nil {
+				return true
+			}
+			checkCallback(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// poolCallback returns the func literal passed as the region callback
+// of a parallel.For / Pool.For / Pool.Each call, or nil.
+func poolCallback(pass *Pass, call *ast.CallExpr) *ast.FuncLit {
+	fn := funcFor(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || pkgTail(fn.Pkg().Path()) != "parallel" {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var argIdx int
+	if recv := sig.Recv(); recv != nil {
+		// Methods For(n, fn) / Each(fn) on parallel.Pool.
+		base := recv.Type()
+		if p, ok := base.(*types.Pointer); ok {
+			base = p.Elem()
+		}
+		named, ok := base.(*types.Named)
+		if !ok || named.Obj().Name() != "Pool" {
+			return nil
+		}
+		switch fn.Name() {
+		case "For":
+			argIdx = 1
+		case "Each":
+			argIdx = 0
+		default:
+			return nil
+		}
+	} else if fn.Name() == "For" {
+		argIdx = 1 // package-level parallel.For(n, fn)
+	} else {
+		return nil
+	}
+	if argIdx >= len(call.Args) {
+		return nil
+	}
+	lit, _ := call.Args[argIdx].(*ast.FuncLit)
+	return lit
+}
+
+func checkCallback(pass *Pass, lit *ast.FuncLit) {
+	declaredInside := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			// A nested literal is a different (possibly deferred)
+			// execution context; judge it against its own captures
+			// only if it is itself a region callback.
+			return false
+		}
+		var lhss []ast.Expr
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			lhss = s.Lhs
+		case *ast.IncDecStmt:
+			lhss = []ast.Expr{s.X}
+		default:
+			return true
+		}
+		for _, lhs := range lhss {
+			checkRegionWrite(pass, lit, lhs, declaredInside)
+		}
+		return true
+	})
+}
+
+// checkRegionWrite flags a write whose target captures state from
+// outside the callback without being pinned by any callback-local
+// variable.
+func checkRegionWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr, declaredInside func(types.Object) bool) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil || declaredInside(obj) {
+			return // local, or a fresh := definition
+		}
+		pass.Reportf(lhs.Pos(), "parallel region callback assigns to captured variable %s; give each worker its own slot (indexed by the worker id) and fold the slots in order after the region, or annotate //detlint:allow poolcontract(reason)", id.Name)
+		return
+	}
+	// Composite lvalue: a[i], x.f, *p, a[w].f, ... Allowed iff some
+	// identifier inside it is declared inside the callback (the
+	// worker id, a region-local induction variable, or a local base).
+	base := lvalueBase(lhs)
+	if base == nil {
+		return
+	}
+	if obj := pass.TypesInfo.ObjectOf(base); obj == nil || declaredInside(obj) {
+		return
+	}
+	pinned := false
+	ast.Inspect(lhs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && declaredInside(pass.TypesInfo.ObjectOf(id)) {
+			pinned = true
+		}
+		return !pinned
+	})
+	if pinned {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "parallel region callback writes %s through captured state with no worker-local index; pin the write to the worker id (e.g. slots[worker]) or annotate //detlint:allow poolcontract(reason)",
+		exprString(pass.Fset, lhs))
+}
+
+// lvalueBase returns the root identifier of a composite lvalue.
+func lvalueBase(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Package scoping. Analyzers classify packages by import path: the
+// final path segment names the layer (the real tree's
+// repro/internal/tensor and an analysistest fixture's floatreduce/tensor
+// both classify as the tensor kernel layer), and /cmd/ and /examples/
+// mark interactive drivers where wall-clock and ad-hoc statistics are
+// legitimate.
+
+// deterministicPkgs are the packages whose outputs must be
+// reproducible from seeds alone: the numeric core, the coverage and
+// suite-selection machinery, data/model generation, training, and
+// report rendering.
+var deterministicPkgs = map[string]bool{
+	"tensor":   true,
+	"quant":    true,
+	"core":     true,
+	"coverage": true,
+	"nn":       true,
+	"bitset":   true,
+	"data":     true,
+	"models":   true,
+	"train":    true,
+	"attack":   true,
+	"render":   true,
+}
+
+// wallclockAwarePkgs additionally hold networking and daemon code:
+// wall time there is flagged too, but legitimate uses (I/O deadlines,
+// latency metrics, backoff schedules) carry //detlint:allow walltime
+// annotations instead of being rewritten.
+var wallclockAwarePkgs = map[string]bool{
+	"validate": true,
+	"sentinel": true,
+}
+
+func pkgTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// isDriver reports whether the package is an interactive entry point
+// (cmd/, examples/, tools/) rather than library code.
+func isDriver(path string) bool {
+	return strings.Contains(path, "/cmd/") || strings.Contains(path, "/examples/") ||
+		strings.Contains(path, "/tools/") || path == "main"
+}
+
+func isDeterministicPkg(path string) bool {
+	return !isDriver(path) && deterministicPkgs[pkgTail(path)]
+}
+
+func isWalltimeScope(path string) bool {
+	if isDriver(path) {
+		return false
+	}
+	t := pkgTail(path)
+	return deterministicPkgs[t] || wallclockAwarePkgs[t]
+}
+
+// isTensorKernel reports whether the package is the approved
+// floating-point reduction layer.
+func isTensorKernel(path string) bool { return pkgTail(path) == "tensor" }
+
+// sourceFiles returns the pass's non-test files. The analyzers run on
+// production code; test files exercise determinism dynamically (the
+// equivalence grids and the race sweep) and routinely build throwaway
+// maps and sums whose order cannot reach any sealed artifact.
+func (p *Pass) sourceFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

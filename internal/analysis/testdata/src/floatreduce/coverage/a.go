@@ -1,0 +1,73 @@
+// Fixture for the floatreduce analyzer in a non-kernel package (the
+// import path ends in /coverage).
+package coverage
+
+// mean is the archetypal ad-hoc reduction: the accumulation order
+// here is an accident of this loop, not a tested kernel contract.
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x // want `ad-hoc floating-point accumulation into s`
+	}
+	return s / float64(len(xs))
+}
+
+// spelledOut hides the fold behind a plain assignment.
+func spelledOut(xs []float32) float32 {
+	var s float32
+	for i := 0; i < len(xs); i++ {
+		s = s + xs[i] // want `ad-hoc floating-point accumulation into s`
+	}
+	return s
+}
+
+// norm accumulates a product.
+func norm(xs []float64) float64 {
+	p := 1.0
+	for _, x := range xs {
+		p *= x // want `ad-hoc floating-point accumulation into p`
+	}
+	return p
+}
+
+type stats struct{ sum float64 }
+
+// fieldFold accumulates into a struct field: still a scalar fold.
+func fieldFold(st *stats, xs []float64) {
+	for _, x := range xs {
+		st.sum += x // want `ad-hoc floating-point accumulation into st.sum`
+	}
+}
+
+// intSum is exact arithmetic; order cannot be observed.
+func intSum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// scatter is the kernels' indexed-accumulation idiom: each element
+// has its own accumulator, the loop structure pins the order.
+func scatter(out, g []float64) {
+	for i := range out {
+		out[i] += g[i]
+	}
+}
+
+// outsideLoop: a single accumulation is not a reduction.
+func outsideLoop(s, x float64) float64 {
+	s += x
+	return s
+}
+
+// annotated: a sequential fold whose order is fixed by the schedule,
+// justified in place.
+func annotated(losses []float64) float64 {
+	var epoch float64
+	for _, l := range losses {
+		epoch += l //detlint:allow floatreduce(fixture: sequential fold, order fixed by the schedule)
+	}
+	return epoch
+}

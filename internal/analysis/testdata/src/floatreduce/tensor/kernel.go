@@ -1,0 +1,35 @@
+// No-false-positive fixture: this package's import path ends in
+// /tensor, the approved kernel layer, so its reductions — mirroring
+// the real GEMM/Dot kernels in internal/tensor — are not flagged.
+package tensor
+
+// Dot mirrors the approved serial dot-product kernel: strict
+// left-to-right accumulation.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// gemmRow mirrors one row-panel of the real GEMM inner loop: a scalar
+// accumulator per output element, k-ordered.
+func gemmRow(dst, a []float64, b [][]float64) {
+	for j := range dst {
+		var acc float64
+		for k := range a {
+			acc += a[k] * b[k][j]
+		}
+		dst[j] = acc
+	}
+}
+
+// Sum mirrors the approved serial reduction kernel.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,36 @@
+// Fixture for the globalrand analyzer.
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globals() {
+	_ = rand.Intn(10)      // want `rand.Intn draws from the process-global source`
+	_ = rand.Float64()     // want `rand.Float64 draws from the process-global source`
+	_ = rand.Perm(5)       // want `rand.Perm draws from the process-global source`
+	rand.Shuffle(3, swap)  // want `rand.Shuffle draws from the process-global source`
+	_ = rand.NormFloat64() // want `rand.NormFloat64 draws from the process-global source`
+}
+
+func swap(i, j int) {}
+
+// wallClockSeed is seeded, but not reproducibly.
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from the wall clock`
+}
+
+// seeded is the approved discipline: an explicit seed threaded from
+// configuration, every draw through the local *rand.Rand.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(3, swap)
+	_ = rng.Perm(5)
+	return rng.Float64()
+}
+
+// annotated demonstrates the escape hatch.
+func annotated() int {
+	return rand.Intn(3) //detlint:allow globalrand(fixture: demonstrating the escape hatch)
+}

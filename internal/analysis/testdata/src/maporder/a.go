@@ -1,0 +1,100 @@
+// Fixture for the maporder analyzer: firing, allowed, auto-exempt
+// and annotated cases.
+package maporder
+
+import "sort"
+
+// renderReport feeds map iteration order straight into a report
+// string: the canonical determinism bug.
+func renderReport(m map[string]int) string {
+	out := ""
+	for k, v := range m { // want `iteration over map m has nondeterministic order`
+		out += k
+		_ = v
+	}
+	return out
+}
+
+// sortedKeys is the canonical fix: collect, sort, iterate. The
+// collect loop is auto-exempt.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortInterface exercises the conversion form sort.Sort(byLen(keys)).
+type byLen []string
+
+func (b byLen) Len() int           { return len(b) }
+func (b byLen) Less(i, j int) bool { return len(b[i]) < len(b[j]) }
+func (b byLen) Swap(i, j int)      { b[i], b[j] = b[j], b[i] }
+
+func sortedViaInterface(m map[string]bool) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Sort(byLen(keys))
+	return keys
+}
+
+// collectNoSort collects values without ever sorting them: order
+// leaks.
+func collectNoSort(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // want `collects into vals which is never sorted`
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// aggregate only counts and sums integers — exact arithmetic
+// commutes, so iteration order cannot be observed.
+func aggregate(m map[string]int) (int, int) {
+	n, total := 0, 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+		total += v
+	}
+	return n, total
+}
+
+// floatSum looks like aggregation but float addition does not
+// commute under rounding.
+func floatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `iteration over map m has nondeterministic order`
+		s += v
+	}
+	return s
+}
+
+// invert fills another map: keyed writes are order-insensitive.
+func invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// drain deletes while ranging — the documented order-free idiom.
+func drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// annotated demonstrates the escape hatch.
+func annotated(m map[string]func()) {
+	//detlint:allow maporder(fixture: side effects are commutative by construction)
+	for _, f := range m {
+		f()
+	}
+}

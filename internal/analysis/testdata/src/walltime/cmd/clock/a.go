@@ -1,0 +1,12 @@
+// Out-of-scope fixture: the import path contains /cmd/, marking an
+// interactive driver, where wall-clock use (progress reporting,
+// elapsed-time summaries) is legitimate and unflagged.
+package clock
+
+import "time"
+
+func Elapsed(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}

@@ -1,0 +1,37 @@
+// Fixture for the walltime analyzer in a deterministic package (the
+// import path ends in /core, one of the seed-reproducible layers).
+package core
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now reads the wall clock in a deterministic package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock in a deterministic package`
+}
+
+func ticking() {
+	t := time.NewTicker(time.Second) // want `time.NewTicker reads the wall clock in a deterministic package`
+	defer t.Stop()
+	<-time.After(time.Millisecond) // want `time.After reads the wall clock in a deterministic package`
+}
+
+// derived quantities that do not read the clock are fine.
+func pure(d time.Duration) time.Duration {
+	return d.Truncate(time.Millisecond)
+}
+
+// annotated demonstrates the escape hatch.
+func annotated() time.Time {
+	//detlint:allow walltime(fixture: demonstrating the escape hatch)
+	return time.Now()
+}
+
+// emptyReason shows that an allow comment without a justification is
+// itself reported.
+func emptyReason() time.Time {
+	//detlint:allow walltime()
+	return time.Now() // want `allow comment for walltime has no justification`
+}

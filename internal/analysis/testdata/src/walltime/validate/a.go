@@ -1,0 +1,30 @@
+// Fixture for the walltime analyzer in the networking layer: the
+// deadline-setter exemption and the annotated latency measurement.
+package validate
+
+import (
+	"net"
+	"time"
+)
+
+// deadlines: time.Now flowing into Set*Deadline is I/O plumbing and
+// exempt — it can never reach a sealed artifact.
+func deadlines(c net.Conn, d time.Duration) {
+	c.SetDeadline(time.Now().Add(d))
+	c.SetReadDeadline(time.Now())
+	c.SetWriteDeadline(time.Now().Add(2 * d))
+}
+
+// latency measurements are wall-clock by nature and carry the
+// annotation.
+func latency(f func()) time.Duration {
+	t0 := time.Now() //detlint:allow walltime(latency metric, observability only — never part of a verdict)
+	f()
+	//detlint:allow walltime(latency metric, observability only — never part of a verdict)
+	return time.Since(t0)
+}
+
+// unannotated wall-clock reads still fire here.
+func bare() time.Time {
+	return time.Now() // want `time.Now reads the wall clock in a deterministic package`
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// exprString renders an expression for a diagnostic message.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "?"
+	}
+	return b.String()
+}
+
+// funcFor resolves a call's callee to the *types.Func it invokes, or
+// nil for indirect calls, conversions and builtins.
+func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name
+// (no receiver).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// containsCallTo reports whether the subtree rooted at n contains a
+// call to the package-level function pkgPath.name.
+func containsCallTo(info *types.Info, n ast.Node, pkgPath, name string) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isPkgFunc(funcFor(info, call), pkgPath, name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isIntegerType reports whether t's underlying type is an integer.
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isFloatType reports whether t's underlying type is a float.
+func isFloatType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// posRange is a half-open source interval used for "is this node
+// lexically inside one of those nodes" checks.
+type posRange struct{ lo, hi token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return r.lo <= p && p < r.hi }
+
+// rangesOf collects the source ranges of every node in the file for
+// which pick returns true.
+func rangesOf(f *ast.File, pick func(ast.Node) bool) []posRange {
+	var out []posRange
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n != nil && pick(n) {
+			out = append(out, posRange{n.Pos(), n.End()})
+		}
+		return true
+	})
+	return out
+}
+
+func anyContains(rs []posRange, p token.Pos) bool {
+	for _, r := range rs {
+		if r.contains(p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallTime flags wall-clock reads (time.Now, time.Since, timers and
+// tickers) inside packages whose outputs must be reproducible from
+// seeds alone: the numeric core (tensor, quant, nn), suite selection
+// (core, coverage, bitset), data/model generation, training and
+// rendering — plus the networking and sentinel layers, where
+// legitimate wall-clock use (latency metrics, backoff schedules,
+// pacing) carries a //detlint:allow walltime(reason) annotation so
+// every exception is visible and justified.
+//
+// One use is exempted automatically: time.Now() flowing directly into
+// a SetDeadline / SetReadDeadline / SetWriteDeadline call, which is
+// inherently wall-clock I/O plumbing and can never reach a sealed
+// artifact.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "flags wall-clock reads in deterministic packages",
+	Run:  runWallTime,
+}
+
+var walltimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+var deadlineSetters = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+func runWallTime(pass *Pass) error {
+	if !isWalltimeScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.sourceFiles() {
+		// Source ranges of deadline-setter calls: wall-clock reads
+		// inside their arguments are I/O plumbing, not determinism
+		// hazards.
+		deadlines := rangesOf(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			return ok && deadlineSetters[sel.Sel.Name]
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !walltimeFuncs[fn.Name()] {
+				return true
+			}
+			if anyContains(deadlines, call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock in a deterministic package; derive the value from configuration/seeds or annotate //detlint:allow walltime(reason)", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -27,7 +27,7 @@ func fourierTexture(h, w int, rng interface {
 			x := float64(j) / float64(w)
 			v := 0.5
 			for _, wv := range waves {
-				v += wv.amp * 0.3 * math.Sin(wv.fx*x+wv.fy*y+wv.ph)
+				v += wv.amp * 0.3 * math.Sin(wv.fx*x+wv.fy*y+wv.ph) //detlint:allow floatreduce(wave components fold in the fixed order the seeded generator emitted them; byte-identity of the rasters is pinned by the dataset tests)
 			}
 			pix[i*w+j] = v
 		}

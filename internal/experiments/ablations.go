@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/nn"
+	"repro/internal/tensor"
 	"repro/internal/validate"
 )
 
@@ -146,11 +147,11 @@ func RunAblationEpsilon(s *Setup, epsilons []float64, nProbes int) *AblationEpsi
 	probes := s.Train.Subset(nProbes)
 	for _, eps := range epsilons {
 		cfg := coverage.Config{Epsilon: eps, Relative: true}
-		sum := 0.0
+		fr := make([]float64, 0, probes.Len())
 		for _, sm := range probes.Samples {
-			sum += coverage.ParamActivation(s.Net, sm.X, cfg).Fraction()
+			fr = append(fr, coverage.ParamActivation(s.Net, sm.X, cfg).Fraction())
 		}
-		out.MeanVC = append(out.MeanVC, sum/float64(probes.Len()))
+		out.MeanVC = append(out.MeanVC, tensor.Sum(fr)/float64(probes.Len()))
 	}
 	return out
 }

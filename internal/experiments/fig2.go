@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/coverage"
 	"repro/internal/data"
+	"repro/internal/tensor"
 )
 
 // Fig2 reproduces "Validation Coverage of Different Image Sets": the
@@ -36,14 +37,14 @@ func RunFig2(s *Setup, nProbes int) *Fig2 {
 	}
 	out := &Fig2{}
 	for _, ps := range probeSets {
-		sum := 0.0
+		fr := make([]float64, 0, ps.ds.Len())
 		for _, sample := range ps.ds.Samples {
-			sum += coverage.ParamActivation(s.Net, sample.X, s.Cov).Fraction()
+			fr = append(fr, coverage.ParamActivation(s.Net, sample.X, s.Cov).Fraction())
 		}
 		out.Rows = append(out.Rows, Fig2Row{
 			Model:    s.Name,
 			ProbeSet: ps.name,
-			MeanVC:   sum / float64(ps.ds.Len()),
+			MeanVC:   tensor.Sum(fr) / float64(ps.ds.Len()),
 			N:        ps.ds.Len(),
 		})
 	}

@@ -88,11 +88,7 @@ func (c *Conv2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	bd := c.Bias.Grad.Data()
 	dd := d2.Data()
 	for o := 0; o < c.OutC; o++ {
-		s := 0.0
-		for _, v := range dd[o*hw : o*hw+hw] {
-			s += v
-		}
-		bd[o] += s
+		bd[o] += tensor.Sum(dd[o*hw : o*hw+hw])
 	}
 	// dX = Col2Im(Wᵀ · dOut)
 	dcol := tensor.MatMulTA(c.Weight.W, d2)

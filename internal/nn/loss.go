@@ -31,12 +31,12 @@ func softmaxRow(dst, src []float64) {
 			m = v
 		}
 	}
-	s := 0.0
 	for i, v := range src {
-		e := math.Exp(v - m)
-		dst[i] = e
-		s += e
+		dst[i] = math.Exp(v - m)
 	}
+	// Same exponentials, same left-to-right fold as summing inline —
+	// the kernel keeps the row's denominator bit-identical.
+	s := tensor.Sum(dst)
 	// m finite guarantees s >= exp(0) = 1, so the degenerate cases are
 	// m = -Inf (all logits -Inf, exp(-Inf - -Inf) = NaN) and an exact
 	// zero sum; both mean "no class preferred at all". A NaN logit can
@@ -111,10 +111,7 @@ func MSE(pred, target *tensor.Tensor) (loss float64, dPred *tensor.Tensor) {
 	}
 	n := float64(pred.Size())
 	d := tensor.Sub(pred, target)
-	for _, v := range d.Data() {
-		loss += v * v
-	}
-	loss /= n
+	loss = tensor.SumSquares(d.Data()) / n
 	d.Scale(2 / n)
 	return loss, d
 }

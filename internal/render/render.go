@@ -18,11 +18,9 @@ const ramp = " .:-=+*#%@"
 // averaging channels for colour images.
 func grayAt(t *tensor.Tensor, i, j int) float64 {
 	c, h, w := t.Dim(0), t.Dim(1), t.Dim(2)
-	s := 0.0
-	for ch := 0; ch < c; ch++ {
-		s += t.Data()[(ch*h+i)*w+j]
-	}
-	return s / float64(c)
+	// Channel values of one pixel sit h*w apart in CHW layout; the
+	// strided kernel folds them in the same ascending-channel order.
+	return tensor.SumStrided(t.Data(), i*w+j, h*w, c) / float64(c)
 }
 
 // ASCII renders a [C,H,W] image tensor (values in [0,1]) as ASCII art,

@@ -94,6 +94,11 @@ func escapeLabel(v string) string {
 // latency histogram is rendered cumulative per the Prometheus bucket
 // contract (each le bucket counts everything at or below its bound,
 // +Inf equals _count).
+//
+// Determinism: the exposition must be byte-identical for identical
+// fleet state, so every loop here ranges over the ReplicaStatuses()
+// slice, which is filled in ascending replica-index order — never over
+// a map (enforced by the detlint maporder analyzer).
 func (s *Sentinel) renderMetrics() string {
 	s.mu.Lock()
 	rounds, passes, fails, errors := s.rounds, s.passes, s.fails, s.errors

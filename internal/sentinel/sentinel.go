@@ -190,7 +190,7 @@ func (s *Sentinel) NotifySync() {
 // per Interval tick or NotifySync nudge, each followed by a
 // readmission pass over the quarantined replicas. Returns ctx.Err().
 func (s *Sentinel) Run(ctx context.Context) error {
-	ticker := time.NewTicker(s.cfg.Interval)
+	ticker := time.NewTicker(s.cfg.Interval) //detlint:allow walltime(round pacing ticker is the sentinel contract; round CONTENT is seeded by roundSeed, not the clock)
 	defer ticker.Stop()
 	s.tick(ctx)
 	for {
@@ -248,7 +248,7 @@ func (s *Sentinel) RunRound(ctx context.Context) RoundResult {
 
 	seed := s.roundSeed(round)
 	indices := s.sampleIndices(seed)
-	res := RoundResult{Round: round, Time: time.Now(), Seed: seed, Indices: indices}
+	res := RoundResult{Round: round, Time: time.Now(), Seed: seed, Indices: indices} //detlint:allow walltime(observability timestamp on the round record; excluded from divergence decisions)
 
 	sub, err := s.cfg.Suite.Subset(indices)
 	if err == nil {
@@ -289,7 +289,7 @@ func (s *Sentinel) RunRound(ctx context.Context) RoundResult {
 // fleet-wide), records the alert and invokes OnAlert.
 func (s *Sentinel) raiseAlert(ctx context.Context, round uint64, seed int64, indices []int, rep validate.Report) Alert {
 	alert := Alert{
-		Time:    time.Now(),
+		Time:    time.Now(), //detlint:allow walltime(observability timestamp on the alert record; excluded from divergence decisions)
 		Round:   round,
 		Seed:    seed,
 		Suite:   s.cfg.Suite.Name,
@@ -408,7 +408,7 @@ func (s *Sentinel) pacedReplay(ctx context.Context, sub *validate.Suite, ip vali
 	n := sub.Len()
 	cfg := validate.ReplayConfig{Batch: s.cfg.Batch, Tolerance: s.cfg.Tolerance, Wire: s.cfg.Wire}
 	merged := validate.Report{Passed: true, FirstFailure: -1}
-	next := time.Now()
+	next := time.Now() //detlint:allow walltime(replay pacing baseline; throttles load, never the comparison)
 	for start := 0; start < n; start += s.cfg.Batch {
 		end := min(start+s.cfg.Batch, n)
 		if err := s.pace(ctx, &next, end-start); err != nil {
@@ -450,12 +450,12 @@ func (s *Sentinel) pace(ctx context.Context, next *time.Time, k int) error {
 		}
 		return ctx.Err()
 	}
-	now := time.Now()
+	now := time.Now() //detlint:allow walltime(replay pacing: remaining-wait computation against the pacing baseline)
 	if wait := next.Sub(now); wait > 0 {
 		if ctx == nil {
 			time.Sleep(wait)
 		} else {
-			t := time.NewTimer(wait)
+			t := time.NewTimer(wait) //detlint:allow walltime(replay pacing timer; throttles load, never the comparison)
 			defer t.Stop()
 			select {
 			case <-ctx.Done():

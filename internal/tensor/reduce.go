@@ -1,0 +1,68 @@
+package tensor
+
+// Approved scalar reduction kernels. These are the only places the
+// engine folds floating-point values into a scalar: every fold is a
+// strict left-to-right accumulation, so a reduction routed through this
+// file produces bit-identical results to the ad-hoc loop it replaces —
+// and, more importantly, the SAME bits on every run, because the
+// element order is the caller's slice order, never a map walk or a
+// racing goroutine. The detlint floatreduce analyzer flags scalar FP
+// accumulation everywhere outside this package; the fix is to call one
+// of these kernels (or annotate with a justification).
+
+// Sum returns the strict left-to-right sum of xs. An empty slice sums
+// to zero.
+func Sum[E Num](xs []E) E {
+	var s E
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// SumSquares returns the strict left-to-right sum of squares of xs —
+// the inner fold of MSE losses and L2 norms.
+func SumSquares[E Num](xs []E) E {
+	var s E
+	for _, v := range xs {
+		s += v * v
+	}
+	return s
+}
+
+// Dot returns the strict left-to-right inner product of x and y over
+// the first min(len(x), len(y)) elements.
+func Dot[E Num](x, y []E) E {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	var s E
+	for i := 0; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Mean returns Sum(xs)/len(xs): the same fold and the same single
+// division an ad-hoc mean loop performs. Mean of an empty slice is
+// zero, not NaN, matching the guarded means in the experiment code.
+func Mean[E Num](xs []E) E {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / E(len(xs))
+}
+
+// SumStrided sums n elements of xs starting at offset, stepping by
+// stride, in ascending index order. It is the approved kernel for
+// folds over a non-contiguous axis — e.g. summing the channel values
+// of one pixel in a CHW image, where consecutive channels are h*w
+// elements apart.
+func SumStrided[E Num](xs []E, offset, stride, n int) E {
+	var s E
+	for i, j := 0, offset; i < n; i, j = i+1, j+stride {
+		s += xs[j]
+	}
+	return s
+}

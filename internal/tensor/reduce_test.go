@@ -1,0 +1,87 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestReduceBitIdentity pins the contract the floatreduce sweep relies
+// on: each kernel is bit-identical to the strict left-to-right ad-hoc
+// loop it replaced. Float addition does not associate, so these would
+// fail under any reordering or pairwise regrouping.
+func TestReduceBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 3, 17, 1000} {
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			// Wildly mixed magnitudes maximise rounding sensitivity.
+			xs[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(12)-6))
+			ys[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(12)-6))
+		}
+
+		var sum, sq, dot float64
+		for i, v := range xs {
+			sum += v
+			sq += v * v
+			dot += v * ys[i]
+		}
+		if got := Sum(xs); got != sum {
+			t.Errorf("n=%d: Sum = %v, ad-hoc fold = %v", n, got, sum)
+		}
+		if got := SumSquares(xs); got != sq {
+			t.Errorf("n=%d: SumSquares = %v, ad-hoc fold = %v", n, got, sq)
+		}
+		if got := Dot(xs, ys); got != dot {
+			t.Errorf("n=%d: Dot = %v, ad-hoc fold = %v", n, got, dot)
+		}
+		if n > 0 {
+			if got, want := Mean(xs), sum/float64(n); got != want {
+				t.Errorf("n=%d: Mean = %v, want %v", n, got, want)
+			}
+		}
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean([]float64(nil)); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestSumStrided(t *testing.T) {
+	// A 3-channel 2x2 CHW image; summing one pixel's channels walks
+	// offset, offset+4, offset+8 — the render grayAt access pattern.
+	img := []float64{
+		1, 2, 3, 4, // channel 0
+		10, 20, 30, 40, // channel 1
+		100, 200, 300, 400, // channel 2
+	}
+	for px := 0; px < 4; px++ {
+		var want float64
+		for ch := 0; ch < 3; ch++ {
+			want += img[ch*4+px]
+		}
+		if got := SumStrided(img, px, 4, 3); got != want {
+			t.Errorf("pixel %d: SumStrided = %v, want %v", px, got, want)
+		}
+	}
+	if got := SumStrided(img, 0, 4, 0); got != 0 {
+		t.Errorf("n=0: SumStrided = %v, want 0", got)
+	}
+}
+
+func TestReduceFloat32(t *testing.T) {
+	xs := []float32{0.1, 0.2, 0.3, 0.4}
+	var want float32
+	for _, v := range xs {
+		want += v
+	}
+	if got := Sum(xs); got != want {
+		t.Errorf("Sum[float32] = %v, want %v", got, want)
+	}
+	if got := Dot(xs, xs); got != SumSquares(xs) {
+		t.Errorf("Dot(x,x) = %v, SumSquares(x) = %v; want identical folds", got, SumSquares(xs))
+	}
+}

@@ -230,18 +230,18 @@ func Fit(net *nn.Network, ds *data.Dataset, cfg Config) (Result, error) {
 					net.AddGradsFrom(c)
 				}
 				for _, l := range workerLoss[:eff] {
-					epochLoss += l
+					epochLoss += l //detlint:allow floatreduce(sequential fold over per-worker losses in fixed worker order; regrouping through a kernel would change rounding and break run-to-run loss identity)
 				}
 			} else {
 				for _, l := range gradChunk(net, ds, batch, cfg.PerSample) {
-					epochLoss += l
+					epochLoss += l //detlint:allow floatreduce(sequential fold in minibatch-schedule order; the epoch loss is defined by this exact accumulation sequence)
 				}
 			}
 			cfg.Optimizer.Step(net, end-start)
 		}
 		lastLoss = epochLoss / float64(ds.Len())
 		if sgd, ok := cfg.Optimizer.(*SGD); ok && cfg.LRDecay > 0 {
-			sgd.LR *= cfg.LRDecay
+			sgd.LR *= cfg.LRDecay //detlint:allow floatreduce(per-epoch geometric LR decay, one multiply per epoch in schedule order; not a data reduction)
 		}
 		if cfg.Logf != nil {
 			cfg.Logf("epoch %d/%d: loss %.4f", epoch+1, cfg.Epochs, lastLoss)

@@ -203,7 +203,7 @@ func (s *ShardedIP) checkout(idx int) (BatchIP, replicaMode) {
 	if !s.down[idx] {
 		return s.replicas[idx], useReplica
 	}
-	if s.closed || s.probing[idx] || time.Now().Before(s.nextProbe[idx]) {
+	if s.closed || s.probing[idx] || time.Now().Before(s.nextProbe[idx]) { //detlint:allow walltime(probe-backoff gate for a downed replica; routing only, replay outputs are clock-free)
 		return nil, skipReplica
 	}
 	s.probing[idx] = true
@@ -223,7 +223,7 @@ func (s *ShardedIP) markDown(idx int, rep BatchIP) {
 	if !s.down[idx] {
 		s.down[idx] = true
 		s.backoff[idx] = s.probeMin
-		s.nextProbe[idx] = time.Now().Add(s.backoff[idx])
+		s.nextProbe[idx] = time.Now().Add(s.backoff[idx]) //detlint:allow walltime(probe-backoff deadline after a replica failure; routing only)
 	}
 }
 
@@ -235,7 +235,7 @@ func (s *ShardedIP) probeFailed(idx int) {
 	if s.backoff[idx] *= 2; s.backoff[idx] > s.probeMax {
 		s.backoff[idx] = s.probeMax
 	}
-	s.nextProbe[idx] = time.Now().Add(s.backoff[idx])
+	s.nextProbe[idx] = time.Now().Add(s.backoff[idx]) //detlint:allow walltime(probe-backoff deadline doubling after a failed probe; routing only)
 }
 
 // probeSucceeded returns idx to the rotation.
@@ -278,9 +278,9 @@ func (s *ShardedIP) probe(idx int, rep BatchIP, do func(BatchIP) (any, error)) (
 		s.mu.Unlock()
 		rep = fresh
 	}
-	t0 := time.Now()
+	t0 := time.Now() //detlint:allow walltime(latency measurement start for the health metrics)
 	out, err := do(rep)
-	s.observe(idx, time.Since(t0), err)
+	s.observe(idx, time.Since(t0), err) //detlint:allow walltime(latency measurement for the health metrics; not part of the replay result)
 	if err != nil {
 		var qe *QueryError
 		if errors.As(err, &qe) {
@@ -311,9 +311,9 @@ func (s *ShardedIP) roundRobin(do func(BatchIP) (any, error)) (any, error) {
 		case skipReplica:
 			continue
 		case useReplica:
-			t0 := time.Now()
+			t0 := time.Now() //detlint:allow walltime(latency measurement start for the health metrics)
 			out, err := do(rep)
-			s.observe(idx, time.Since(t0), err)
+			s.observe(idx, time.Since(t0), err) //detlint:allow walltime(latency measurement for the health metrics; not part of the replay result)
 			if err == nil {
 				return out, nil
 			}

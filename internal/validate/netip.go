@@ -270,7 +270,7 @@ func (s *Server) Close() error {
 		// fails every pending and future read, while writes — the
 		// responses still draining — proceed untouched.
 		s.connMu.Lock()
-		for c := range s.conns {
+		for c := range s.conns { //detlint:allow maporder(teardown: every conn gets the same expired deadline; order unobservable)
 			c.SetReadDeadline(time.Now())
 		}
 		s.connMu.Unlock()
@@ -313,7 +313,7 @@ func (s *Server) acceptLoop() {
 			select {
 			case <-s.closed:
 				return
-			case <-time.After(backoff):
+			case <-time.After(backoff): //detlint:allow walltime(accept-loop backoff timing; never reaches replay outputs)
 			}
 			continue
 		}
@@ -1043,11 +1043,11 @@ func (r *RemoteIP) fail(err error) {
 	r.mu.Lock()
 	if r.err == nil {
 		r.err = err
-		for id, ch := range r.pending {
+		for id, ch := range r.pending { //detlint:allow maporder(failure broadcast: every pending call is closed with the same poisoned error; order unobservable)
 			close(ch)
 			delete(r.pending, id)
 		}
-		for id, ch := range r.pendingQ {
+		for id, ch := range r.pendingQ { //detlint:allow maporder(failure broadcast: every pending queued call is closed with the same poisoned error; order unobservable)
 			close(ch)
 			delete(r.pendingQ, id)
 		}

@@ -187,7 +187,7 @@ func (s *ShardedIP) Quarantine(i int, reason string) error {
 	s.quarantined[i] = true
 	s.quarReason[i] = reason
 	s.backoff[i] = s.probeMin
-	s.nextProbe[i] = time.Now().Add(s.backoff[i])
+	s.nextProbe[i] = time.Now().Add(s.backoff[i]) //detlint:allow walltime(quarantine probe-backoff deadline; readmission routing only)
 	return nil
 }
 
@@ -238,7 +238,7 @@ func (s *ShardedIP) TryReadmit(i int, revalidate func(BatchIP) error) (probed bo
 		s.mu.Unlock()
 		return false, fmt.Errorf("validate: readmit: replica %d out of range (fleet has %d)", i, len(s.replicas))
 	}
-	if !s.quarantined[i] || s.closed || s.probing[i] || time.Now().Before(s.nextProbe[i]) {
+	if !s.quarantined[i] || s.closed || s.probing[i] || time.Now().Before(s.nextProbe[i]) { //detlint:allow walltime(quarantine probe-backoff gate; readmission routing only)
 		s.mu.Unlock()
 		return false, nil
 	}
@@ -327,9 +327,9 @@ func (v *ReplicaView) do(fn func(BatchIP) (any, error)) (any, error) {
 	}
 	rep := s.replicas[v.idx]
 	s.mu.Unlock()
-	t0 := time.Now()
+	t0 := time.Now() //detlint:allow walltime(latency measurement start for the health metrics)
 	out, err := fn(rep)
-	s.observe(v.idx, time.Since(t0), err)
+	s.observe(v.idx, time.Since(t0), err) //detlint:allow walltime(latency measurement for the health metrics; not part of the replay result)
 	if err != nil {
 		var qe *QueryError
 		if !errors.As(err, &qe) {

@@ -1,0 +1,259 @@
+// detlint is the repo's determinism linter: the five analyzers in
+// repro/internal/analysis behind the `go vet -vettool` unit-checker
+// protocol, hand-implemented on the standard library because the
+// module takes no dependencies (golang.org/x/tools is unavailable).
+//
+// Usage:
+//
+//	go build -o bin/detlint ./tools/detlint
+//	go vet -vettool=bin/detlint ./...            # the real thing, test files included
+//
+//	go run ./tools/detlint ./...                 # convenience: builds itself and re-execs go vet
+//	go vet -vettool=$(go run ./tools/detlint -print-path) ./...
+//
+//	go run ./tools/detlint -list                 # analyzer names and docs
+//
+// Protocol notes (mirroring x/tools/go/analysis/unitchecker): cmd/go
+// invokes the tool once per package unit as `detlint <unit>.cfg`
+// after probing `detlint -V=full` (cache key) and `detlint -flags`
+// (supported flags, we declare none). The cfg file carries the file
+// list, the import map and the export-data locations of every
+// dependency; findings go to stderr as file:line:col lines and a
+// non-zero exit fails the vet run. The facts output (.vetx) is
+// written empty: the analyzers are package-local by design.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// cmd/go probes: -V=full must print a line starting with the
+	// program name and stable across identical builds (it keys the
+	// vet result cache), -flags must print the JSON flag schema.
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			printVersion()
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case args[0] == "-list":
+			for _, a := range analysis.Analyzers() {
+				fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			}
+			return
+		case args[0] == "-print-path":
+			printPath()
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			diags, err := runUnit(args[0])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+				os.Exit(1)
+			}
+			for _, d := range diags {
+				fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+			}
+			if len(diags) > 0 {
+				os.Exit(2)
+			}
+			return
+		}
+	}
+
+	// Anything else is package patterns: re-exec go vet with this
+	// binary as the vettool so test files and build tags are handled
+	// by the real loader.
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: cannot locate own binary: %v\n", err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if exit, ok := err.(*exec.ExitError); ok {
+			os.Exit(exit.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// printVersion emits the -V=full line. The content hash of the
+// binary itself makes the vet cache invalidate whenever the analyzers
+// change.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil)[:16])
+}
+
+// printPath builds the tool into the user cache and prints the binary
+// path, for `go vet -vettool=$(go run ./tools/detlint -print-path)`.
+// (A plain `go run` binary lives in a temp dir that is deleted when
+// it exits, so its own path would be useless to vet.)
+func printPath() {
+	dir, err := os.UserCacheDir()
+	if err != nil {
+		dir = os.TempDir()
+	}
+	out := filepath.Join(dir, "repro-detlint", "detlint")
+	cmd := exec.Command("go", "build", "-o", out, "repro/tools/detlint")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: building vettool: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
+}
+
+// unitConfig is the JSON schema cmd/go writes for vet tools — the
+// same fields x/tools/go/analysis/unitchecker.Config decodes.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit checks one package unit described by a vet cfg file.
+func runUnit(cfgFile string) ([]analysis.Diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+	// cmd/go expects the facts file regardless; the analyzers are
+	// package-local, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the unit's ImportMap (source import
+	// path -> canonical package path, covering vendoring and test
+	// variants) and then PackageFile (canonical path -> export data).
+	compilerImporter := importer.ForCompiler(fset, gcCompiler(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	conf := types.Config{
+		Importer: imp,
+		// The tool is built for the same target as the code it vets.
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	diags := analysis.CheckDirectives(fset, files)
+	for _, a := range analysis.Analyzers() {
+		ds, err := analysis.RunAnalyzer(a, fset, files, pkg, info)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func gcCompiler(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}
