@@ -141,10 +141,13 @@ func (n *Network) PredictBatch(x *tensor.Tensor) []int {
 // --- Conv2D ---
 
 // ForwardBatch implements BatchLayer. The whole batch is lowered with
-// Im2ColBatch into one [C*K*K, B*OutH*OutW] matrix and convolved as a
-// single wide MatMul — the "one large GEMM per layer" the batched
-// engine exists for. Every output column is computed by the per-sample
-// kernel sequence, so the result is bit-identical to per-sample Forward.
+// Im2ColBatch into one [C*K*K, B*OutH*OutW] matrix and convolved by the
+// fused strided kernel: each sample's [OutC, hw] block is written
+// straight into its slab of the [B, OutC, OH, OW] output with the bias
+// added in the GEMM epilogue — one memory pass, no separate bias loop,
+// no permute (convkernel.go states the bit-identity argument). Every
+// output element is computed by the per-sample kernel sequence, so the
+// result is bit-identical to per-sample Forward.
 func (c *Conv2D) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(1) != c.InC || x.Dim(2) != c.InH || x.Dim(3) != c.InW {
 		panic(fmt.Sprintf("nn: %s expects batch input [B %d %d %d], got %v", c.LayerName, c.InC, c.InH, c.InW, x.Shape()))
@@ -152,60 +155,24 @@ func (c *Conv2D) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
 	b := x.Dim(0)
 	c.batchB = b
 	c.colBatch = tensor.Im2ColBatch(x, c.geom)
-	wide := tensor.MatMul(c.Weight.W, c.colBatch) // [OutC, B*OutH*OutW]
-	hw := c.geom.OutH * c.geom.OutW
-	wd := wide.Data()
-	for o := 0; o < c.OutC; o++ {
-		bias := c.Bias.W.Data()[o]
-		row := wd[o*b*hw : (o+1)*b*hw]
-		for i := range row {
-			row[i] += bias
-		}
-	}
-	// Permute [OutC, B*hw] to [B, OutC, hw] so sample blocks are
-	// contiguous for the next layer; pure data movement.
-	out := tensor.New(b, c.OutC, c.geom.OutH, c.geom.OutW)
-	od := out.Data()
-	for o := 0; o < c.OutC; o++ {
-		for s := 0; s < b; s++ {
-			copy(od[(s*c.OutC+o)*hw:(s*c.OutC+o+1)*hw], wd[(o*b+s)*hw:(o*b+s+1)*hw])
-		}
-	}
-	return out
+	return convForwardBatch(c.Weight.W, c.Bias.W, c.colBatch, b, c.OutC, c.geom)
 }
 
 // ReleaseBatchState implements BatchLayer.
 func (c *Conv2D) ReleaseBatchState() {
-	c.colBatch, c.colScratch, c.batchB = nil, nil, 0
+	c.colBatch, c.batchB = nil, 0
 }
 
-// sampleCol gathers sample b's column block of the cached Im2ColBatch
-// matrix into a contiguous scratch [C*K*K, OutH*OutW] tensor — the exact
-// matrix Im2Col produces for that sample, restored to the cache-friendly
-// per-sample layout the gradient kernels want.
-func (c *Conv2D) sampleCol(b, hw int) *tensor.Tensor {
-	rows := c.InC * c.K * c.K
-	stride := c.batchB * hw
-	cb := c.colBatch.Data()
-	if cap(c.colScratch) < rows*hw {
-		c.colScratch = make([]float64, rows*hw)
-	}
-	scratch := c.colScratch[:rows*hw]
-	for i := 0; i < rows; i++ {
-		copy(scratch[i*hw:(i+1)*hw], cb[i*stride+b*hw:i*stride+(b+1)*hw])
-	}
-	return tensor.FromSlice(scratch, rows, hw)
-}
-
-// BackwardSample implements BatchLayer. Sample b's im2col block is
-// gathered back into contiguous form and the per-sample gradient
-// products run on it exactly as Backward does, so gradients are
-// bit-identical to Forward+Backward on that sample alone.
+// BackwardSample implements BatchLayer. Sample b's im2col block is read
+// in place through a strided view of the cached Im2ColBatch matrix and
+// the per-sample gradient products run on it exactly as Backward does,
+// so gradients are bit-identical to Forward+Backward on that sample
+// alone — with no gather copy.
 func (c *Conv2D) BackwardSample(b int, dOut *tensor.Tensor) *tensor.Tensor {
 	hw := c.geom.OutH * c.geom.OutW
 	d2 := dOut.Reshape(c.OutC, hw)
-	// dW += d2 · col_bᵀ.
-	tensor.MatMulTBInto(c.Weight.Grad, d2, c.sampleCol(b, hw), true)
+	// dW += d2 · col_bᵀ, dotted straight out of the wide column matrix.
+	tensor.MatMulTBIntoStrided(c.Weight.Grad, d2, convSampleColView(c.colBatch, b, c.batchB, hw), true)
 	// db += row sums of dOut.
 	bd := c.Bias.Grad.Data()
 	dd := d2.Data()

@@ -136,16 +136,8 @@ func (c *convF32) forward(x *tensor.T32) *tensor.T32 {
 		panic(fmt.Sprintf("nn: conv/f32 expects input [%d %d %d], got %v", c.inC, c.inH, c.inW, x.Shape()))
 	}
 	col := tensor.Im2Col(x, c.geom)
-	out := tensor.MatMul(c.weight, col) // [OutC, OutH*OutW]
-	od, bd := out.Data(), c.bias.Data()
 	hw := c.geom.OutH * c.geom.OutW
-	for o := 0; o < c.outC; o++ {
-		b := bd[o]
-		row := od[o*hw : o*hw+hw]
-		for i := range row {
-			row[i] += b
-		}
-	}
+	out := convForwardSample(c.weight, c.bias, col, c.outC, hw) // [OutC, OutH*OutW]
 	return out.Reshape(c.outC, c.geom.OutH, c.geom.OutW)
 }
 
@@ -154,26 +146,9 @@ func (c *convF32) forwardBatch(x *tensor.T32) *tensor.T32 {
 		panic(fmt.Sprintf("nn: conv/f32 expects batch input [B %d %d %d], got %v", c.inC, c.inH, c.inW, x.Shape()))
 	}
 	b := x.Dim(0)
-	wide := tensor.MatMul(c.weight, tensor.Im2ColBatch(x, c.geom)) // [OutC, B*OutH*OutW]
-	hw := c.geom.OutH * c.geom.OutW
-	wd, bd := wide.Data(), c.bias.Data()
-	for o := 0; o < c.outC; o++ {
-		bias := bd[o]
-		row := wd[o*b*hw : (o+1)*b*hw]
-		for i := range row {
-			row[i] += bias
-		}
-	}
-	// Permute [OutC, B*hw] to [B, OutC, hw] so sample blocks are
-	// contiguous for the next layer; pure data movement.
-	out := tensor.New32(b, c.outC, c.geom.OutH, c.geom.OutW)
-	od := out.Data()
-	for o := 0; o < c.outC; o++ {
-		for s := 0; s < b; s++ {
-			copy(od[(s*c.outC+o)*hw:(s*c.outC+o+1)*hw], wd[(o*b+s)*hw:(o*b+s+1)*hw])
-		}
-	}
-	return out
+	// Same fused strided kernel as the float64 layer (convkernel.go):
+	// sample slabs written in place, bias in the epilogue, no permute.
+	return convForwardBatch(c.weight, c.bias, tensor.Im2ColBatch(x, c.geom), b, c.outC, c.geom)
 }
 
 func (c *convF32) syncFrom(src Layer) {

@@ -19,9 +19,8 @@ type Conv2D struct {
 
 	col *tensor.Tensor // cached im2col of the last input
 
-	colBatch   *tensor.Tensor // cached Im2ColBatch of the last batch input
-	batchB     int            // batch size of the last ForwardBatch
-	colScratch []float64      // contiguous per-sample column block scratch
+	colBatch *tensor.Tensor // cached Im2ColBatch of the last batch input
+	batchB   int            // batch size of the last ForwardBatch
 }
 
 // NewConv2D constructs a convolution for a fixed input geometry.
@@ -65,16 +64,8 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s expects input [%d %d %d], got %v", c.LayerName, c.InC, c.InH, c.InW, x.Shape()))
 	}
 	c.col = tensor.Im2Col(x, c.geom)
-	out := tensor.MatMul(c.Weight.W, c.col) // [OutC, OutH*OutW]
-	od := out.Data()
 	hw := c.geom.OutH * c.geom.OutW
-	for o := 0; o < c.OutC; o++ {
-		b := c.Bias.W.Data()[o]
-		row := od[o*hw : o*hw+hw]
-		for i := range row {
-			row[i] += b
-		}
-	}
+	out := convForwardSample(c.Weight.W, c.Bias.W, c.col, c.OutC, hw) // [OutC, OutH*OutW]
 	return out.Reshape(c.OutC, c.geom.OutH, c.geom.OutW)
 }
 

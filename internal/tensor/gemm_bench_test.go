@@ -42,3 +42,42 @@ func BenchmarkGEMMF32(b *testing.B) {
 		MatMulInto(c, x, y, false)
 	}
 }
+
+// Out-of-cache GEMM: a square product whose B operand (512×2048 ≈ 1M
+// elements, 8 MB in float64) falls well past L2, the shape the
+// cache-blocked packed kernel exists for. Tracked by the CI
+// bench-regression gate alongside the wide conv-shaped pair above.
+const (
+	benchGemmLargeM = 512
+	benchGemmLargeK = 512
+	benchGemmLargeN = 2048
+)
+
+func benchGemmLargeOperands() (*Tensor, *Tensor) {
+	rng := rand.New(rand.NewSource(43))
+	a, b := New(benchGemmLargeM, benchGemmLargeK), New(benchGemmLargeK, benchGemmLargeN)
+	a.FillNormal(rng, 0, 1)
+	b.FillNormal(rng, 0, 1)
+	return a, b
+}
+
+func BenchmarkGEMMF64Large(b *testing.B) {
+	x, y := benchGemmLargeOperands()
+	c := New(benchGemmLargeM, benchGemmLargeN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(c, x, y, false)
+	}
+}
+
+func BenchmarkGEMMF32Large(b *testing.B) {
+	x64, y64 := benchGemmLargeOperands()
+	x, y := x64.F32(), y64.F32()
+	c := New32(benchGemmLargeM, benchGemmLargeN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(c, x, y, false)
+	}
+}

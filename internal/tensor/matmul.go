@@ -103,35 +103,22 @@ func gemmDims[E Num](a, b *Dense[E]) (m, k, n int) {
 // worker pool when the product is large enough to pay for it. Workers
 // own disjoint row panels and each row is produced by the same
 // operation sequence as the serial kernel, so results do not depend on
-// the worker count.
+// the worker count. The panel kernel itself (gemmPanel, strided.go)
+// routes large products through the cache-blocked packed path, which is
+// bit-identical to the direct path for any blocking parameters.
 func gemm[E Num](c, a, b []E, m, k, n int, accumulate bool) {
-	workers := kernelWorkers(m, m*k*n)
+	cv := Mat[E]{Data: c, Rows: m, Cols: n, Stride: n}
+	bv := Mat[E]{Data: b, Rows: k, Cols: n, Stride: n}
+	workers := kernelWorkers(m, gemmFlops(m, k, n))
+	if workers <= 1 {
+		// Serial fast path without the fan-out closure, so steady-state
+		// packed GEMM performs zero allocations.
+		gemmPanel(cv, a, bv, nil, 0, m, k, accumulate)
+		return
+	}
 	parallel.ForUncounted(m, workers, func(_, lo, hi int) {
-		gemmRows(c, a, b, lo, hi, k, n, accumulate)
+		gemmPanel(cv, a, bv, nil, lo, hi, k, accumulate)
 	})
-}
-
-// gemmRows is the serial kernel over the row panel [lo,hi) of C.
-func gemmRows[E Num](c, a, b []E, lo, hi, k, n int, accumulate bool) {
-	if !accumulate {
-		panel := c[lo*n : hi*n]
-		for i := range panel {
-			panel[i] = 0
-		}
-	}
-	for i := lo; i < hi; i++ {
-		arow := a[i*k : i*k+k]
-		crow := c[i*n : i*n+n]
-		for kk, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b[kk*n : kk*n+n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
 }
 
 // MatMulTA returns C = Aᵀ·B for A of shape [k,m] and B of shape [k,n];
@@ -170,24 +157,18 @@ func gemmTADims[E Num](a, b *Dense[E]) (k, m, n int) {
 	return a.Dim(0), a.Dim(1), b.Dim(1)
 }
 
-// gemmTA accumulates Aᵀ·B into c, which holds the starting values.
+// gemmTA accumulates Aᵀ·B into c, which holds the starting values. The
+// panel kernel tiles large products so the C panel stays cache-hot
+// across the kk sweep; per element the kk terms still arrive in
+// ascending order, so tiled ≡ untiled bit for bit.
 func gemmTA[E Num](c, a, b *Dense[E], k, m, n int) {
-	workers := kernelWorkers(m, m*k*n)
+	workers := kernelWorkers(m, gemmFlops(m, k, n))
+	if workers <= 1 {
+		gemmTAPanel(c.data, a.data, b.data, 0, m, k, m, n)
+		return
+	}
 	parallel.ForUncounted(m, workers, func(_, lo, hi int) {
-		for kk := 0; kk < k; kk++ {
-			arow := a.data[kk*m : kk*m+m]
-			brow := b.data[kk*n : kk*n+n]
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				crow := c.data[i*n : i*n+n]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
-			}
-		}
+		gemmTAPanel(c.data, a.data, b.data, lo, hi, k, m, n)
 	})
 }
 
@@ -222,25 +203,7 @@ func gemmTBDims[E Num](a, b *Dense[E]) (m, k, n int) {
 }
 
 func gemmTB[E Num](c, a, b *Dense[E], m, k, n int, accumulate bool) {
-	workers := kernelWorkers(m, m*k*n)
-	parallel.ForUncounted(m, workers, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.data[i*k : i*k+k]
-			crow := c.data[i*n : i*n+n]
-			for j := 0; j < n; j++ {
-				brow := b.data[j*k : j*k+k]
-				var s E
-				for kk, av := range arow {
-					s += av * brow[kk]
-				}
-				if accumulate {
-					crow[j] += s
-				} else {
-					crow[j] = s
-				}
-			}
-		}
-	})
+	gemmTBMat(c.data, a.data, Mat[E]{Data: b.data, Rows: n, Cols: k, Stride: k}, m, k, n, accumulate)
 }
 
 // MatVec returns y = A·x for A of shape [m,n] and x of length n.
@@ -250,7 +213,7 @@ func MatVec[E Num](a, x *Dense[E]) *Dense[E] {
 	}
 	m, n := a.Dim(0), a.Dim(1)
 	y := NewOf[E](m)
-	workers := kernelWorkers(m, m*n)
+	workers := kernelWorkers(m, satMul(m, n))
 	parallel.ForUncounted(m, workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := a.data[i*n : i*n+n]

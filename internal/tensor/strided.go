@@ -1,0 +1,369 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// This file is the strided face of the GEMM family: Mat views let the
+// kernels read operands from — and write results into — rectangular
+// sub-blocks of larger buffers, which is what deletes the convolution
+// path's extra memory passes (the [OutC, B*hw] → [B, OutC, hw] permute
+// after the batched forward GEMM and the per-sample column-block scratch
+// gathers in the backward). The strided kernels are the SAME kernels as
+// the contiguous ones — MatMul/MatMulInto/MatMulTB delegate here with
+// Stride == Cols — so there is one serial kernel site and one
+// bit-identity argument for the whole family.
+
+// Mat is a strided rank-2 view over a flat element slice: row i occupies
+// Data[i*Stride : i*Stride+Cols]. Stride == Cols is an ordinary
+// contiguous matrix; Stride > Cols selects a column block of a wider
+// matrix (a sample's columns inside an Im2ColBatch block) or a row block
+// of a larger tensor (a sample's [OutC, OHW] slab inside a batched
+// [B, OutC, OH, OW] output).
+type Mat[E Num] struct {
+	Data   []E
+	Rows   int
+	Cols   int
+	Stride int
+}
+
+// MatOf returns the contiguous Mat view of a rank-2 tensor.
+func MatOf[E Num](t *Dense[E]) Mat[E] {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatOf needs a rank-2 tensor, got %v", t.Shape()))
+	}
+	return Mat[E]{Data: t.Data(), Rows: t.Dim(0), Cols: t.Dim(1), Stride: t.Dim(1)}
+}
+
+// check panics if the view is malformed or its last row overruns Data.
+// name and operand stay separate arguments (joined only inside the
+// panic branches) so the hot path performs no string concatenation.
+func (m Mat[E]) check(name, operand string) {
+	if m.Rows < 0 || m.Cols < 0 || m.Stride < m.Cols {
+		panic(fmt.Sprintf("tensor: %s %s view [%d×%d stride %d] malformed", name, operand, m.Rows, m.Cols, m.Stride))
+	}
+	if m.Rows > 0 {
+		if need := satMul(m.Rows-1, m.Stride) + m.Cols; len(m.Data) < need {
+			panic(fmt.Sprintf("tensor: %s %s view [%d×%d stride %d] needs %d elements, data holds %d", name, operand, m.Rows, m.Cols, m.Stride, need, len(m.Data)))
+		}
+	}
+}
+
+func stridedDims[E Num](a *Dense[E], name string) (m, k int) {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: %s needs a rank-2 A operand, got %v", name, a.Shape()))
+	}
+	return a.Dim(0), a.Dim(1)
+}
+
+func checkStridedGemm[E Num](dst, b Mat[E], bias []E, m, k int, name string) {
+	dst.check(name, "dst")
+	b.check(name, "b")
+	if b.Rows != k || dst.Rows != m || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch: A [%d %d] × B %d×%d → dst %d×%d", name, m, k, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	if bias != nil && len(bias) != m {
+		panic(fmt.Sprintf("tensor: %s bias length %d, want %d", name, len(bias), m))
+	}
+}
+
+// MatMulIntoStrided computes dst (+)= A·B with an optional fused bias
+// epilogue. A is a dense [m,k] matrix; b (b.Rows == k) and dst
+// (dst.Rows == m, dst.Cols == b.Cols) are strided views. When bias is
+// non-nil (length m), bias[i] is added to every element of dst row i
+// after that element's full-k accumulation — the exact operation order
+// of running a separate bias pass after the GEMM, so fusing changes no
+// bits. Row panels fan out across the kernel worker pool exactly like
+// MatMul; every panel runs the serial kernel sequence, so results are
+// bit-identical at any worker count.
+func MatMulIntoStrided[E Num](dst Mat[E], a *Dense[E], b Mat[E], bias []E, accumulate bool) {
+	m, k := stridedDims(a, "MatMulIntoStrided")
+	checkStridedGemm(dst, b, bias, m, k, "MatMulIntoStrided")
+	workers := kernelWorkers(m, gemmFlops(m, k, dst.Cols))
+	if workers <= 1 {
+		// Serial fast path without the parallel.ForUncounted closure, so
+		// steady-state packed GEMM performs zero allocations.
+		gemmPanel(dst, a.data, b, bias, 0, m, k, accumulate)
+		return
+	}
+	parallel.ForUncounted(m, workers, func(_, lo, hi int) {
+		gemmPanel(dst, a.data, b, bias, lo, hi, k, accumulate)
+	})
+}
+
+// MatMulIntoStridedBatch runs dst[s] (+)= A·b[s] — with the same fused
+// bias epilogue — for every sample s, fanning whole samples out across
+// the kernel worker pool (the batched convolution forward: one shared
+// weight matrix against per-sample column views). Workers own disjoint
+// sample ranges and each sample's product runs the full serial kernel
+// sequence over all of its rows, so the results are bit-identical to a
+// serial loop of MatMulIntoStrided calls at any worker count.
+func MatMulIntoStridedBatch[E Num](dst, b []Mat[E], a *Dense[E], bias []E, accumulate bool) {
+	if len(dst) != len(b) {
+		panic(fmt.Sprintf("tensor: MatMulIntoStridedBatch got %d dst views, %d b views", len(dst), len(b)))
+	}
+	if len(dst) == 0 {
+		return
+	}
+	if len(dst) == 1 {
+		// A single sample parallelises over row panels instead.
+		MatMulIntoStrided(dst[0], a, b[0], bias, accumulate)
+		return
+	}
+	m, k := stridedDims(a, "MatMulIntoStridedBatch")
+	for s := range dst {
+		checkStridedGemm(dst[s], b[s], bias, m, k, "MatMulIntoStridedBatch")
+	}
+	samples := len(dst)
+	workers := kernelWorkers(samples, satMul(samples, gemmFlops(m, k, dst[0].Cols)))
+	if workers <= 1 {
+		for s := range dst {
+			gemmPanel(dst[s], a.data, b[s], bias, 0, m, k, accumulate)
+		}
+		return
+	}
+	parallel.ForUncounted(samples, workers, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			gemmPanel(dst[s], a.data, b[s], bias, 0, m, k, accumulate)
+		}
+	})
+}
+
+// MatMulTBIntoStrided computes C += A·Bᵀ (or C = A·Bᵀ when accumulate is
+// false) where B is a strided view whose rows are the k-vectors being
+// dotted (b.Cols == k). The convolution backward uses it to read a
+// sample's column block straight out of the wide Im2ColBatch matrix,
+// with no gather copy. Every output cell is the same single scalar dot
+// product — k terms in ascending order, one write — as the contiguous
+// MatMulTBInto kernel, so strided ≡ contiguous bit for bit.
+func MatMulTBIntoStrided[E Num](c, a *Dense[E], b Mat[E], accumulate bool) {
+	m, k := stridedDims(a, "MatMulTBIntoStrided")
+	b.check("MatMulTBIntoStrided", "b")
+	if b.Cols != k {
+		panic(fmt.Sprintf("tensor: MatMulTBIntoStrided inner dimension mismatch: A [%d %d] × Bᵀ of %d×%d", m, k, b.Rows, b.Cols))
+	}
+	n := b.Rows
+	if c.Rank() != 2 || c.Dim(0) != m || c.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulTBIntoStrided dst shape %v, want [%d %d]", c.Shape(), m, n))
+	}
+	gemmTBMat(c.data, a.data, b, m, k, n, accumulate)
+}
+
+// --- serial panel kernels ---
+//
+// Bit-identity invariant (the contract every kernel below preserves, and
+// blocked_test pins property-style): for each output element (i,j), the
+// k products a[i,kk]*b[kk,j] are accumulated ONE AT A TIME IN ASCENDING
+// kk ORDER into that element's own accumulator, with the same
+// skip-when-a[i,kk]==0 test. Row/column/k tiling only re-orders WHICH
+// element is advanced next — never the order of terms within an element
+// — and floating-point addition is deterministic for a fixed order, so
+// blocked ≡ unblocked ≡ serial ≡ parallel, bit for bit, for any blocking
+// parameters and any worker count.
+
+// gemmPanel computes rows [lo,hi) of dst (+)= A·B (+ bias): the single
+// serial kernel site behind MatMul, MatMulInto and the strided fused
+// variants. It zeroes the panel when not accumulating, then routes to
+// the packed blocked kernel when B is too large to stay cache-resident.
+func gemmPanel[E Num](dst Mat[E], a []E, b Mat[E], bias []E, lo, hi, k int, accumulate bool) {
+	n := dst.Cols
+	if !accumulate {
+		for i := lo; i < hi; i++ {
+			row := dst.Data[i*dst.Stride : i*dst.Stride+n]
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
+	if satMul(k, n) > gemmPackMinElems {
+		gemmPanelBlocked(dst, a, b, bias, lo, hi, k)
+		return
+	}
+	gemmPanelDirect(dst, a, b, bias, lo, hi, k)
+}
+
+// gemmPanelDirect is the in-cache kernel: the historical i-k-j loop (B
+// walked row-contiguously) plus the fused bias epilogue after each row's
+// full-k accumulation.
+func gemmPanelDirect[E Num](dst Mat[E], a []E, b Mat[E], bias []E, lo, hi, k int) {
+	n := dst.Cols
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : i*k+k]
+		crow := dst.Data[i*dst.Stride : i*dst.Stride+n]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*b.Stride : kk*b.Stride+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+		if bias != nil {
+			bv := bias[i]
+			for j := range crow {
+				crow[j] += bv
+			}
+		}
+	}
+}
+
+// gemmPanelBlocked is the out-of-cache kernel: output columns are tiled
+// by gemmBlockCols and k by gemmBlockK, and each [kb×nb] B tile is
+// packed into a contiguous pooled buffer that stays L2-resident while
+// the row loop streams over it. Tiles are visited in ascending (jc, kc)
+// order and the inner loop is ascending kk, so each output element still
+// receives its k terms in ascending order — see the invariant above.
+// The bias epilogue runs per column tile after ALL of its k tiles, i.e.
+// after each element's full-k accumulation, matching the direct kernel.
+func gemmPanelBlocked[E Num](dst Mat[E], a []E, b Mat[E], bias []E, lo, hi, k int) {
+	n := dst.Cols
+	nbMax := min(gemmBlockCols, n)
+	kbMax := min(gemmBlockK, k)
+	bufp := packGet[E](nbMax * kbMax)
+	pack := (*bufp)[:nbMax*kbMax]
+	for jc := 0; jc < n; jc += nbMax {
+		nb := min(nbMax, n-jc)
+		for kc := 0; kc < k; kc += kbMax {
+			kb := min(kbMax, k-kc)
+			for kk := 0; kk < kb; kk++ {
+				src := b.Data[(kc+kk)*b.Stride+jc : (kc+kk)*b.Stride+jc+nb]
+				copy(pack[kk*nb:kk*nb+nb], src)
+			}
+			for i := lo; i < hi; i++ {
+				arow := a[i*k+kc : i*k+kc+kb]
+				crow := dst.Data[i*dst.Stride+jc : i*dst.Stride+jc+nb]
+				for kk, av := range arow {
+					if av == 0 {
+						continue
+					}
+					prow := pack[kk*nb : kk*nb+nb]
+					for j, bv := range prow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		}
+		if bias != nil {
+			for i := lo; i < hi; i++ {
+				bv := bias[i]
+				crow := dst.Data[i*dst.Stride+jc : i*dst.Stride+jc+nb]
+				for j := range crow {
+					crow[j] += bv
+				}
+			}
+		}
+	}
+	packPut(bufp)
+}
+
+// gemmTBMat fans row panels of C (+)= A·Bᵀ out across the worker pool,
+// with B a strided row view.
+func gemmTBMat[E Num](c, a []E, b Mat[E], m, k, n int, accumulate bool) {
+	workers := kernelWorkers(m, gemmFlops(m, k, n))
+	if workers <= 1 {
+		gemmTBPanel(c, a, b, 0, m, k, n, accumulate)
+		return
+	}
+	parallel.ForUncounted(m, workers, func(_, lo, hi int) {
+		gemmTBPanel(c, a, b, lo, hi, k, n, accumulate)
+	})
+}
+
+// gemmTBPanel computes rows [lo,hi) of C (+)= A·Bᵀ. Every output cell is
+// one scalar dot product over ascending k followed by a single
+// write/add, so the j tiling of the blocked branch (which only keeps a
+// stripe of B rows cache-resident across the row panel) cannot change
+// any bits.
+func gemmTBPanel[E Num](c, a []E, b Mat[E], lo, hi, k, n int, accumulate bool) {
+	if satMul(n, k) <= gemmPackMinElems {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : i*k+k]
+			crow := c[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*b.Stride : j*b.Stride+k]
+				var s E
+				for kk, av := range arow {
+					s += av * brow[kk]
+				}
+				if accumulate {
+					crow[j] += s
+				} else {
+					crow[j] = s
+				}
+			}
+		}
+		return
+	}
+	// Stripe height sized so one stripe of B rows matches the packed
+	// panel footprint the MatMul kernel uses.
+	jb := (gemmBlockCols * gemmBlockK) / k
+	if jb < 1 {
+		jb = 1
+	}
+	for j0 := 0; j0 < n; j0 += jb {
+		j1 := min(j0+jb, n)
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : i*k+k]
+			crow := c[i*n : i*n+n]
+			for j := j0; j < j1; j++ {
+				brow := b.Data[j*b.Stride : j*b.Stride+k]
+				var s E
+				for kk, av := range arow {
+					s += av * brow[kk]
+				}
+				if accumulate {
+					crow[j] += s
+				} else {
+					crow[j] = s
+				}
+			}
+		}
+	}
+}
+
+// gemmTAPanel computes rows [lo,hi) of C += Aᵀ·B. The blocked branch
+// tiles the panel's C rows and columns so the C tile stays cache-hot
+// across the kk sweep; within a tile kk still ascends for every element,
+// preserving the invariant.
+func gemmTAPanel[E Num](c, a, b []E, lo, hi, k, m, n int) {
+	if satMul(hi-lo, n) <= gemmPackMinElems {
+		for kk := 0; kk < k; kk++ {
+			arow := a[kk*m : kk*m+m]
+			brow := b[kk*n : kk*n+n]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := c[i*n : i*n+n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+		return
+	}
+	for i0 := lo; i0 < hi; i0 += gemmBlockRows {
+		i1 := min(i0+gemmBlockRows, hi)
+		for j0 := 0; j0 < n; j0 += gemmBlockCols {
+			j1 := min(j0+gemmBlockCols, n)
+			for kk := 0; kk < k; kk++ {
+				arow := a[kk*m : kk*m+m]
+				brow := b[kk*n+j0 : kk*n+j1]
+				for i := i0; i < i1; i++ {
+					av := arow[i]
+					if av == 0 {
+						continue
+					}
+					crow := c[i*n+j0 : i*n+j1]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package validate
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/quant"
+)
+
+// Tests for the load-time quantised-reference cache: sealed
+// QuantizedOutputs suites quantise their reference outputs once at
+// OpenSuite, the cache rides through Prefix/Subset, replay verdicts are
+// identical with and without it, and mutating Decimals after load falls
+// back to per-replay quantisation instead of serving stale frames.
+
+func sealRoundTrip(t *testing.T, s *Suite) *Suite {
+	t.Helper()
+	key := []byte("quantrefs-test-key")
+	var buf bytes.Buffer
+	if err := s.Seal(&buf, key); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenSuite(&buf, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opened
+}
+
+func frameEqual(a, b quant.Frame) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuantRefsCachedAtOpen(t *testing.T) {
+	opened := sealRoundTrip(t, goldenSuite(t, 8, QuantizedOutputs))
+	if !opened.quantRefsValid() {
+		t.Fatal("opened QuantizedOutputs suite has no valid quantised-reference cache")
+	}
+	scale, err := quant.Scale(opened.Decimals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range opened.Outputs {
+		if !frameEqual(opened.quantRefs[i], quant.QuantizeFrame(o.Data(), scale)) {
+			t.Fatalf("cached frame %d differs from fresh quantisation", i)
+		}
+	}
+
+	// Non-quantised suites carry no cache.
+	if exact := sealRoundTrip(t, goldenSuite(t, 4, ExactOutputs)); exact.quantRefsValid() {
+		t.Fatal("ExactOutputs suite must not cache quantised references")
+	}
+
+	// Changing Decimals after load invalidates the cache, and
+	// replayQuantRefs re-quantises locally at the new scale.
+	mutated := sealRoundTrip(t, goldenSuite(t, 8, QuantizedOutputs))
+	mutated.Decimals = 3
+	if mutated.quantRefsValid() {
+		t.Fatal("cache must be stale after Decimals changes")
+	}
+	scale3, err := quant.Scale(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := mutated.replayQuantRefs(scale3)
+	for i, o := range mutated.Outputs {
+		if !frameEqual(refs[i], quant.QuantizeFrame(o.Data(), scale3)) {
+			t.Fatalf("stale-cache fallback frame %d not quantised at the new scale", i)
+		}
+	}
+}
+
+func TestQuantRefsPropagateThroughPrefixAndSubset(t *testing.T) {
+	opened := sealRoundTrip(t, goldenSuite(t, 8, QuantizedOutputs))
+	p := opened.Prefix(5)
+	if !p.quantRefsValid() {
+		t.Fatal("Prefix dropped the quantised-reference cache")
+	}
+	for i := range p.Outputs {
+		if !frameEqual(p.quantRefs[i], opened.quantRefs[i]) {
+			t.Fatalf("Prefix frame %d differs from parent", i)
+		}
+	}
+	sub, err := opened.Subset([]int{6, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.quantRefsValid() {
+		t.Fatal("Subset dropped the quantised-reference cache")
+	}
+	for i, idx := range []int{6, 1, 4} {
+		if !frameEqual(sub.quantRefs[i], opened.quantRefs[idx]) {
+			t.Fatalf("Subset frame %d (suite index %d) differs from parent", i, idx)
+		}
+	}
+
+	// A stale parent cache must not leak into derived suites.
+	opened.Decimals = 2
+	if opened.Prefix(3).quantRefsValid() {
+		t.Fatal("Prefix propagated a stale cache")
+	}
+	if sub2, err := opened.Subset([]int{0, 1}); err != nil || sub2.quantRefsValid() {
+		t.Fatal("Subset propagated a stale cache")
+	}
+}
+
+// TestQuantRefsVerdictIdentity: the headline property — replaying a
+// sealed-and-opened suite (cache hot) over the v4 wire produces exactly
+// the report of the freshly built suite (cache cold), on an intact and
+// on a perturbed target, including after a post-load Decimals change.
+func TestQuantRefsVerdictIdentity(t *testing.T) {
+	built := goldenSuite(t, 10, QuantizedOutputs)
+	opened := sealRoundTrip(t, built)
+	if !opened.quantRefsValid() {
+		t.Fatal("opened suite cache missing")
+	}
+	for _, nets := range []string{"golden", "perturbed"} {
+		target := goldenNet()
+		if nets == "perturbed" {
+			target = perturbedNet(t)
+		}
+		_, addr := startServerMax(t, target, protocolVersion)
+		ip := dialQuant(t, addr, false)
+		for _, decimals := range []int{6, 3} {
+			b := *built
+			b.Decimals = decimals
+			o := *opened
+			o.Decimals = decimals // decimals==6 keeps the cache; 3 staleness-falls-back
+			want, err := b.ValidateWith(ip, ValidateOptions{Batch: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := o.ValidateWith(ip, ValidateOptions{Batch: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s/decimals=%d: cached replay %+v, uncached %+v", nets, decimals, got, want)
+			}
+		}
+	}
+}

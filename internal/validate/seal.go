@@ -143,5 +143,10 @@ func OpenSuite(r io.Reader, key []byte) (*Suite, error) {
 		}
 		s.Outputs = append(s.Outputs, t)
 	}
+	// A quantised-mode suite is replayed in wire representation; encode
+	// the reference frames once here at load time so every subsequent
+	// replay ships them without re-quantising (Replay falls back to a
+	// local encode if Decimals is changed after opening).
+	s.buildQuantRefs()
 	return s, nil
 }

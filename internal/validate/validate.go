@@ -147,6 +147,56 @@ type Suite struct {
 	Outputs  []*tensor.Tensor
 	Mode     CompareMode
 	Decimals int // used by QuantizedOutputs
+
+	// quantRefs caches the Outputs quantised at quantRefDecimals, so the
+	// quantised wire path does not re-encode the references on every
+	// replay. It is populated at load time (OpenSuite) or propagated by
+	// Prefix/Subset, and NEVER mutated afterwards — suites are copied by
+	// value and replayed concurrently, so the cache must stay immutable.
+	// Replay validates it against the current Decimals and output count
+	// and quantises locally when it is missing or stale.
+	quantRefs        []quant.Frame
+	quantRefDecimals int
+}
+
+// quantRefsValid reports whether the load-time quantised-reference cache
+// matches the suite's current decimals and outputs (Decimals is a public
+// field callers may change after construction, which invalidates it).
+func (s *Suite) quantRefsValid() bool {
+	return s.quantRefs != nil && s.quantRefDecimals == s.Decimals && len(s.quantRefs) == len(s.Outputs)
+}
+
+// buildQuantRefs populates the quantised-reference cache for a
+// QuantizedOutputs suite. Call only at construction time (OpenSuite),
+// before the suite is shared.
+func (s *Suite) buildQuantRefs() {
+	if s.Mode != QuantizedOutputs {
+		return
+	}
+	scale, err := quant.Scale(s.Decimals)
+	if err != nil {
+		return // invalid decimals surface on replay, not at load time
+	}
+	refs := make([]quant.Frame, len(s.Outputs))
+	for i, o := range s.Outputs {
+		refs[i] = quant.QuantizeFrame(o.Data(), scale)
+	}
+	s.quantRefs, s.quantRefDecimals = refs, s.Decimals
+}
+
+// replayQuantRefs returns one quantised reference frame per suite
+// output: the load-time cache when it is valid, otherwise frames
+// quantised here (kept local, not stored — replays may run concurrently
+// on shared suites).
+func (s *Suite) replayQuantRefs(scale float64) []quant.Frame {
+	if s.quantRefsValid() {
+		return s.quantRefs
+	}
+	refs := make([]quant.Frame, len(s.Outputs))
+	for i, o := range s.Outputs {
+		refs[i] = quant.QuantizeFrame(o.Data(), scale)
+	}
+	return refs
 }
 
 // BuildSuite runs the vendor side: compute the reference output of every
@@ -337,21 +387,26 @@ func (s *Suite) Replay(ip IP, cfg ReplayConfig) (Report, error) {
 		// frames the session carries.
 	}
 	var qscale float64
+	var qrefs []quant.Frame
 	if quantPath {
 		var err error
 		if qscale, err = quant.Scale(s.Decimals); err != nil {
 			return Report{}, fmt.Errorf("validate: quant wire replay: %w", err)
 		}
+		// Resolve the quantised references once per replay — the sealed
+		// suite's load-time cache when valid — so the per-exchange loop
+		// ships frames without re-encoding them.
+		qrefs = s.replayQuantRefs(qscale)
 	}
 	if cfg.EarlyExit {
-		return s.replayEarlyExit(ip, bip, qip, quantPath, qscale, batch, cfg.Tolerance)
+		return s.replayEarlyExit(ip, bip, qip, quantPath, qscale, qrefs, batch, cfg.Tolerance)
 	}
-	return s.replayFull(ip, bip, qip, quantPath, qscale, batch, cfg.Workers, cfg.Tolerance)
+	return s.replayFull(ip, bip, qip, quantPath, qscale, qrefs, batch, cfg.Workers, cfg.Tolerance)
 }
 
 // replayFull is the full-scan drive loop of the replay engine: every
 // test replayed, partial reports merged in index order.
-func (s *Suite) replayFull(ip IP, bip BatchIP, qip QuantIP, quantPath bool, qscale float64, batch, workersCfg int, tol float64) (Report, error) {
+func (s *Suite) replayFull(ip IP, bip BatchIP, qip QuantIP, quantPath bool, qscale float64, qrefs []quant.Frame, batch, workersCfg int, tol float64) (Report, error) {
 	n := len(s.Inputs)
 	workers := parallel.Workers(workersCfg)
 	if !quantPath && batch == 1 && workers <= 1 {
@@ -375,7 +430,7 @@ func (s *Suite) replayFull(ip IP, bip BatchIP, qip QuantIP, quantPath bool, qsca
 			start := bi * batch
 			end := min(start+batch, n)
 			if quantPath {
-				frames, err := s.queryQuantRange(qip, start, end, qscale)
+				frames, err := s.queryQuantRange(qip, start, end, qrefs)
 				if err != nil {
 					p.err, p.errLo, p.errHi = err, start, end-1
 					return
@@ -438,15 +493,12 @@ func (s *Suite) replayFull(ip IP, bip BatchIP, qip QuantIP, quantPath bool, qsca
 }
 
 // queryQuantRange runs one quantised wire exchange for suite tests
-// [start,end): references quantised here on the client, shipped as the
-// response delta base, and the answer frames returned for the direct
+// [start,end): the pre-resolved reference frames (load-time cache or
+// per-replay quantisation, resolved once in Replay) ship as the response
+// delta base, and the answer frames return for the direct
 // wire-representation comparison.
-func (s *Suite) queryQuantRange(qip QuantIP, start, end int, scale float64) ([]quant.Frame, error) {
-	refs := make([]quant.Frame, end-start)
-	for i := start; i < end; i++ {
-		refs[i-start] = quant.QuantizeFrame(s.Outputs[i].Data(), scale)
-	}
-	frames, err := qip.QueryQuant(s.Inputs[start:end], refs, s.Decimals)
+func (s *Suite) queryQuantRange(qip QuantIP, start, end int, qrefs []quant.Frame) ([]quant.Frame, error) {
+	frames, err := qip.QueryQuant(s.Inputs[start:end], qrefs[start:end], s.Decimals)
 	if err == nil && len(frames) != end-start {
 		err = fmt.Errorf("batch answered %d outputs for %d queries", len(frames), end-start)
 	}
@@ -563,7 +615,7 @@ func (s *Suite) DetectsWith(ip IP, opts ValidateOptions) (bool, error) {
 // prefix only — Mismatches is 1 and FirstFailure the first divergent
 // index — but Total is still the full suite size, and a clean scan
 // returns the same all-pass report the full replay would.
-func (s *Suite) replayEarlyExit(ip IP, bip BatchIP, qip QuantIP, quantPath bool, qscale float64, batch int, tol float64) (Report, error) {
+func (s *Suite) replayEarlyExit(ip IP, bip BatchIP, qip QuantIP, quantPath bool, qscale float64, qrefs []quant.Frame, batch int, tol float64) (Report, error) {
 	n := len(s.Inputs)
 	failAt := func(i int) Report {
 		return Report{Passed: false, Mismatches: 1, FirstFailure: i, Total: n}
@@ -572,7 +624,7 @@ func (s *Suite) replayEarlyExit(ip IP, bip BatchIP, qip QuantIP, quantPath bool,
 	if quantPath {
 		for start := 0; start < n; start += batch {
 			end := min(start+batch, n)
-			frames, err := s.queryQuantRange(qip, start, end, qscale)
+			frames, err := s.queryQuantRange(qip, start, end, qrefs)
 			if err != nil {
 				return Report{}, fmt.Errorf("validate: %s: %w", queryRange(start, end-1), err)
 			}
@@ -619,13 +671,17 @@ func (s *Suite) Prefix(n int) *Suite {
 	if n > len(s.Inputs) {
 		n = len(s.Inputs)
 	}
-	return &Suite{
+	p := &Suite{
 		Name:     fmt.Sprintf("%s[:%d]", s.Name, n),
 		Inputs:   s.Inputs[:n],
 		Outputs:  s.Outputs[:n],
 		Mode:     s.Mode,
 		Decimals: s.Decimals,
 	}
+	if s.quantRefsValid() {
+		p.quantRefs, p.quantRefDecimals = s.quantRefs[:n], s.quantRefDecimals
+	}
+	return p
 }
 
 // Subset returns a suite view of the selected tests, in the given
@@ -642,12 +698,20 @@ func (s *Suite) Subset(indices []int) (*Suite, error) {
 		Mode:     s.Mode,
 		Decimals: s.Decimals,
 	}
+	refs := s.quantRefsValid()
+	if refs {
+		sub.quantRefs = make([]quant.Frame, 0, len(indices))
+		sub.quantRefDecimals = s.quantRefDecimals
+	}
 	for _, i := range indices {
 		if i < 0 || i >= len(s.Inputs) || i >= len(s.Outputs) {
 			return nil, fmt.Errorf("validate: subset index %d out of range (suite has %d tests)", i, s.Len())
 		}
 		sub.Inputs = append(sub.Inputs, s.Inputs[i])
 		sub.Outputs = append(sub.Outputs, s.Outputs[i])
+		if refs {
+			sub.quantRefs = append(sub.quantRefs, s.quantRefs[i])
+		}
 	}
 	return sub, nil
 }
