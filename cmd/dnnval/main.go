@@ -8,14 +8,17 @@
 //	attack   - apply a parameter attack to a stored model
 //	validate - replay a sealed suite against a model file or served IP
 //	           (batched queries, concurrent workers, sharded replicas,
-//	           -wire gob|f32|quant selecting the v2/v3/v4 dialect)
+//	           -wire gob|f32|quant selecting the v2/v3/v4+v5 dialect)
 //	serve    - host a model as a black-box IP over TCP, optionally as a
 //	           fleet of replicas with concurrent per-replica workers
-//	           (speaks wire protocols v2-v4; -max-wire pins the ceiling)
+//	           (speaks wire protocols v2-v5; -max-wire pins the ceiling,
+//	           -coalesce batches single queries across connections, and
+//	           all replicas share one content-addressed frame store)
 //	sentinel - continuous fleet validation: trickle-replay random suite
 //	           subsets against a live fleet on a schedule under a query
 //	           budget, attribute divergence to replicas, quarantine and
-//	           readmit them, and expose /metrics + /status over HTTP
+//	           readmit them, expose /metrics + /status over HTTP, and
+//	           POST alerts to a webhook (-alert-url)
 //	info     - print a model summary and per-layer parameter counts
 //
 // Run `dnnval <subcommand> -h` for flags. Datasets are procedural and
@@ -312,8 +315,10 @@ func cmdValidate(args []string) error {
 	workers := fs.Int("workers", 1, "concurrent replay workers (pipelined per connection, spread across replicas)")
 	timeout := fs.Duration("timeout", 0, "per-response wait bound in remote mode (0 = default)")
 	f32 := fs.Bool("f32", false, "replay on the float32 inference path (protocol v3 float32 frames in remote mode); requires -tol")
-	wire := fs.String("wire", "", "remote wire dialect: gob (protocol v2 float64 frames, the default), f32 (v3 float32 frames, same as -f32), quant (v4 quantised delta-encoded frames; a quantized-mode suite replays with verdicts identical to local validation)")
+	wire := fs.String("wire", "", "remote wire dialect: gob (protocol v2 float64 frames, the default), f32 (v3 float32 frames, same as -f32), quant (v5 quantised delta-encoded frames probing the server's shared frame store, downgrading to per-connection v4 against older servers; a quantized-mode suite replays with verdicts identical to local validation)")
 	tol := fs.Float64("tol", 0, "accept outputs within this absolute tolerance of the recorded references (0 = bit-exact, the paper's setting)")
+	cacheFrames := fs.Int("cache-frames", 0, "quant-wire replay-frame cache bound in frames on a v5 session (0 = the compiled default, 256)")
+	cacheBytes := fs.Int("cache-bytes", 0, "quant-wire replay-frame cache bound in bytes on a v5 session (0 = the compiled default, 8 MiB)")
 	fs.Parse(args)
 
 	dialect, err := validate.ParseWire(*wire)
@@ -358,7 +363,10 @@ func cmdValidate(args []string) error {
 	switch {
 	case *addr != "":
 		addrs := strings.Split(*addr, ",")
-		opts := validate.DialOptions{ReadTimeout: *timeout, Wire: dialect, F32: *f32, Decimals: suite.Decimals}
+		opts := validate.DialOptions{
+			ReadTimeout: *timeout, Wire: dialect, F32: *f32, Decimals: suite.Decimals,
+			CacheFrames: *cacheFrames, CacheBytes: *cacheBytes,
+		}
 		if len(addrs) > 1 {
 			cluster, err := validate.DialShards(addrs, opts)
 			if err != nil {
@@ -411,14 +419,20 @@ func cmdServe(args []string) error {
 	replicas := fs.Int("replicas", 1, "replica endpoints to serve, on consecutive ports from -addr")
 	workers := fs.Int("workers", 0, "network clones (= concurrent queries) per replica; 0 = whole machine")
 	f32 := fs.Bool("f32", false, "additionally host a float32 inference fleet per replica: protocol-v3 clients (dnnval validate -f32) are served reduced-precision, v2 clients stay bit-exact float64")
-	maxWire := fs.Int("max-wire", 0, "highest wire protocol version to negotiate, 0 = the build's highest (v4, so -wire quant clients get quantised delta-encoded replay); pin to 2 or 3 to serve exactly as a pre-v4 build would (interop/rollback)")
+	maxWire := fs.Int("max-wire", 0, "highest wire protocol version to negotiate, 0 = the build's highest (v5, so -wire quant clients probe the shared frame store); pin to 2-4 to serve exactly as an older build would (interop/rollback)")
+	cacheFrames := fs.Int("cache-frames", 0, "per-session replay-frame cache bound in frames for v5 sessions (0 = the compiled default, 256)")
+	cacheBytes := fs.Int("cache-bytes", 0, "per-session replay-frame cache bound in bytes for v5 sessions (0 = the compiled default, 8 MiB)")
+	storeFrames := fs.Int("store-frames", 0, "shared content-addressed frame store bound in frames, one store across all replicas (0 = the default, 1024)")
+	storeBytes := fs.Int("store-bytes", 0, "shared content-addressed frame store bound in bytes (0 = the default, 32 MiB)")
+	coalesce := fs.Duration("coalesce", 0, "gather same-shape single queries from different connections for up to this window into one batched forward pass (0 = off; verdicts are identical either way)")
+	coalesceBatch := fs.Int("coalesce-batch", 0, "queries per coalesced batch before it flushes early (0 = the default, 32)")
 	fs.Parse(args)
 
 	if *replicas < 1 {
 		return fmt.Errorf("need at least one replica, got %d", *replicas)
 	}
-	if *maxWire != 0 && (*maxWire < 2 || *maxWire > 4) {
-		return fmt.Errorf("-max-wire %d out of range: this build speaks v2-v4 (0 = highest)", *maxWire)
+	if *maxWire != 0 && (*maxWire < 2 || *maxWire > 5) {
+		return fmt.Errorf("-max-wire %d out of range: this build speaks v2-v5 (0 = highest)", *maxWire)
 	}
 	network, err := loadModel(*model)
 	if err != nil {
@@ -436,6 +450,10 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("-replicas needs a fixed base port, not :0")
 	}
 
+	// One content-addressed frame store across the whole fleet process:
+	// a sealed suite's frames are stored once no matter how many
+	// replicas and re-dials touch them.
+	store := validate.NewFrameStore(*storeFrames, *storeBytes)
 	servers := make([]*validate.Server, 0, *replicas)
 	for i := 0; i < *replicas; i++ {
 		l, err := net.Listen("tcp", net.JoinHostPort(host, strconv.Itoa(port+i)))
@@ -449,7 +467,12 @@ func cmdServe(args []string) error {
 		if *f32 {
 			srvWire = validate.WireF32
 		}
-		srv := validate.ServeWith(l, network, validate.ServerOptions{Workers: *workers, Wire: srvWire, MaxVersion: byte(*maxWire)})
+		srv := validate.ServeWith(l, network, validate.ServerOptions{
+			Workers: *workers, Wire: srvWire, MaxVersion: byte(*maxWire),
+			CacheFrames: *cacheFrames, CacheBytes: *cacheBytes,
+			FrameStore:     store,
+			CoalesceWindow: *coalesce, CoalesceBatch: *coalesceBatch,
+		})
 		servers = append(servers, srv)
 		log.Printf("serving IP replica %d/%d on %s", i+1, *replicas, srv.Addr())
 	}
@@ -485,6 +508,7 @@ func cmdSentinel(args []string) error {
 	f32 := fs.Bool("f32", false, "replay on the float32 inference path; requires -tol on an exact-mode suite")
 	seed := fs.Int64("seed", 1, "sampling seed; any round is reproducible from (-seed, round number) alone")
 	httpAddr := fs.String("http", "127.0.0.1:0", "observability listen address serving /metrics and /status (\"\" disables)")
+	alertURL := fs.String("alert-url", "", "webhook URL POSTed each alert as JSON with capped retry (\"\" disables); outcomes surface in /metrics")
 	rounds := fs.Uint64("rounds", 0, "stop after this many rounds (0 = run until interrupted)")
 	reprobe := fs.Duration("reprobe", time.Second, "minimum backoff before a down or quarantined replica is re-probed (doubles per failure, capped at 30s or this value if larger)")
 	timeout := fs.Duration("timeout", 0, "per-response wait bound (0 = default)")
@@ -551,6 +575,7 @@ func cmdSentinel(args []string) error {
 		Tolerance: *tol,
 		Wire:      dialect,
 		Seed:      *seed,
+		AlertURL:  *alertURL,
 		OnAlert: func(a sentinel.Alert) {
 			// One machine-parseable line per incident: the alert record
 			// is the sentinel's product, so it ships whole.

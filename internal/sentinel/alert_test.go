@@ -1,0 +1,98 @@
+package sentinel
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestAlertDelivery pins the webhook contract: a reachable receiver
+// gets exactly one POST of the structured Alert JSON and the delivery
+// is counted; a receiver that always errors is retried the full budget
+// and then counted as a single dropped delivery. Both outcomes must
+// surface in Status() and in the /metrics exposition.
+func TestAlertDelivery(t *testing.T) {
+	_, fleet := testFleet(t, 1)
+	suite := testSuite(t, 4)
+
+	var posts atomic.Int64
+	var gotBody atomic.Value
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		if ct := r.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type = %q, want application/json", ct)
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Error(err)
+		}
+		gotBody.Store(body)
+	}))
+	defer ok.Close()
+
+	s, err := New(Config{Suite: suite, Fleet: fleet, Sample: 2, Seed: 3, AlertURL: ok.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alert := Alert{Round: 7, Seed: 3, Suite: suite.Name, Indices: []int{1, 2}}
+	s.deliverAlert(alert)
+	if n := posts.Load(); n != 1 {
+		t.Fatalf("successful delivery made %d POSTs, want 1", n)
+	}
+	var back Alert
+	if err := json.Unmarshal(gotBody.Load().([]byte), &back); err != nil {
+		t.Fatalf("webhook body is not Alert JSON: %v", err)
+	}
+	if back.Round != alert.Round || back.Suite != alert.Suite || len(back.Indices) != 2 {
+		t.Fatalf("webhook got %+v, want round/suite/indices of %+v", back, alert)
+	}
+	st := s.Status()
+	if st.AlertDeliveries != 1 || st.AlertDeliveryFails != 0 {
+		t.Fatalf("after success: deliveries=%d fails=%d, want 1/0", st.AlertDeliveries, st.AlertDeliveryFails)
+	}
+
+	// Failing receiver: every attempt answers 500, so the retry budget
+	// is spent and the drop is counted — the sentinel never wedges.
+	var fails atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fails.Add(1)
+		http.Error(w, "no thanks", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	var logged strings.Builder
+	s2, err := New(Config{Suite: suite, Fleet: fleet, Sample: 2, Seed: 3, AlertURL: bad.URL,
+		Logf: func(format string, args ...any) { logged.WriteString(format) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.deliverAlert(alert)
+	if n := fails.Load(); n != alertDeliveryAttempts {
+		t.Fatalf("failing delivery made %d POSTs, want the full budget of %d", n, alertDeliveryAttempts)
+	}
+	st2 := s2.Status()
+	if st2.AlertDeliveries != 0 || st2.AlertDeliveryFails != 1 {
+		t.Fatalf("after failure: deliveries=%d fails=%d, want 0/1", st2.AlertDeliveries, st2.AlertDeliveryFails)
+	}
+	if !strings.Contains(logged.String(), "dropped") {
+		t.Fatalf("dropped delivery not logged: %q", logged.String())
+	}
+
+	// Both counters reach the exposition.
+	for _, want := range []struct {
+		s    *Sentinel
+		line string
+	}{
+		{s, `dnnval_sentinel_alert_deliveries_total{result="delivered"} 1`},
+		{s, `dnnval_sentinel_alert_deliveries_total{result="failed"} 0`},
+		{s2, `dnnval_sentinel_alert_deliveries_total{result="delivered"} 0`},
+		{s2, `dnnval_sentinel_alert_deliveries_total{result="failed"} 1`},
+	} {
+		if m := want.s.renderMetrics(); !strings.Contains(m, want.line+"\n") {
+			t.Fatalf("metrics missing %q", want.line)
+		}
+	}
+}

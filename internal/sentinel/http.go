@@ -13,42 +13,49 @@ import (
 // most recent round, the retained alerts (newest last) and every
 // replica's routing state.
 type Status struct {
-	Suite        string                   `json:"suite"`
-	Interval     string                   `json:"interval"`
-	Sample       int                      `json:"sample"`
-	QPS          float64                  `json:"qps"`
-	Wire         string                   `json:"wire"`
-	Seed         int64                    `json:"seed"`
-	Rounds       uint64                   `json:"rounds"`
-	Passes       uint64                   `json:"passes"`
-	Fails        uint64                   `json:"fails"`
-	Errors       uint64                   `json:"errors"`
-	Queries      uint64                   `json:"queries"`
-	AlertsTotal  uint64                   `json:"alerts_total"`
-	Readmissions uint64                   `json:"readmissions"`
-	LastRound    *RoundResult             `json:"last_round,omitempty"`
-	Alerts       []Alert                  `json:"alerts"`
-	Replicas     []validate.ReplicaStatus `json:"replicas"`
+	Suite        string  `json:"suite"`
+	Interval     string  `json:"interval"`
+	Sample       int     `json:"sample"`
+	QPS          float64 `json:"qps"`
+	Wire         string  `json:"wire"`
+	Seed         int64   `json:"seed"`
+	Rounds       uint64  `json:"rounds"`
+	Passes       uint64  `json:"passes"`
+	Fails        uint64  `json:"fails"`
+	Errors       uint64  `json:"errors"`
+	Queries      uint64  `json:"queries"`
+	AlertsTotal  uint64  `json:"alerts_total"`
+	Readmissions uint64  `json:"readmissions"`
+	// Alert webhook delivery outcomes (Config.AlertURL): POSTs
+	// accepted by the receiver, and deliveries dropped after the
+	// retry budget.
+	AlertDeliveries    uint64                   `json:"alert_deliveries"`
+	AlertDeliveryFails uint64                   `json:"alert_delivery_failures"`
+	LastRound          *RoundResult             `json:"last_round,omitempty"`
+	Alerts             []Alert                  `json:"alerts"`
+	Replicas           []validate.ReplicaStatus `json:"replicas"`
 }
 
 // Status snapshots the sentinel for /status. Safe for concurrent use.
 func (s *Sentinel) Status() Status {
 	s.mu.Lock()
 	st := Status{
-		Suite:        s.cfg.Suite.Name,
-		Interval:     s.cfg.Interval.String(),
-		Sample:       s.cfg.Sample,
-		QPS:          s.cfg.QPS,
-		Wire:         s.cfg.Wire.String(),
-		Seed:         s.cfg.Seed,
-		Rounds:       s.rounds,
-		Passes:       s.passes,
-		Fails:        s.fails,
-		Errors:       s.errors,
-		Queries:      s.queries,
-		AlertsTotal:  s.alertsTotal,
-		Readmissions: s.readmissions,
-		Alerts:       append([]Alert(nil), s.alerts...),
+		Suite:              s.cfg.Suite.Name,
+		Interval:           s.cfg.Interval.String(),
+		Sample:             s.cfg.Sample,
+		QPS:                s.cfg.QPS,
+		Wire:               s.cfg.Wire.String(),
+		Seed:               s.cfg.Seed,
+		Rounds:             s.rounds,
+		Passes:             s.passes,
+		Fails:              s.fails,
+		Errors:             s.errors,
+		Queries:            s.queries,
+		AlertsTotal:        s.alertsTotal,
+		Readmissions:       s.readmissions,
+		AlertDeliveries:    s.deliveries,
+		AlertDeliveryFails: s.deliveryFail,
+		Alerts:             append([]Alert(nil), s.alerts...),
 	}
 	if s.last != nil {
 		last := *s.last
@@ -103,6 +110,7 @@ func (s *Sentinel) renderMetrics() string {
 	s.mu.Lock()
 	rounds, passes, fails, errors := s.rounds, s.passes, s.fails, s.errors
 	queries, alerts, readmissions := s.queries, s.alertsTotal, s.readmissions
+	deliveries, deliveryFail := s.deliveries, s.deliveryFail
 	s.mu.Unlock()
 	replicas := s.cfg.Fleet.ReplicaStatuses()
 
@@ -123,6 +131,9 @@ func (s *Sentinel) renderMetrics() string {
 	fmt.Fprintf(&b, "dnnval_sentinel_alerts_total %d\n", alerts)
 	metric("dnnval_sentinel_readmissions_total", "Quarantined replicas readmitted after passing revalidation.", "counter")
 	fmt.Fprintf(&b, "dnnval_sentinel_readmissions_total %d\n", readmissions)
+	metric("dnnval_sentinel_alert_deliveries_total", "Alert webhook POST outcomes (Config.AlertURL): delivered = accepted by the receiver, failed = dropped after the retry budget.", "counter")
+	fmt.Fprintf(&b, "dnnval_sentinel_alert_deliveries_total{result=\"delivered\"} %d\n", deliveries)
+	fmt.Fprintf(&b, "dnnval_sentinel_alert_deliveries_total{result=\"failed\"} %d\n", deliveryFail)
 
 	quarantined := 0
 	for _, r := range replicas {

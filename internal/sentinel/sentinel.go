@@ -21,9 +21,13 @@
 package sentinel
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -67,6 +71,13 @@ type Config struct {
 	// OnAlert, when set, is called synchronously with each raised
 	// alert — after the divergent replicas were quarantined.
 	OnAlert func(Alert)
+	// AlertURL, when set, delivers each raised alert as an HTTP POST
+	// of its JSON encoding (Content-Type: application/json) to this
+	// webhook, with capped retry/backoff; a delivery that exhausts its
+	// attempts is dropped, counted, and logged — never allowed to
+	// stall the validation rounds for longer than the attempt budget.
+	// Deliveries and failures are reported in /metrics and Status.
+	AlertURL string
 	// OnRound, when set, is called synchronously after every round.
 	OnRound func(RoundResult)
 	// Logf, when set, receives one line per notable event (round
@@ -134,6 +145,8 @@ type Sentinel struct {
 	queries      uint64
 	alertsTotal  uint64
 	readmissions uint64
+	deliveries   uint64 // webhook POSTs accepted by Config.AlertURL
+	deliveryFail uint64 // webhook deliveries dropped after the attempt budget
 	last         *RoundResult
 	alerts       []Alert // ring of the most recent cfg.History alerts
 }
@@ -320,7 +333,68 @@ func (s *Sentinel) raiseAlert(ctx context.Context, round uint64, seed int64, ind
 	if s.cfg.OnAlert != nil {
 		s.cfg.OnAlert(alert)
 	}
+	if s.cfg.AlertURL != "" {
+		s.deliverAlert(alert)
+	}
 	return alert
+}
+
+// Alert webhook delivery bounds: a few attempts with doubling backoff,
+// so a slow or down receiver costs a bounded pause and a counted drop,
+// never a wedged sentinel.
+const (
+	alertDeliveryAttempts = 3
+	alertDeliveryBackoff  = 250 * time.Millisecond
+	alertDeliveryTimeout  = 5 * time.Second
+)
+
+// alertHTTPClient posts alert webhooks; a package-level client shares
+// its connection pool across deliveries.
+var alertHTTPClient = &http.Client{Timeout: alertDeliveryTimeout}
+
+// deliverAlert POSTs the alert JSON to Config.AlertURL, retrying with
+// capped backoff. Synchronous with the round (like OnAlert): total
+// worst-case stall is attempts×timeout plus the backoffs.
+func (s *Sentinel) deliverAlert(alert Alert) {
+	body, err := json.Marshal(alert)
+	if err != nil { // Alert is a plain data record; this cannot happen
+		s.logf("sentinel: alert delivery: encode: %v", err)
+		return
+	}
+	backoff := alertDeliveryBackoff
+	for attempt := 1; ; attempt++ {
+		err = postAlert(s.cfg.AlertURL, body)
+		if err == nil {
+			s.mu.Lock()
+			s.deliveries++
+			s.mu.Unlock()
+			return
+		}
+		if attempt >= alertDeliveryAttempts {
+			break
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	s.mu.Lock()
+	s.deliveryFail++
+	s.mu.Unlock()
+	s.logf("sentinel: alert delivery to %s dropped after %d attempts: %v", s.cfg.AlertURL, alertDeliveryAttempts, err)
+}
+
+// postAlert performs one webhook attempt; any non-2xx status is a
+// failure.
+func postAlert(url string, body []byte) error {
+	resp, err := alertHTTPClient.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("webhook answered %s", resp.Status)
+	}
+	return nil
 }
 
 // attribute replays the divergent subset against each healthy replica

@@ -1,0 +1,214 @@
+package validate
+
+import (
+	"math"
+	"sync"
+)
+
+// FrameStore is the process-wide content-addressed half of the v5
+// replay-frame exchange: resolved replay frames keyed by their content
+// hash (frameKey), shared by every v5 session of every Server in the
+// process. Validation traffic is the same sealed suite replayed over
+// and over by many clients, so one suite's frames are stored once per
+// fleet process and a re-dialling client (failover, restart, sentinel
+// probe) re-establishes steady state with hash probes instead of
+// re-paying the full first-replay upload.
+//
+// Safety against hostile hashes is by construction: the server only
+// ever inserts under a key it computed itself from the received frame
+// bytes, so a client-claimed hash can never bind foreign content. If
+// two distinct frames ever present the same key (a SHA-256 collision,
+// or a unit test forcing one), the insert detects the conflict by full
+// content comparison, drops the entry and poisons the key — a
+// conflicted key is a permanent miss, and a miss only costs the
+// NeedFrame round trip that re-uploads the body. Wrong bytes are never
+// served; verdict identity holds no matter what a client claims.
+//
+// Eviction is deterministic bounded FIFO in insertion order, the same
+// discipline as the per-session cache (frames over the byte bound are
+// never stored). A store miss is always recoverable (the v5 exchange
+// re-uploads), so eviction is a bandwidth knob, not a correctness one.
+
+// Default FrameStore bounds: a few sealed suites' worth of frames.
+const (
+	defaultStoreFrames = 1024
+	defaultStoreBytes  = 32 << 20
+)
+
+// FrameStoreStats is an observability snapshot of a FrameStore.
+type FrameStoreStats struct {
+	Frames    int    // resolved frames currently held
+	Bytes     int    // their frameCost sum
+	Hits      uint64 // probe lookups answered from the store
+	Misses    uint64 // probe lookups that needed a body upload
+	Inserts   uint64 // bodies stored (deduplicated re-uploads excluded)
+	Evictions uint64 // frames dropped by the FIFO bound
+	Conflicts uint64 // colliding inserts detected; their keys are poisoned
+}
+
+// FrameStore is safe for concurrent use by any number of sessions.
+type FrameStore struct {
+	mu        sync.Mutex
+	maxFrames int
+	maxBytes  int
+	frames    map[string]*storedFrameV4
+	order     []string // insertion order, oldest first
+	bytes     int
+	// conflicted keys are poisoned: never stored, never served. The set
+	// is bounded like the frame set (FIFO) so hostile collisions cannot
+	// grow it without bound.
+	conflicted    map[string]struct{}
+	conflictOrder []string
+
+	hits, misses, inserts, evictions, conflicts uint64
+}
+
+// NewFrameStore builds a store with the given bounds; zero or negative
+// values take the defaults. Servers not handed an explicit store share
+// one per-process instance (see ServerOptions.FrameStore).
+func NewFrameStore(maxFrames, maxBytes int) *FrameStore {
+	if maxFrames <= 0 {
+		maxFrames = defaultStoreFrames
+	}
+	if maxBytes <= 0 {
+		maxBytes = defaultStoreBytes
+	}
+	return &FrameStore{
+		maxFrames:  maxFrames,
+		maxBytes:   maxBytes,
+		frames:     make(map[string]*storedFrameV4),
+		conflicted: make(map[string]struct{}),
+	}
+}
+
+// processFrameStore is the store every Server without an explicit
+// ServerOptions.FrameStore (and without private bounds) shares — the
+// "once per fleet process" steady state.
+var processFrameStore = NewFrameStore(0, 0)
+
+// Stats returns a consistent snapshot of the store counters.
+func (st *FrameStore) Stats() FrameStoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return FrameStoreStats{
+		Frames:    len(st.frames),
+		Bytes:     st.bytes,
+		Hits:      st.hits,
+		Misses:    st.misses,
+		Inserts:   st.inserts,
+		Evictions: st.evictions,
+		Conflicts: st.conflicts,
+	}
+}
+
+// lookup serves a probe: the resolved frame stored under key, if any.
+// Conflicted keys always miss.
+func (st *FrameStore) lookup(key string) (*storedFrameV4, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sf, ok := st.frames[key]
+	if ok {
+		st.hits++
+	} else {
+		st.misses++
+	}
+	return sf, ok
+}
+
+// insert stores a resolved frame under its server-computed content
+// key. A re-upload of identical content is a no-op; distinct content
+// under an existing key is a collision — the key is poisoned and the
+// stored entry dropped, so neither content is ever served under it.
+func (st *FrameStore) insert(key string, sf *storedFrameV4) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, bad := st.conflicted[key]; bad {
+		return
+	}
+	if old, ok := st.frames[key]; ok {
+		if storedFramesEqual(old, sf) {
+			return
+		}
+		st.conflicts++
+		st.dropLocked(key)
+		st.conflicted[key] = struct{}{}
+		st.conflictOrder = append(st.conflictOrder, key)
+		for len(st.conflictOrder) > st.maxFrames {
+			gone := st.conflictOrder[0]
+			st.conflictOrder = st.conflictOrder[1:]
+			delete(st.conflicted, gone)
+		}
+		return
+	}
+	if sf.cost > st.maxBytes {
+		return
+	}
+	st.frames[key] = sf
+	st.order = append(st.order, key)
+	st.bytes += sf.cost
+	st.inserts++
+	for len(st.order) > st.maxFrames || st.bytes > st.maxBytes {
+		st.evictions++
+		st.dropLocked(st.order[0])
+	}
+}
+
+// dropLocked removes key from the frame set and its order slot. Caller
+// holds st.mu; key must be present.
+func (st *FrameStore) dropLocked(key string) {
+	st.bytes -= st.frames[key].cost
+	delete(st.frames, key)
+	for i, k := range st.order {
+		if k == key {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// storedFramesEqual reports whether two resolved frames decode from
+// byte-identical frameV4 content — the collision check. Float payloads
+// compare by IEEE 754 bits (frames round-trip exact bits, and NaN must
+// compare equal to itself here).
+func storedFramesEqual(a, b *storedFrameV4) bool {
+	if a.f32 != b.f32 || a.scale != b.scale || a.cost != b.cost {
+		return false
+	}
+	if len(a.inputs) != len(b.inputs) || len(a.refs) != len(b.refs) {
+		return false
+	}
+	for i, at := range a.inputs {
+		bt := b.inputs[i]
+		as, bs := at.Shape(), bt.Shape()
+		if len(as) != len(bs) {
+			return false
+		}
+		for j := range as {
+			if as[j] != bs[j] {
+				return false
+			}
+		}
+		ad, bd := at.Data(), bt.Data()
+		if len(ad) != len(bd) {
+			return false
+		}
+		for j := range ad {
+			if math.Float64bits(ad[j]) != math.Float64bits(bd[j]) {
+				return false
+			}
+		}
+	}
+	for i, af := range a.refs {
+		bf := b.refs[i]
+		if len(af) != len(bf) {
+			return false
+		}
+		for j := range af {
+			if af[j].Raw != bf[j].Raw || af[j].Q != bf[j].Q ||
+				math.Float64bits(af[j].F) != math.Float64bits(bf[j].F) {
+				return false
+			}
+		}
+	}
+	return true
+}

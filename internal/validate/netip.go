@@ -55,6 +55,15 @@ import (
 // quantised dialect (DialOptions.Quant), so v2 stays the default and
 // v2/v3-only peers on either side keep working unchanged.
 //
+// Protocol v5 is v4 plus the shared-store capability: the same framing
+// and verdict construction, with new-frame uploads replaced by content
+// hash probes against a process-wide FrameStore ("have it / send
+// body") and unresolvable back-references answered NeedFrame instead
+// of erroring (see wirev4.go and framestore.go). A quant client now
+// hellos v5 and accepts a v4 echo as a per-connection downgrade, so
+// old v4 servers keep working; an old v4 client's hello lands on a v4
+// session served bit-identically to a pre-v5 build.
+//
 // Protocol v1 (historical): no preamble, a lockstep stream of
 // single-input gob requests answered in order, queries serialised by a
 // global forward mutex on the server.
@@ -66,7 +75,8 @@ const (
 	protocolV2      = 2
 	protocolV3      = 3
 	protocolV4      = 4
-	protocolVersion = protocolV4 // highest version this build speaks
+	protocolV5      = 5
+	protocolVersion = protocolV5 // highest version this build speaks
 )
 
 var protocolMagic = [4]byte{'D', 'N', 'N', 'V'}
@@ -177,11 +187,42 @@ type ServerOptions struct {
 	F32 bool
 	// MaxVersion caps the wire protocol version this server negotiates
 	// (0 means the build's highest). An interop/rollback knob: a fleet
-	// pinned to 3 serves v4-capable clients a v3 session exactly as a
-	// pre-v4 build would, and the handshake-matrix tests use it to
-	// stand up genuine old-dialect servers. Values are clamped to
-	// [v2, highest].
+	// pinned to 4 serves v5-capable clients a per-connection v4
+	// session exactly as a pre-v5 build would, and the
+	// handshake-matrix tests use it to stand up genuine old-dialect
+	// servers. Values are clamped to [v2, highest].
 	MaxVersion byte
+	// CacheFrames/CacheBytes bound each v5 session's replay-frame
+	// cache (0 ⇒ the compiled v4 defaults, 256 frames / 8 MiB). They
+	// apply to v5 sessions only: a v4 session's cache must mirror its
+	// client's compiled-in bounds in lockstep, whereas a v5 mismatch
+	// between the two ends self-heals via NeedFrame.
+	CacheFrames int
+	CacheBytes  int
+	// FrameStore is the content-addressed store v5 sessions probe
+	// against. Nil means: a private store bounded by
+	// StoreFrames/StoreBytes when either is set, else the shared
+	// per-process store — the default that lets every server and
+	// session in a fleet process pay for one sealed suite's frames
+	// once.
+	FrameStore *FrameStore
+	// StoreFrames/StoreBytes bound the private store built when
+	// FrameStore is nil and either is non-zero (0 ⇒ defaults, 1024
+	// frames / 32 MiB). Ignored when FrameStore is set.
+	StoreFrames int
+	StoreBytes  int
+	// CoalesceWindow, when positive, gathers same-shape single-query
+	// requests from different connections for up to this long into one
+	// batched forward pass on the clone pool — the fleet-throughput
+	// path for many small clients. Per-sample bit-identity of the
+	// batched engine makes this invisible: verdicts are identical with
+	// coalescing on or off, on every dialect. 0 (the default) serves
+	// each connection's requests on their own.
+	CoalesceWindow time.Duration
+	// CoalesceBatch caps how many queries one coalesced batch gathers
+	// before flushing early (0 ⇒ 32). The window is the latency bound,
+	// this the memory/batch-size bound.
+	CoalesceBatch int
 }
 
 // hostF32 is the one place the deprecated F32 alias folds into the
@@ -198,6 +239,13 @@ type Server struct {
 	clones32   *nn.ClonePoolF32 // float32 fleet for v3/v4 sessions; nil unless ServerOptions.F32
 	listener   net.Listener
 	maxVersion byte
+
+	store       *FrameStore // v5 shared frame store (never nil)
+	cacheFrames int         // v5 session-cache bounds (v4 sessions pin the compiled defaults)
+	cacheBytes  int
+
+	coal64 *coalescer[*tensor.Tensor] // cross-connection coalescers; nil when CoalesceWindow is 0
+	coal32 *coalescer[*tensor.T32]
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -227,20 +275,55 @@ func ServeWith(l net.Listener, network *nn.Network, opts ServerOptions) *Server 
 	if maxV < protocolV2 {
 		maxV = protocolV2
 	}
+	store := opts.FrameStore
+	if store == nil {
+		if opts.StoreFrames != 0 || opts.StoreBytes != 0 {
+			store = NewFrameStore(opts.StoreFrames, opts.StoreBytes)
+		} else {
+			store = processFrameStore
+		}
+	}
+	cacheFrames, cacheBytes := cacheBoundsOrDefault(opts.CacheFrames, opts.CacheBytes)
 	s := &Server{
-		clones:     nn.NewClonePool(network, workers),
-		listener:   l,
-		maxVersion: maxV,
-		closed:     make(chan struct{}),
-		conns:      make(map[net.Conn]struct{}),
+		clones:      nn.NewClonePool(network, workers),
+		listener:    l,
+		maxVersion:  maxV,
+		store:       store,
+		cacheFrames: cacheFrames,
+		cacheBytes:  cacheBytes,
+		closed:      make(chan struct{}),
+		conns:       make(map[net.Conn]struct{}),
 	}
 	if opts.hostF32() {
 		s.clones32 = nn.NewClonePoolF32(network, workers)
+	}
+	if opts.CoalesceWindow > 0 {
+		batch := opts.CoalesceBatch
+		if batch <= 0 {
+			batch = defaultCoalesceBatch
+		}
+		s.coal64 = newCoalescer(opts.CoalesceWindow, batch, func(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+			clone := s.clones.Acquire()
+			defer s.clones.Release(clone)
+			return evalOn(clone, xs)
+		})
+		if s.clones32 != nil {
+			s.coal32 = newCoalescer(opts.CoalesceWindow, batch, func(xs []*tensor.T32) ([]*tensor.T32, error) {
+				clone := s.clones32.Acquire()
+				defer s.clones32.Release(clone)
+				return evalOnF32(clone, xs)
+			})
+		}
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
 }
+
+// FrameStore returns the content-addressed store this server's v5
+// sessions probe (the shared per-process store unless ServerOptions
+// provided or bounded a private one) — an observability handle.
+func (s *Server) FrameStore() *FrameStore { return s.store }
 
 // Addr returns the listener address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
@@ -397,9 +480,22 @@ func (s *Server) handle(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	var encMu sync.Mutex
 	var inflight sync.WaitGroup
-	var v4cache *frameCacheV4 // session replay-frame cache; v4 only
-	if version == protocolV4 {
-		v4cache = newFrameCacheV4()
+	var v4cache *frameCacheV4 // session replay-frame cache; v4/v5 only
+	if version >= protocolV5 {
+		v4cache = newFrameCacheV4(s.cacheFrames, s.cacheBytes)
+	} else if version == protocolV4 {
+		// A v4 session's cache must mirror its client's compiled-in
+		// bounds in exact lockstep — no self-healing on that dialect —
+		// so the configured v5 bounds do not apply here.
+		v4cache = newFrameCacheV4(0, 0)
+	}
+	// Coalesced requests skip the clone checkout below; this semaphore
+	// keeps their per-connection inflight and queued-response memory
+	// bounded at the pool size, exactly as the checkout does for the
+	// direct path.
+	var coalSem chan struct{}
+	if s.coal64 != nil {
+		coalSem = make(chan struct{}, s.clones.Size())
 	}
 	defer inflight.Wait() // drain: every accepted request is answered before conn.Close
 	for {
@@ -411,7 +507,7 @@ func (s *Server) handle(conn net.Conn) {
 		// them.
 		var work func() any // evaluates the request on its checked-out clone
 		var release func()
-		if version == protocolV4 {
+		if version >= protocolV4 {
 			var req requestV4
 			if err := dec.Decode(&req); err != nil {
 				return
@@ -421,28 +517,68 @@ func (s *Server) handle(conn net.Conn) {
 			// out like any other request.
 			var sf *storedFrameV4
 			var ferr error
+			var needFrame bool
 			if req.Frame != nil {
 				if sf, ferr = resolveFrameV4(req.Frame); ferr == nil {
 					v4cache.insert(req.Seq, sf)
+					if version >= protocolV5 {
+						// Content-address the body under a key this side
+						// computed from the received bytes — a client-claimed
+						// hash can never bind foreign content.
+						s.store.insert(frameKey(req.Frame), sf)
+					}
 				}
 			} else if cached, ok := v4cache.lookup(req.Seq); ok {
 				sf = cached
+			} else if version >= protocolV5 {
+				if len(req.Hash) > 0 {
+					if hit, ok := s.store.lookup(string(req.Hash)); ok {
+						// Probe hit: pin the stored frame into this
+						// session's cache under the client's seq so later
+						// back-references resolve.
+						sf = hit
+						v4cache.insert(req.Seq, sf)
+					}
+				}
+				// Anything unresolvable on a v5 session — a probe whose
+				// hash the store misses, or a back-reference outside this
+				// session's window — is answered NeedFrame: the client
+				// re-sends the body and the exchange self-heals.
+				needFrame = sf == nil
 			} else {
 				ferr = fmt.Errorf("validate: replay frame %d is not in this session's cache window", req.Seq)
 			}
 			switch {
+			case needFrame:
+				resp := responseV4{ID: req.ID, NeedFrame: true}
+				work = func() any { return resp }
+				release = func() {}
 			case ferr != nil:
 				resp := responseV4{ID: req.ID, Err: ferr.Error()}
 				work = func() any { return resp }
 				release = func() {}
 			case sf.f32 && s.clones32 != nil:
-				clone := s.clones32.Acquire()
-				work = func() any { return answerV4On32(clone, sf, req.ID) }
-				release = func() { s.clones32.Release(clone) }
+				if s.coal32 != nil && len(sf.inputs) == 1 {
+					coalSem <- struct{}{}
+					id := req.ID
+					work = func() any { return s.answerV4Coalesced32(sf, id) }
+					release = func() { <-coalSem }
+				} else {
+					clone := s.clones32.Acquire()
+					work = func() any { return answerV4On32(clone, sf, req.ID) }
+					release = func() { s.clones32.Release(clone) }
+				}
 			default:
-				clone := s.clones.Acquire()
-				work = func() any { return answerV4(clone, sf, req.ID) }
-				release = func() { s.clones.Release(clone) }
+				if s.coal64 != nil && len(sf.inputs) == 1 {
+					coalSem <- struct{}{}
+					id := req.ID
+					work = func() any { return s.answerV4Coalesced(sf, id) }
+					release = func() { <-coalSem }
+				} else {
+					clone := s.clones.Acquire()
+					work = func() any { return answerV4(clone, sf, req.ID) }
+					release = func() { s.clones.Release(clone) }
+				}
 			}
 		} else if version == protocolV3 {
 			var req requestV3
@@ -450,22 +586,40 @@ func (s *Server) handle(conn net.Conn) {
 				return // EOF, broken stream, or an expired drain deadline ends the session
 			}
 			if s.clones32 != nil {
-				clone := s.clones32.Acquire()
-				work = func() any { return answerV3(clone, req) }
-				release = func() { s.clones32.Release(clone) }
+				if s.coal32 != nil && len(req.Inputs) == 1 {
+					coalSem <- struct{}{}
+					work = func() any { return s.answerV3Coalesced(req) }
+					release = func() { <-coalSem }
+				} else {
+					clone := s.clones32.Acquire()
+					work = func() any { return answerV3(clone, req) }
+					release = func() { s.clones32.Release(clone) }
+				}
 			} else {
-				clone := s.clones.Acquire()
-				work = func() any { return answerV3On64(clone, req) }
-				release = func() { s.clones.Release(clone) }
+				if s.coal64 != nil && len(req.Inputs) == 1 {
+					coalSem <- struct{}{}
+					work = func() any { return s.answerV3On64Coalesced(req) }
+					release = func() { <-coalSem }
+				} else {
+					clone := s.clones.Acquire()
+					work = func() any { return answerV3On64(clone, req) }
+					release = func() { s.clones.Release(clone) }
+				}
 			}
 		} else {
 			var req requestV2
 			if err := dec.Decode(&req); err != nil {
 				return
 			}
-			clone := s.clones.Acquire()
-			work = func() any { return answer(clone, req) }
-			release = func() { s.clones.Release(clone) }
+			if s.coal64 != nil && len(req.Inputs) == 1 {
+				coalSem <- struct{}{}
+				work = func() any { return s.answerV2Coalesced(req) }
+				release = func() { <-coalSem }
+			} else {
+				clone := s.clones.Acquire()
+				work = func() any { return answer(clone, req) }
+				release = func() { s.clones.Release(clone) }
+			}
 		}
 		inflight.Add(1)
 		go func() {
@@ -701,6 +855,13 @@ type DialOptions struct {
 	// precision through QueryQuant instead). 0 means 6, the
 	// BuildSuite default.
 	Decimals int
+	// CacheFrames/CacheBytes bound the client replay-frame registry on
+	// a v5 session (0 ⇒ the compiled v4 defaults, 256 frames / 8 MiB).
+	// On a v4 session they are ignored: that dialect's cache must stay
+	// in compiled-in lockstep with the server, whereas a v5 bound
+	// mismatch between the ends self-heals via NeedFrame.
+	CacheFrames int
+	CacheBytes  int
 }
 
 func (o DialOptions) withDefaults() DialOptions {
@@ -752,11 +913,16 @@ type RemoteIP struct {
 
 	// v4 replay-frame registry (guarded by sendMu, like the encoder it
 	// feeds): which frames the server's session cache still holds, so a
-	// repeated frame is sent as a back-reference. See wirev4.go.
-	v4seq   uint64
-	v4known map[string]uint64
-	v4order []v4sent
-	v4bytes int
+	// repeated frame is sent as a back-reference. v4pending overlays it
+	// on v5 sessions with the probe/uploads still in flight — a key is
+	// only back-referenceable once its upload resolves. See wirev4.go.
+	v4seq       uint64
+	v4known     map[string]uint64
+	v4order     []v4sent
+	v4bytes     int
+	v4pending   map[string]*v4upload
+	cacheFrames int // registry bounds: compiled defaults on v4, DialOptions on v5
+	cacheBytes  int
 
 	counts *countingConn // byte instrumentation over the raw connection
 
@@ -779,16 +945,19 @@ func Dial(addr string) (*RemoteIP, error) { return DialWith(addr, DialOptions{})
 func DialWith(addr string, opts DialOptions) (*RemoteIP, error) {
 	opts = opts.withDefaults()
 	// The hello carries the version this client wants: v3 only when
-	// float32 frames were asked for, v4 only for the quantised dialect,
+	// float32 frames were asked for, v5 only for the quantised dialect,
 	// so a plain client keeps speaking v2 with servers of any age. (An
 	// older server answering a newer hello echoes its own version and
 	// hangs up — it cannot know the newer framing — so requesting one
-	// is a commitment, reported below as a descriptive error.)
+	// is a commitment, reported below as a descriptive error. The one
+	// exception: a v4 echo to a quant hello is accepted, because v5 is
+	// v4 framing plus the store capability — the session downgrades to
+	// the per-connection v4 path bit-identically to a pre-v5 client.)
 	wire := opts.resolveWire()
 	want := byte(protocolV2)
 	switch wire {
 	case WireQuant:
-		want = protocolV4
+		want = protocolV5
 	case WireF32:
 		want = protocolV3
 	}
@@ -811,33 +980,44 @@ func DialWith(addr string, opts DialOptions) (*RemoteIP, error) {
 		conn.Close()
 		return nil, fmt.Errorf("validate: dial IP: %s is not a dnnval IP endpoint (bad magic %q)", addr, hello[:4])
 	}
-	if hello[4] != want {
+	version := hello[4]
+	if version != want && !(wire == WireQuant && version == protocolV4) {
 		conn.Close()
-		if wire == WireQuant && hello[4] < protocolV4 {
+		if wire == WireQuant && version < protocolV4 {
 			return nil, fmt.Errorf(
-				"validate: dial IP: protocol version mismatch: server speaks v%d but quantised frames need v%d — retry without the quant wire, or upgrade the server", hello[4], protocolV4)
+				"validate: dial IP: protocol version mismatch: server speaks v%d but quantised frames need v%d — retry without the quant wire, or upgrade the server", version, protocolV4)
 		}
-		if wire == WireF32 && hello[4] == protocolV2 {
+		if wire == WireF32 && version == protocolV2 {
 			return nil, fmt.Errorf(
-				"validate: dial IP: protocol version mismatch: server speaks v%d but float32 frames need v%d — retry without F32, or upgrade the server", hello[4], protocolV3)
+				"validate: dial IP: protocol version mismatch: server speaks v%d but float32 frames need v%d — retry without F32, or upgrade the server", version, protocolV3)
 		}
-		return nil, fmt.Errorf("validate: dial IP: protocol version mismatch: server speaks v%d, this client v%d", hello[4], want)
+		return nil, fmt.Errorf("validate: dial IP: protocol version mismatch: server speaks v%d, this client v%d", version, want)
 	}
 	conn.SetDeadline(time.Time{})
 	counts := &countingConn{Conn: conn}
 	counts.wrote.Add(5) // the hello this side already sent
 	counts.read.Add(5)  // and the reply it already read
+	// The registry bounds: a v4 session pins the compiled defaults (its
+	// cache must mirror the server's in lockstep); a v5 session takes
+	// the configured bounds, any mismatch self-healing via NeedFrame.
+	cacheFrames, cacheBytes := v4CacheFrames, v4CacheBytes
+	if version >= protocolV5 {
+		cacheFrames, cacheBytes = cacheBoundsOrDefault(opts.CacheFrames, opts.CacheBytes)
+	}
 	r := &RemoteIP{
-		conn:     counts,
-		opts:     opts,
-		version:  want,
-		counts:   counts,
-		enc:      gob.NewEncoder(counts),
-		v4known:  make(map[string]uint64),
-		pending:  make(map[uint64]chan responseV2),
-		pendingQ: make(map[uint64]chan responseV4),
-		wake:     make(chan struct{}, 1),
-		closed:   make(chan struct{}),
+		conn:        counts,
+		opts:        opts,
+		version:     version,
+		counts:      counts,
+		enc:         gob.NewEncoder(counts),
+		v4known:     make(map[string]uint64),
+		v4pending:   make(map[string]*v4upload),
+		cacheFrames: cacheFrames,
+		cacheBytes:  cacheBytes,
+		pending:     make(map[uint64]chan responseV2),
+		pendingQ:    make(map[uint64]chan responseV4),
+		wake:        make(chan struct{}, 1),
+		closed:      make(chan struct{}),
 	}
 	go r.recvLoop()
 	return r, nil
@@ -863,7 +1043,7 @@ func (r *RemoteIP) QueryBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(xs) == 0 {
 		return nil, &QueryError{Msg: "validate: empty query batch"}
 	}
-	if r.version == protocolV4 {
+	if r.version >= protocolV4 {
 		frames, shapes, err := r.queryQuant(xs, nil, r.opts.Decimals)
 		if err != nil {
 			return nil, err
@@ -970,7 +1150,7 @@ func (r *RemoteIP) recvLoop() {
 				break
 			}
 			r.conn.SetReadDeadline(time.Now().Add(r.opts.ReadTimeout))
-			if r.version == protocolV4 {
+			if r.version >= protocolV4 {
 				// v4 responses stay in wire form — the caller that holds
 				// the reference frames decodes them, so routing here is
 				// pure dispatch by ID.

@@ -3,6 +3,7 @@ package validate
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"testing"
@@ -389,11 +390,62 @@ func matrixDial(t *testing.T, clientV byte, addr string) error {
 		}
 		return nil
 	}
+	if clientV == protocolV4 {
+		// The historical v4 client, emulated at the raw-gob level: a v4
+		// hello, full frame bodies, lockstep back-references — and no
+		// understanding of NeedFrame. The server must keep speaking this
+		// dialect bit-identically now that the build's own client hellos
+		// v5.
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+		if _, err := conn.Write(preambleV(protocolV4)); err != nil {
+			return fmt.Errorf("send hello: %w", err)
+		}
+		var echo [5]byte
+		if _, err := io.ReadFull(conn, echo[:]); err != nil {
+			return fmt.Errorf("handshake: %w", err)
+		}
+		if echo[4] != protocolV4 {
+			// What the historical build reported on a downgraded echo.
+			return fmt.Errorf("validate: dial IP: protocol version mismatch: server speaks v%d but quantised frames need v%d", echo[4], protocolV4)
+		}
+		enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+		fr := &frameV4{Decimals: 3, Inputs: []wireBits{toWireBits(x)}}
+		if err := enc.Encode(requestV4{ID: 1, Seq: 1, Frame: fr}); err != nil {
+			return fmt.Errorf("send frame: %w", err)
+		}
+		for id := uint64(1); id <= 2; id++ {
+			var resp responseV4
+			if err := dec.Decode(&resp); err != nil {
+				return fmt.Errorf("decode: %w", err)
+			}
+			if resp.Err != "" {
+				return fmt.Errorf("%s", resp.Err)
+			}
+			if resp.NeedFrame {
+				t.Fatalf("server answered NeedFrame on a v4 session (exchange %d)", id)
+			}
+			if len(resp.Outputs) != 1 {
+				t.Fatalf("v4 exchange %d answered %d outputs, want 1", id, len(resp.Outputs))
+			}
+			if id == 1 {
+				// Back-reference the frame: v4 lockstep caching must hold.
+				if err := enc.Encode(requestV4{ID: 2, Seq: 1}); err != nil {
+					return fmt.Errorf("send back-reference: %w", err)
+				}
+			}
+		}
+		return nil
+	}
 	opts := DialOptions{ReadTimeout: 10 * time.Second}
 	switch clientV {
 	case protocolV3:
 		opts.F32 = true
-	case protocolV4:
+	case protocolV5:
 		opts.Quant = true
 	}
 	ip, err := DialWith(addr, opts)
@@ -413,62 +465,76 @@ func matrixDial(t *testing.T, clientV byte, addr string) error {
 			t.Fatalf("v%d session output off by %v at %d", clientV, d, j)
 		}
 	}
-	if clientV == protocolV4 {
+	if clientV == protocolV5 {
 		if !ip.QuantWire() {
-			t.Fatalf("v4 session did not report the quant dialect")
+			t.Fatalf("quant session did not report the quant dialect")
 		}
 		suite := goldenSuite(t, 4, QuantizedOutputs)
 		rep, err := suite.ValidateWith(ip, ValidateOptions{Batch: 2})
 		if err != nil {
-			t.Fatalf("v4 session quant replay: %v", err)
+			t.Fatalf("quant session replay: %v", err)
 		}
 		if !rep.Passed {
-			t.Fatalf("v4 session quant replay of the intact server failed: %+v", rep)
+			t.Fatalf("quant session replay of the intact server failed: %+v", rep)
 		}
 	}
 	return nil
 }
 
-// TestHandshakeMatrix: every v1–v4 client against every v1–v4 server.
+// TestHandshakeMatrix: every v1–v5 client against every v1–v5 server.
 // Each pairing must end in a working session at the expected negotiated
 // dialect or a descriptive error naming the mismatch — never a hang, a
-// gob panic, or a silent wrong answer. CI runs this as its own named
-// interop job so a protocol regression fails legibly.
+// gob panic, or a silent wrong answer. Client 4 is the historical v4
+// build emulated at the raw-gob level (the build's own quant client now
+// hellos v5); client 5 accepts a v4 echo as a per-connection downgrade,
+// so both quant pairings against a v4-ceiling server work. CI runs this
+// as its own named interop job so a protocol regression fails legibly.
 func TestHandshakeMatrix(t *testing.T) {
 	type expect struct {
 		ok  bool
 		msg string // required substring of the error when !ok
 	}
-	// expectations[client][server], versions 1–4.
+	// expectations[client][server], versions 1–5.
 	expectations := map[byte]map[byte]expect{
 		1: {
 			1: {ok: true},
 			2: {msg: "protocol version mismatch"},
 			3: {msg: "protocol version mismatch"},
 			4: {msg: "protocol version mismatch"},
+			5: {msg: "protocol version mismatch"},
 		},
 		2: {
 			1: {msg: "handshake"}, // v1 server can't answer a preamble
 			2: {ok: true},
 			3: {ok: true},
 			4: {ok: true},
+			5: {ok: true},
 		},
 		3: {
 			1: {msg: "handshake"},
 			2: {msg: "float32 frames need v3"},
 			3: {ok: true},
 			4: {ok: true},
+			5: {ok: true},
 		},
 		4: {
 			1: {msg: "handshake"},
 			2: {msg: "quantised frames need v4"},
 			3: {msg: "quantised frames need v4"},
 			4: {ok: true},
+			5: {ok: true},
+		},
+		5: {
+			1: {msg: "handshake"},
+			2: {msg: "quantised frames need v4"},
+			3: {msg: "quantised frames need v4"},
+			4: {ok: true}, // downgrade: a v5 client on a v4 fleet speaks v4
+			5: {ok: true},
 		},
 	}
-	for serverV := byte(1); serverV <= 4; serverV++ {
+	for serverV := byte(1); serverV <= protocolV5; serverV++ {
 		addr := matrixServer(t, serverV)
-		for clientV := byte(1); clientV <= 4; clientV++ {
+		for clientV := byte(1); clientV <= protocolV5; clientV++ {
 			t.Run(fmt.Sprintf("client_v%d/server_v%d", clientV, serverV), func(t *testing.T) {
 				want := expectations[clientV][serverV]
 				err := matrixDial(t, clientV, addr)
@@ -530,7 +596,7 @@ func TestV4SessionSurvivesServerDrain(t *testing.T) {
 // order entry used to dereference the already-evicted map slot and
 // panic the serving process once the byte cap forced a second pop).
 func TestFrameCacheV4DuplicateSeq(t *testing.T) {
-	c := newFrameCacheV4()
+	c := newFrameCacheV4(0, 0)
 	big := v4CacheBytes/2 + 1
 	c.insert(1, &storedFrameV4{cost: big})
 	c.insert(1, &storedFrameV4{cost: big})

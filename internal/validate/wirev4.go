@@ -40,13 +40,43 @@ import (
 // Inputs are NOT quantised — they ship as exact float64 bits (denser
 // than gob's float encoding), so the server evaluates exactly the
 // suite's inputs and bit-identity of the evaluation is untouched.
+//
+// Wire protocol v5 keeps the v4 framing bit-for-bit and adds the
+// shared-store capability on top: before uploading a new frame body,
+// the client sends a probe — the frame's content hash (frameKey) with
+// a fresh Seq and no body — and the server answers either with the
+// evaluated response (store hit: the frame is pinned into this
+// session's cache under Seq, and future requests back-reference it) or
+// with a NeedFrame response, upon which the client re-sends the body
+// under the same Seq. The store (framestore.go) is process-wide and
+// content-addressed, so a re-dial re-establishes steady state at probe
+// cost instead of full-frame cost. On a v5 session any unresolvable
+// back-reference is likewise answered NeedFrame instead of the v4
+// cache-window error, which makes client/server cache-bound mismatch
+// (both ends configurable via DialOptions/ServerOptions on v5)
+// self-healing rather than session-fatal; v4 sessions keep the
+// compiled-in bounds and the error byte-identically.
 
-// v4 replay-frame cache bounds, shared verbatim by client and server so
-// their eviction decisions stay in lockstep.
+// v4 replay-frame cache bounds, shared verbatim by a v4 session's
+// client and server so their eviction decisions stay in lockstep. On
+// v5 sessions they are only the defaults — each end may configure its
+// own bounds, and a resulting miss self-heals via NeedFrame.
 const (
 	v4CacheFrames = 256
 	v4CacheBytes  = 8 << 20
 )
+
+// cacheBoundsOrDefault resolves configured session-cache bounds: zero
+// or negative values take the compiled v4 defaults.
+func cacheBoundsOrDefault(frames, bytes int) (int, int) {
+	if frames <= 0 {
+		frames = v4CacheFrames
+	}
+	if bytes <= 0 {
+		bytes = v4CacheBytes
+	}
+	return frames, bytes
+}
 
 // wireBits is a float64 tensor as raw little-endian IEEE 754 bits:
 // exact, and ~11% denser than gob's trailing-zero-trimmed floats.
@@ -73,12 +103,18 @@ type frameV4 struct {
 	F32 bool
 }
 
-// requestV4 is one pipelined v4 exchange. Frame carries a new replay
-// frame numbered Seq; a nil Frame replays the cached frame Seq.
+// requestV4 is one pipelined v4/v5 exchange. Frame carries a new
+// replay frame numbered Seq; a nil Frame replays the cached frame Seq.
+// On a v5 session a nil Frame with a Hash is a store probe: the client
+// claims frame content by hash and the server either pins the stored
+// frame under Seq and answers, or asks for the body with NeedFrame.
+// The field is never set on v4 sessions, where gob omits it — v4
+// request bytes are unchanged.
 type requestV4 struct {
 	ID    uint64
 	Seq   uint64
 	Frame *frameV4
+	Hash  []byte
 }
 
 // wireQuant is one output tensor in quantised wire form.
@@ -87,10 +123,15 @@ type wireQuant struct {
 	Data  []byte
 }
 
+// responseV4 answers one v4/v5 exchange. NeedFrame (v5 only; gob omits
+// it on v4 sessions) asks the client to re-send the request's frame
+// body under the same Seq — the store-miss half of the probe exchange,
+// and the self-healing answer to any unresolvable v5 back-reference.
 type responseV4 struct {
-	ID      uint64
-	Outputs []wireQuant
-	Err     string
+	ID        uint64
+	Outputs   []wireQuant
+	Err       string
+	NeedFrame bool
 }
 
 // shapeSize validates a wire shape and returns its element count,
@@ -240,21 +281,30 @@ func resolveFrameV4(fr *frameV4) (*storedFrameV4, error) {
 }
 
 // frameCacheV4 is the server half of the replay-frame cache. Its
-// eviction mirrors the client registry exactly: insert in stream
-// order, skip frames over the byte cap, then evict oldest-first while
-// over either bound.
+// eviction mirrors the client registry: insert keyed by the client's
+// monotonically increasing Seq, skip frames over the byte cap, then
+// evict smallest-Seq-first while over either bound. On a v4 session
+// bodies arrive in Seq order, so Seq order IS stream order and the two
+// ends stay in exact lockstep, as before. On a v5 session a NeedFrame
+// re-upload can land after younger frames; ordering eviction by Seq
+// (the client's registration order) rather than arrival keeps the two
+// ends converging on the same retained set, and any residual miss
+// self-heals via NeedFrame.
 type frameCacheV4 struct {
-	frames map[uint64]*storedFrameV4
-	order  []uint64
-	bytes  int
+	maxFrames int
+	maxBytes  int
+	frames    map[uint64]*storedFrameV4
+	order     []uint64 // ascending Seq
+	bytes     int
 }
 
-func newFrameCacheV4() *frameCacheV4 {
-	return &frameCacheV4{frames: make(map[uint64]*storedFrameV4)}
+func newFrameCacheV4(maxFrames, maxBytes int) *frameCacheV4 {
+	maxFrames, maxBytes = cacheBoundsOrDefault(maxFrames, maxBytes)
+	return &frameCacheV4{maxFrames: maxFrames, maxBytes: maxBytes, frames: make(map[uint64]*storedFrameV4)}
 }
 
 func (c *frameCacheV4) insert(seq uint64, sf *storedFrameV4) {
-	if sf.cost > v4CacheBytes {
+	if sf.cost > c.maxBytes {
 		return
 	}
 	if old, ok := c.frames[seq]; ok {
@@ -264,11 +314,23 @@ func (c *frameCacheV4) insert(seq uint64, sf *storedFrameV4) {
 		// already-deleted map slot).
 		c.bytes += sf.cost - old.cost
 	} else {
-		c.order = append(c.order, seq)
+		if n := len(c.order); n > 0 && c.order[n-1] > seq {
+			// A late v5 re-upload: splice into Seq position so
+			// eviction order stays the client's registration order.
+			i := n
+			for i > 0 && c.order[i-1] > seq {
+				i--
+			}
+			c.order = append(c.order, 0)
+			copy(c.order[i+1:], c.order[i:])
+			c.order[i] = seq
+		} else {
+			c.order = append(c.order, seq)
+		}
 		c.bytes += sf.cost
 	}
 	c.frames[seq] = sf
-	for len(c.order) > v4CacheFrames || c.bytes > v4CacheBytes {
+	for len(c.order) > c.maxFrames || c.bytes > c.maxBytes {
 		old := c.order[0]
 		c.order = c.order[1:]
 		c.bytes -= c.frames[old].cost
@@ -361,19 +423,30 @@ type v4sent struct {
 	cost int
 }
 
+// v4upload tracks one in-flight v5 probe/upload. Until the uploader
+// confirms the server can resolve the frame's seq — a probe answered
+// from the store, or the body written to the stream — concurrent
+// callers of the same frame must not back-reference it: they park on
+// done instead of racing a reference ahead of the body. done is closed
+// exactly once, by v4resolveUpload.
+type v4upload struct {
+	seq  uint64
+	done chan struct{}
+}
+
 // v4register records a frame about to be sent as new and returns its
 // sequence number, mirroring the server cache's eviction so future
 // back-references stay resolvable. Caller holds sendMu.
 func (r *RemoteIP) v4register(key string, cost int) uint64 {
 	r.v4seq++
 	seq := r.v4seq
-	if cost > v4CacheBytes {
+	if cost > r.cacheBytes {
 		return seq
 	}
 	r.v4known[key] = seq
 	r.v4order = append(r.v4order, v4sent{seq: seq, key: key, cost: cost})
 	r.v4bytes += cost
-	for len(r.v4order) > v4CacheFrames || r.v4bytes > v4CacheBytes {
+	for len(r.v4order) > r.cacheFrames || r.v4bytes > r.cacheBytes {
 		old := r.v4order[0]
 		r.v4order = r.v4order[1:]
 		r.v4bytes -= old.cost
@@ -386,9 +459,26 @@ func (r *RemoteIP) v4register(key string, cost int) uint64 {
 	return seq
 }
 
-// QuantWire reports whether this session speaks the quantised v4
-// dialect (QueryQuant is only meaningful when it does).
-func (r *RemoteIP) QuantWire() bool { return r.version == protocolV4 }
+// v4resolveUpload finishes an in-flight upload and releases its
+// waiters. ok reports whether the server can now resolve the frame's
+// seq; on failure the registry mapping is dropped (if this upload
+// still owns it) so waiters re-probe instead of back-referencing a
+// frame the server never got.
+func (r *RemoteIP) v4resolveUpload(key string, up *v4upload, ok bool) {
+	r.sendMu.Lock()
+	if r.v4pending[key] == up {
+		delete(r.v4pending, key)
+	}
+	if !ok && r.v4known[key] == up.seq {
+		delete(r.v4known, key)
+	}
+	r.sendMu.Unlock()
+	close(up.done)
+}
+
+// QuantWire reports whether this session speaks the quantised dialect,
+// v4 or higher (QueryQuant is only meaningful when it does).
+func (r *RemoteIP) QuantWire() bool { return r.version >= protocolV4 }
 
 // QueryQuant implements QuantIP: evaluate xs and return each output as
 // a quantised wire frame at decimals. refs, when non-nil, must hold
@@ -405,7 +495,7 @@ func (r *RemoteIP) QueryQuant(xs []*tensor.Tensor, refs []quant.Frame, decimals 
 // queryQuant is QueryQuant plus the output shapes (QueryBatch needs
 // them to rebuild tensors; verdicts do not).
 func (r *RemoteIP) queryQuant(xs []*tensor.Tensor, refs []quant.Frame, decimals int) ([]quant.Frame, [][]int, error) {
-	if r.version != protocolV4 {
+	if r.version < protocolV4 {
 		return nil, nil, &QueryError{Msg: fmt.Sprintf(
 			"validate: quantised queries need a v%d session — dial with DialOptions.Quant", protocolV4)}
 	}
@@ -435,11 +525,90 @@ func (r *RemoteIP) queryQuant(xs []*tensor.Tensor, refs []quant.Frame, decimals 
 	}
 	key, cost := frameKey(fr), frameCost(fr)
 
+	id, ch, err := r.v4call()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	req := requestV4{ID: id}
+	var up *v4upload
+	r.sendMu.Lock()
+	for {
+		pend, waiting := r.v4pending[key]
+		if !waiting {
+			break
+		}
+		// Another caller's probe/upload of this very frame is in
+		// flight; a back-reference sent now could race ahead of its
+		// body. Park until it resolves, then re-examine the registry.
+		r.sendMu.Unlock()
+		<-pend.done
+		r.sendMu.Lock()
+	}
+	if seq, ok := r.v4known[key]; ok {
+		req.Seq = seq // a frame the server already holds: back-reference it
+	} else {
+		req.Seq = r.v4register(key, cost)
+		if r.version >= protocolV5 {
+			// v5: claim the content by hash first. The body only
+			// ships if both the session cache and the shared store
+			// miss (the NeedFrame reply below).
+			req.Hash = []byte(key)
+			up = &v4upload{seq: req.Seq, done: make(chan struct{})}
+			r.v4pending[key] = up
+		} else {
+			req.Frame = fr
+		}
+	}
+	r.conn.SetWriteDeadline(time.Now().Add(r.opts.WriteTimeout))
+	err = r.enc.Encode(req)
+	r.sendMu.Unlock()
+	if err != nil {
+		r.fail(fmt.Errorf("validate: send query: %w", err))
+	}
+
+	resp, ok := <-ch
+	if up != nil && (!ok || !resp.NeedFrame) {
+		// The probe resolved without a body upload — a store hit
+		// pinned the frame server-side (or the transport died);
+		// either way the waiters must proceed.
+		r.v4resolveUpload(key, up, ok)
+	}
+	if !ok {
+		r.mu.Lock()
+		err := r.err
+		r.mu.Unlock()
+		return nil, nil, err
+	}
+	if resp.NeedFrame {
+		if resp, ok = r.v4sendBody(req.Seq, fr, key, up); !ok {
+			r.mu.Lock()
+			err := r.err
+			r.mu.Unlock()
+			return nil, nil, err
+		}
+		if resp.NeedFrame {
+			return nil, nil, fmt.Errorf("validate: replica protocol violation: NeedFrame answered a full frame body")
+		}
+	}
+	if resp.Err != "" {
+		return nil, nil, &QueryError{Msg: resp.Err}
+	}
+	if len(resp.Outputs) != len(xs) {
+		return nil, nil, fmt.Errorf("validate: replica protocol violation: batch answered %d outputs for %d queries", len(resp.Outputs), len(xs))
+	}
+	return decodeQuantOutputs(resp.Outputs, refs)
+}
+
+// v4call registers one quantised exchange: a fresh request ID and the
+// channel its response will arrive on, with the receive loop nudged
+// awake. Fails fast on a poisoned transport.
+func (r *RemoteIP) v4call() (uint64, chan responseV4, error) {
 	r.mu.Lock()
 	if r.err != nil {
 		err := r.err
 		r.mu.Unlock()
-		return nil, nil, err
+		return 0, nil, err
 	}
 	r.nextID++
 	id := r.nextID
@@ -450,36 +619,35 @@ func (r *RemoteIP) queryQuant(xs []*tensor.Tensor, refs []quant.Frame, decimals 
 	case r.wake <- struct{}{}:
 	default:
 	}
+	return id, ch, nil
+}
 
-	req := requestV4{ID: id}
-	r.sendMu.Lock()
-	if seq, ok := r.v4known[key]; ok {
-		req.Seq = seq // a frame the server already holds: back-reference it
-	} else {
-		req.Seq = r.v4register(key, cost)
-		req.Frame = fr
+// v4sendBody answers a NeedFrame reply: ship the frame body under the
+// same seq as a second exchange and return its response. up, when
+// non-nil, is this caller's own in-flight upload, resolved the moment
+// the body bytes are on the stream — every later back-reference then
+// provably trails the body, because both go through sendMu.
+func (r *RemoteIP) v4sendBody(seq uint64, fr *frameV4, key string, up *v4upload) (responseV4, bool) {
+	id, ch, err := r.v4call()
+	if err != nil {
+		if up != nil {
+			r.v4resolveUpload(key, up, false)
+		}
+		return responseV4{}, false
 	}
+	req := requestV4{ID: id, Seq: seq, Frame: fr}
+	r.sendMu.Lock()
 	r.conn.SetWriteDeadline(time.Now().Add(r.opts.WriteTimeout))
-	err := r.enc.Encode(req)
+	err = r.enc.Encode(req)
 	r.sendMu.Unlock()
+	if up != nil {
+		r.v4resolveUpload(key, up, err == nil)
+	}
 	if err != nil {
 		r.fail(fmt.Errorf("validate: send query: %w", err))
 	}
-
 	resp, ok := <-ch
-	if !ok {
-		r.mu.Lock()
-		err := r.err
-		r.mu.Unlock()
-		return nil, nil, err
-	}
-	if resp.Err != "" {
-		return nil, nil, &QueryError{Msg: resp.Err}
-	}
-	if len(resp.Outputs) != len(xs) {
-		return nil, nil, fmt.Errorf("validate: replica protocol violation: batch answered %d outputs for %d queries", len(resp.Outputs), len(xs))
-	}
-	return decodeQuantOutputs(resp.Outputs, refs)
+	return resp, ok
 }
 
 // decodeQuantOutputs validates and delta-decodes a v4 response's

@@ -83,6 +83,13 @@ type (
 	ServerOptions = validate.ServerOptions
 	// WireStats counts the bytes a client exchanged with its server.
 	WireStats = validate.WireStats
+	// FrameStore is the process-wide content-addressed store protocol-v5
+	// sessions probe before uploading frame bodies (ServerOptions.FrameStore
+	// injects one; Server.FrameStore returns the handle in use).
+	FrameStore = validate.FrameStore
+	// FrameStoreStats snapshots a FrameStore's occupancy and
+	// hit/miss/insert/eviction/conflict counters.
+	FrameStoreStats = validate.FrameStoreStats
 	// Perturbation records an applied parameter attack.
 	Perturbation = attack.Perturbation
 	// CoverageConfig sets the parameter-activation threshold.
@@ -108,7 +115,10 @@ const (
 	WireGob = validate.WireGob
 	// WireF32 is protocol v3: float32 frames at half the bandwidth.
 	WireF32 = validate.WireF32
-	// WireQuant is protocol v4: quantised delta-encoded replay frames.
+	// WireQuant is the quantised dialect: delta-encoded replay frames,
+	// negotiated at protocol v5 (v4 framing plus content-addressed frame
+	// probes against the server's shared store) and downgrading to the
+	// per-connection v4 path against older servers.
 	WireQuant = validate.WireQuant
 )
 
@@ -269,6 +279,11 @@ var (
 	Serve     = validate.Serve
 	ServeWith = validate.ServeWith
 )
+
+// NewFrameStore builds a bounded content-addressed frame store to
+// share between fleets (or isolate per fleet) via
+// ServerOptions.FrameStore; zero bounds take the package defaults.
+var NewFrameStore = validate.NewFrameStore
 
 // Dial connects to a served IP; DialWith adds connection and response
 // deadlines, and DialShards fans a fleet of replicas into one sharded
