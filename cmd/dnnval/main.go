@@ -5,7 +5,11 @@
 //
 //	train    - build and train a model, write it to a .gob file
 //	generate - generate a functional test suite for a model, seal it
-//	attack   - apply a parameter attack to a stored model
+//	attack   - apply a parameter attack to a stored model, or sweep a
+//	           detection-rate campaign over the attack zoo
+//	           (-magnitude-grid; kinds × modes × magnitudes over seeded
+//	           trials, bit-reproducible at any worker count, with JSON
+//	           output and a regression gate against stored floors)
 //	validate - replay a sealed suite against a model file or served IP
 //	           (batched queries, concurrent workers, sharded replicas,
 //	           -wire gob|f32|quant selecting the v2/v3/v4+v5 dialect)
@@ -46,11 +50,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/data"
+	"repro/internal/experiments"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/quant"
 	"repro/internal/sentinel"
+	"repro/internal/tensor"
 	"repro/internal/train"
 	"repro/internal/validate"
 )
@@ -256,19 +262,46 @@ func cmdGenerate(args []string) error {
 func cmdAttack(args []string) error {
 	fs := flag.NewFlagSet("attack", flag.ExitOnError)
 	model := fs.String("model", "model.gob", "model file")
-	kind := fs.String("kind", "sba", "attack: sba, gda, random, bitflip")
-	magnitude := fs.Float64("magnitude", 5, "SBA bias offset")
-	count := fs.Int("count", 1, "parameters for random/bitflip")
+	kind := fs.String("kind", "sba", "attack kind: sba, gda, random, bitflip, tbitflip, trojan, subround; with -magnitude-grid, a comma list (or \"all\") of campaign kinds including adaptive")
+	magnitude := fs.Float64("magnitude", 5, "attack magnitude: sba bias offset, trojan margin scale, subround headroom as a fraction of the acceptance slack")
+	count := fs.Int("count", 1, "parameters for random/bitflip/tbitflip")
 	sigma := fs.Float64("sigma", 0.5, "random perturbation std")
-	dsKind := fs.String("data", "objects", "victim data for gda: digits or objects")
+	bit := fs.Int("bit", 31, "stored float32 bit tbitflip targets: 31 sign, 30-23 exponent, 22-0 mantissa")
+	dsKind := fs.String("data", "objects", "victim/probe data: digits or objects")
 	size := fs.Int("size", 20, "input height/width")
-	seed := fs.Int64("seed", 1, "random seed")
-	out := fs.String("o", "", "output model file (default: overwrite input)")
+	seed := fs.Int64("seed", 1, "random seed; a campaign is bit-reproducible from (-seed, grid) alone at any -workers")
+	out := fs.String("o", "", "output model file (default: overwrite input; unused in campaign mode)")
+	decimals := fs.Int("decimals", 3, "rounding boundary the subround attacker hides under, and the campaign's quantized-mode precision")
+	tol := fs.Float64("tol", 0, "replay tolerance the subround/adaptive attackers target instead of the rounding boundary (0 = bit-exact)")
+
+	// Campaign mode: sweep detection rate vs magnitude instead of
+	// applying one edit.
+	grid := fs.String("magnitude-grid", "", "comma-separated magnitudes; selects campaign mode (detection-rate sweep, model left untouched)")
+	modes := fs.String("mode", "exact,quantized,labels", "comma-separated suite comparison modes the campaign sweeps")
+	trials := fs.Int("trials", 20, "seeded trials per campaign cell")
+	workers := fs.Int("workers", 0, "campaign worker goroutines (0 = whole machine; tables are identical at any value)")
+	pool := fs.Int("pool", 80, "victim pool size for campaign gda/trojan/adaptive trials")
+	suiteN := fs.Int("suite-n", 12, "tests in the campaign's in-process suite (ignored with -suite)")
+	suitePath := fs.String("suite", "", "sealed suite the campaign replays instead of building one in-process (requires -key)")
+	key := fs.String("key", "", "sealing key of -suite")
+	jsonOut := fs.String("json", "", "write the campaign result as JSON to this file")
+	gatePath := fs.String("gate", "", "check campaign detection rates against the floors in this baseline file; any cell below its floor is an error")
+	emit := fs.String("emit-baseline", "", "write the campaign's detection-rate floors to this file (the -gate format)")
 	fs.Parse(args)
 
 	network, err := loadModel(*model)
 	if err != nil {
 		return err
+	}
+	if *grid != "" {
+		return runAttackCampaign(network, attackCampaignFlags{
+			kinds: *kind, grid: *grid, modes: *modes,
+			trials: *trials, workers: *workers, seed: *seed,
+			decimals: *decimals, tol: *tol,
+			dsKind: *dsKind, size: *size, pool: *pool, suiteN: *suiteN,
+			suitePath: *suitePath, key: *key,
+			jsonOut: *jsonOut, gatePath: *gatePath, emit: *emit,
+		})
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	var p *attack.Perturbation
@@ -291,6 +324,41 @@ func cmdAttack(args []string) error {
 		p, err = attack.RandomNoise(network, *count, *sigma, rng)
 	case "bitflip":
 		p, err = attack.BitFlip(network, *count, rng)
+	case "tbitflip":
+		if *bit < 0 {
+			return fmt.Errorf("-bit %d out of range [0,31]", *bit)
+		}
+		p, err = attack.TargetedBitFlip(network, *count, uint(*bit), rng)
+	case "trojan":
+		var ds *data.Dataset
+		ds, err = dataset(*dsKind, 12, *size, *size, *seed+100)
+		if err != nil {
+			return err
+		}
+		cleans := make([]*tensor.Tensor, 0, len(ds.Samples)-1)
+		for _, s := range ds.Samples[1:] {
+			cleans = append(cleans, s.X)
+		}
+		trigger := ds.Samples[0].X
+		target := (network.Predict(trigger) + 1) % ds.Classes
+		var success bool
+		p, success, err = attack.Trojan(network, trigger, target, cleans, attack.TrojanConfig{Margin: 0.5 * *magnitude})
+		if err == nil {
+			log.Printf("trojan implanted (trigger steered to class %d): %v", target, success)
+		}
+	case "subround":
+		var ds *data.Dataset
+		ds, err = dataset(*dsKind, 8, *size, *size, *seed+200)
+		if err != nil {
+			return err
+		}
+		probes := make([]*tensor.Tensor, 0, len(ds.Samples))
+		for _, s := range ds.Samples {
+			probes = append(probes, s.X)
+		}
+		p, err = attack.QuantEvade(network, attack.QuantEvadeConfig{
+			Decimals: *decimals, Tol: *tol, Headroom: *magnitude, Probes: probes,
+		}, rng)
 	default:
 		return fmt.Errorf("unknown attack %q", *kind)
 	}
@@ -303,6 +371,110 @@ func cmdAttack(args []string) error {
 		dst = *model
 	}
 	return saveModel(dst, network)
+}
+
+// attackCampaignFlags carries cmdAttack's campaign-mode flag values.
+type attackCampaignFlags struct {
+	kinds, grid, modes      string
+	trials, workers         int
+	seed                    int64
+	decimals                int
+	tol                     float64
+	dsKind                  string
+	size, pool, suiteN      int
+	suitePath, key          string
+	jsonOut, gatePath, emit string
+}
+
+// runAttackCampaign sweeps detection rate vs attack magnitude per suite
+// mode: the tentpole `dnnval attack -kind <k> -magnitude-grid ...`
+// driver. The model file is read, never written.
+func runAttackCampaign(network *nn.Network, f attackCampaignFlags) error {
+	cfg := experiments.CampaignConfig{
+		Trials: f.trials, Seed: f.seed, Workers: f.workers,
+		Decimals: f.decimals, Tol: f.tol,
+	}
+	if f.kinds == "all" {
+		cfg.Kinds = experiments.CampaignKinds
+	} else {
+		cfg.Kinds = strings.Split(f.kinds, ",")
+	}
+	for _, m := range strings.Split(f.modes, ",") {
+		cm, err := parseCompareMode(strings.TrimSpace(m))
+		if err != nil {
+			return err
+		}
+		cfg.Modes = append(cfg.Modes, cm)
+	}
+	for _, s := range strings.Split(f.grid, ",") {
+		mag, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("bad -magnitude-grid entry %q: %w", s, err)
+		}
+		cfg.Magnitudes = append(cfg.Magnitudes, mag)
+	}
+
+	victims, err := dataset(f.dsKind, f.pool, f.size, f.size, f.seed+100)
+	if err != nil {
+		return err
+	}
+	var suite *validate.Suite
+	if f.suitePath != "" {
+		if f.key == "" {
+			return fmt.Errorf("a -key is required to open the suite")
+		}
+		sf, err := os.Open(f.suitePath)
+		if err != nil {
+			return err
+		}
+		defer sf.Close()
+		if suite, err = validate.OpenSuite(sf, []byte(f.key)); err != nil {
+			return err
+		}
+	} else {
+		// No sealed suite given: build one on the model in-process. The
+		// campaign overrides its mode and decimals per cell anyway.
+		probes, err := dataset(f.dsKind, f.suiteN, f.size, f.size, f.seed+200)
+		if err != nil {
+			return err
+		}
+		tests := make([]*tensor.Tensor, 0, len(probes.Samples))
+		for _, s := range probes.Samples {
+			tests = append(tests, s.X)
+		}
+		suite = validate.BuildSuite("campaign", network, tests, validate.ExactOutputs)
+	}
+
+	res, err := experiments.RunCampaign(network, suite, victims, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	if f.jsonOut != "" {
+		raw, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(f.jsonOut, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if f.emit != "" {
+		if err := os.WriteFile(f.emit, []byte(res.BaselineLines()), 0o644); err != nil {
+			return err
+		}
+	}
+	if f.gatePath != "" {
+		baseline, err := os.ReadFile(f.gatePath)
+		if err != nil {
+			return err
+		}
+		if err := res.CheckFloors(string(baseline)); err != nil {
+			return err
+		}
+		log.Printf("detection gate passed: every %s floor held", f.gatePath)
+	}
+	return nil
 }
 
 func cmdValidate(args []string) error {

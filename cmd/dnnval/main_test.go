@@ -292,6 +292,84 @@ func TestCLIServeValidate(t *testing.T) {
 	}
 }
 
+// TestCLIAttackCampaign drives the detection-rate campaign end to end:
+// table on stdout, JSON artifact, baseline emission and the regression
+// gate, with worker-count independence of the whole pipeline.
+func TestCLIAttackCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI workflow is slow")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.gob")
+	if out, err := run(t, bin, "train", "-arch", "cifar", "-size", "16", "-scale", "0.05",
+		"-n", "120", "-epochs", "2", "-o", model); err != nil {
+		t.Fatalf("train: %v\n%s", err, out)
+	}
+
+	jsonPath := filepath.Join(dir, "campaign.json")
+	basePath := filepath.Join(dir, "baseline.txt")
+	campaign := func(workers string, extra ...string) []string {
+		args := []string{"attack", "-model", model, "-kind", "sba,subround",
+			"-magnitude-grid", "0.5,2", "-mode", "exact,quantized", "-trials", "2",
+			"-size", "16", "-pool", "30", "-suite-n", "6", "-workers", workers}
+		return append(args, extra...)
+	}
+	out1, err := run(t, bin, campaign("1", "-json", jsonPath, "-emit-baseline", basePath)...)
+	if err != nil {
+		t.Fatalf("campaign: %v\n%s", err, out1)
+	}
+	for _, want := range []string{"sba m=0.5", "subround m=2", "exact", "quantized"} {
+		if !strings.Contains(out1, want) {
+			t.Fatalf("campaign table missing %q:\n%s", want, out1)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("campaign JSON not written: %v", err)
+	}
+	for _, want := range []string{`"kind": "sba"`, `"mode": "quantized"`, `"cells"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("campaign JSON missing %q:\n%s", want, raw)
+		}
+	}
+
+	// The sweep is a pure function of (seed, grid): more workers, same
+	// table.
+	out4, err := run(t, bin, campaign("4")...)
+	if err != nil {
+		t.Fatalf("campaign workers=4: %v\n%s", err, out4)
+	}
+	if out1 != out4 {
+		t.Fatalf("campaign table differs between 1 and 4 workers:\n%s\nvs\n%s", out1, out4)
+	}
+
+	// The gate passes against the campaign's own floors...
+	out, err := run(t, bin, campaign("0", "-gate", basePath)...)
+	if err != nil {
+		t.Fatalf("gate against own floors: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "detection gate passed") {
+		t.Fatalf("gate output:\n%s", out)
+	}
+	// ...and fails when a floor is raised above any achievable rate.
+	baseline, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raisedPath := filepath.Join(dir, "raised.txt")
+	if err := os.WriteFile(raisedPath, append(baseline, []byte("sba exact 0.5 100.1\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = run(t, bin, campaign("0", "-gate", raisedPath)...)
+	if err == nil {
+		t.Fatalf("raised floor accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "below floor") {
+		t.Fatalf("gate failure output:\n%s", out)
+	}
+}
+
 func TestCLIUnknownSubcommand(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI workflow is slow")

@@ -23,24 +23,63 @@ import (
 
 // Perturbation records one applied parameter modification.
 type Perturbation struct {
-	Kind    string    // "sba", "gda", "random", "bitflip"
+	Kind    string    // "sba", "gda", "random", "bitflip", "trojan", "subround", "adaptive"
 	Indices []int     // flat parameter indices touched
 	Old     []float64 // original values, aligned with Indices
 	New     []float64 // attacked values, aligned with Indices
+	// Params is the flat parameter count of the network the perturbation
+	// was built on. Revert and Reapply refuse to touch a network with a
+	// different count: the flat indices would land on unrelated
+	// parameters of the other architecture and corrupt it silently.
+	// Zero (a hand-built or legacy value) skips that check but still
+	// bounds every index against the target network.
+	Params int
 }
 
-// Revert restores the original parameter values.
-func (p *Perturbation) Revert(net *nn.Network) {
+// bind validates the perturbation against the target network before any
+// value is written: aligned slices, a matching parameter count, and
+// every index in range.
+func (p *Perturbation) bind(net *nn.Network, op string) error {
+	if len(p.Indices) != len(p.Old) || len(p.Indices) != len(p.New) {
+		return fmt.Errorf("attack: %s: malformed perturbation (%d indices, %d old, %d new)",
+			op, len(p.Indices), len(p.Old), len(p.New))
+	}
+	n := net.NumParams()
+	if p.Params != 0 && p.Params != n {
+		return fmt.Errorf("attack: %s: perturbation built on a %d-parameter network, target has %d",
+			op, p.Params, n)
+	}
+	for _, idx := range p.Indices {
+		if idx < 0 || idx >= n {
+			return fmt.Errorf("attack: %s: parameter index %d out of range [0,%d)", op, idx, n)
+		}
+	}
+	return nil
+}
+
+// Revert restores the original parameter values. The target must have
+// the parameter registry the perturbation was built on; a mismatch is
+// an error and nothing is written.
+func (p *Perturbation) Revert(net *nn.Network) error {
+	if err := p.bind(net, "Revert"); err != nil {
+		return err
+	}
 	for i, idx := range p.Indices {
 		net.SetParamAt(idx, p.Old[i])
 	}
+	return nil
 }
 
-// Reapply re-applies the attacked values (after a Revert).
-func (p *Perturbation) Reapply(net *nn.Network) {
+// Reapply re-applies the attacked values (after a Revert), under the
+// same architecture validation as Revert.
+func (p *Perturbation) Reapply(net *nn.Network) error {
+	if err := p.bind(net, "Reapply"); err != nil {
+		return err
+	}
 	for i, idx := range p.Indices {
 		net.SetParamAt(idx, p.New[i])
 	}
+	return nil
 }
 
 // MaxDelta returns the largest absolute parameter change.
@@ -93,7 +132,7 @@ func SBA(net *nn.Network, magnitude float64, rng *rand.Rand) (*Perturbation, err
 	}
 	val := old + sign*magnitude
 	net.SetParamAt(idx, val)
-	return &Perturbation{Kind: "sba", Indices: []int{idx}, Old: []float64{old}, New: []float64{val}}, nil
+	return &Perturbation{Kind: "sba", Indices: []int{idx}, Old: []float64{old}, New: []float64{val}, Params: net.NumParams()}, nil
 }
 
 // GDAConfig controls the gradient descent attack.
@@ -166,7 +205,7 @@ func GDA(net *nn.Network, victim *tensor.Tensor, label int, cfg GDAConfig, rng *
 		idxs = append(idxs, i)
 	}
 	sort.Ints(idxs)
-	p := &Perturbation{Kind: "gda", Indices: idxs}
+	p := &Perturbation{Kind: "gda", Indices: idxs, Params: net.NumParams()}
 	for _, i := range idxs {
 		p.Old = append(p.Old, orig[i])
 		p.New = append(p.New, net.ParamAt(i))
@@ -184,7 +223,7 @@ func RandomNoise(net *nn.Network, count int, sigma float64, rng *rand.Rand) (*Pe
 	}
 	perm := rng.Perm(n)[:count]
 	sort.Ints(perm)
-	p := &Perturbation{Kind: "random", Indices: perm}
+	p := &Perturbation{Kind: "random", Indices: perm, Params: n}
 	for _, idx := range perm {
 		old := net.ParamAt(idx)
 		val := old + rng.NormFloat64()*sigma
@@ -207,22 +246,27 @@ func BitFlip(net *nn.Network, count int, rng *rand.Rand) (*Perturbation, error) 
 	}
 	perm := rng.Perm(n)[:count]
 	sort.Ints(perm)
-	p := &Perturbation{Kind: "bitflip", Indices: perm}
+	p := &Perturbation{Kind: "bitflip", Indices: perm, Params: n}
 	for _, idx := range perm {
 		old := net.ParamAt(idx)
-		bits := math.Float32bits(float32(old))
-		bit := uint(rng.Intn(32))
-		flipped := float64(math.Float32frombits(bits ^ (1 << bit)))
-		if math.IsNaN(flipped) || math.IsInf(flipped, 0) {
-			// Exponent-top flips can produce NaN/Inf; a real accelerator
-			// would propagate them, but they make every comparison
-			// trivially fail. Use a saturated large value instead to
-			// keep the fault challenging.
-			flipped = math.Copysign(3.4e38, old)
-		}
+		flipped := flipStoredBit(old, uint(rng.Intn(32)))
 		net.SetParamAt(idx, flipped)
 		p.Old = append(p.Old, old)
 		p.New = append(p.New, flipped)
 	}
 	return p, nil
+}
+
+// flipStoredBit flips one bit of v's stored float32 representation and
+// returns the resulting float64 parameter value. Exponent-top flips can
+// produce NaN/Inf; a real accelerator would propagate them, but they
+// make every comparison trivially fail, so they saturate to a large
+// finite value to keep the fault challenging.
+func flipStoredBit(v float64, bit uint) float64 {
+	bits := math.Float32bits(float32(v))
+	flipped := float64(math.Float32frombits(bits ^ (1 << bit)))
+	if math.IsNaN(flipped) || math.IsInf(flipped, 0) {
+		flipped = math.Copysign(3.4e38, v)
+	}
+	return flipped
 }

@@ -228,6 +228,66 @@ func TestPerturbationReapply(t *testing.T) {
 	p.Revert(net)
 }
 
+func TestPerturbationArchitectureMismatch(t *testing.T) {
+	net := victimNet()
+	rng := rand.New(rand.NewSource(10))
+	p, err := RandomNoise(net, 5, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Revert(net); err != nil {
+		t.Fatal(err)
+	}
+
+	// A differently-shaped network: wider channels, so a different
+	// parameter count. Revert/Reapply must refuse to touch it.
+	other := models.Tiny(nn.ReLU, 1, 10, 10, 8, 10, 301)
+	if other.NumParams() == net.NumParams() {
+		t.Fatal("test networks must differ in parameter count")
+	}
+	otherSnap := paramsSnapshot(other)
+	if err := p.Reapply(other); err == nil {
+		t.Fatal("Reapply accepted a differently-shaped network")
+	}
+	if err := p.Revert(other); err == nil {
+		t.Fatal("Revert accepted a differently-shaped network")
+	}
+	assertRestored(t, other, otherSnap) // nothing written on error
+
+	// The matching network still works after the rejections.
+	if err := p.Reapply(net); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Revert(net); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerturbationMalformed(t *testing.T) {
+	net := victimNet()
+	snap := paramsSnapshot(net)
+
+	// Misaligned slices.
+	p := &Perturbation{Kind: "sba", Indices: []int{1, 2}, Old: []float64{0}, New: []float64{1, 2}}
+	if err := p.Revert(net); err == nil {
+		t.Error("misaligned perturbation accepted by Revert")
+	}
+	if err := p.Reapply(net); err == nil {
+		t.Error("misaligned perturbation accepted by Reapply")
+	}
+
+	// Legacy Params==0 skips the count check but still bounds indices.
+	p = &Perturbation{Kind: "sba", Indices: []int{net.NumParams()}, Old: []float64{0}, New: []float64{1}}
+	if err := p.Reapply(net); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	p = &Perturbation{Kind: "sba", Indices: []int{-1}, Old: []float64{0}, New: []float64{1}}
+	if err := p.Reapply(net); err == nil {
+		t.Error("negative index accepted")
+	}
+	assertRestored(t, net, snap)
+}
+
 func TestPerturbationString(t *testing.T) {
 	p := &Perturbation{Kind: "sba", Indices: []int{1}, Old: []float64{0}, New: []float64{2}}
 	if p.MaxDelta() != 2 {

@@ -1,0 +1,318 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+func TestTrojanImplantsBackdoor(t *testing.T) {
+	net := victimNet()
+	snap := paramsSnapshot(net)
+	ds := data.Digits(30, 10, 10, 210)
+	cleans := make([]*tensor.Tensor, 0, 20)
+	for _, s := range ds.Samples[:20] {
+		cleans = append(cleans, s.X)
+	}
+	base := make([]int, len(cleans))
+	for i, c := range cleans {
+		base[i] = net.Predict(c)
+	}
+	implanted := 0
+	for _, s := range ds.Samples[20:] {
+		trigger := s.X
+		target := (net.Predict(trigger) + 1) % 10
+		p, success, err := Trojan(net, trigger, target, cleans, DefaultTrojanConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The clean constraint holds by construction, success or not.
+		for i, c := range cleans {
+			if net.Predict(c) != base[i] {
+				t.Fatalf("trojan flipped clean probe %d", i)
+			}
+		}
+		if success {
+			implanted++
+			if net.Predict(trigger) != target {
+				t.Fatal("trojan reported success but trigger not steered to target")
+			}
+			if len(p.Indices) == 0 {
+				t.Fatal("successful trojan touched no parameters")
+			}
+		}
+		if err := p.Revert(net); err != nil {
+			t.Fatal(err)
+		}
+		assertRestored(t, net, snap)
+	}
+	if implanted == 0 {
+		t.Fatal("trojan never implanted a backdoor on any trigger")
+	}
+}
+
+func TestTrojanValidation(t *testing.T) {
+	net := victimNet()
+	ds := data.Digits(1, 10, 10, 211)
+	x := ds.Samples[0].X
+	if _, _, err := Trojan(net, x, 0, nil, TrojanConfig{Margin: -1}); err == nil {
+		t.Error("negative margin accepted")
+	}
+	if _, _, err := Trojan(net, x, 99, nil, DefaultTrojanConfig()); err == nil {
+		t.Error("out-of-range target class accepted")
+	}
+}
+
+func TestTargetedBitFlipSignBit(t *testing.T) {
+	net := victimNet()
+	snap := paramsSnapshot(net)
+	rng := rand.New(rand.NewSource(11))
+	p, err := TargetedBitFlip(net, 5, 31, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range p.Indices {
+		if p.Old[i] == 0 {
+			continue // sign of zero is invisible through float64 compare
+		}
+		want := float64(-float32(p.Old[i]))
+		if net.ParamAt(idx) != want {
+			t.Fatalf("sign flip at %d: got %v, want %v", idx, net.ParamAt(idx), want)
+		}
+	}
+	if err := p.Revert(net); err != nil {
+		t.Fatal(err)
+	}
+	assertRestored(t, net, snap)
+}
+
+func TestTargetedBitFlipSpectrum(t *testing.T) {
+	net := victimNet()
+	snap := paramsSnapshot(net)
+	rng := rand.New(rand.NewSource(12))
+	// A low mantissa bit moves a parameter far less than an exponent bit.
+	pm, err := TargetedBitFlip(net, 10, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mantissaMax := pm.MaxDelta()
+	if err := pm.Revert(net); err != nil {
+		t.Fatal(err)
+	}
+	pe, err := TargetedBitFlip(net, 10, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exponentMax := pe.MaxDelta()
+	for i := range pe.Indices {
+		if math.IsNaN(pe.New[i]) || math.IsInf(pe.New[i], 0) {
+			t.Fatal("exponent flip produced non-finite value")
+		}
+	}
+	if err := pe.Revert(net); err != nil {
+		t.Fatal(err)
+	}
+	assertRestored(t, net, snap)
+	if mantissaMax == 0 || exponentMax == 0 {
+		t.Fatal("bit flips changed nothing")
+	}
+	if mantissaMax >= exponentMax {
+		t.Fatalf("mantissa flip max |Δ| %v not below exponent flip %v", mantissaMax, exponentMax)
+	}
+}
+
+func TestTargetedBitFlipValidation(t *testing.T) {
+	net := victimNet()
+	rng := rand.New(rand.NewSource(13))
+	if _, err := TargetedBitFlip(net, 1, 32, rng); err == nil {
+		t.Error("bit 32 accepted")
+	}
+	if _, err := TargetedBitFlip(net, 0, 31, rng); err == nil {
+		t.Error("count=0 accepted")
+	}
+}
+
+func zooProbes(n int, seed int64) []*tensor.Tensor {
+	ds := data.Digits(n, 10, 10, seed)
+	out := make([]*tensor.Tensor, n)
+	for i, s := range ds.Samples {
+		out[i] = s.X
+	}
+	return out
+}
+
+func TestQuantEvadeInBucketCaughtExact(t *testing.T) {
+	net := victimNet()
+	snap := paramsSnapshot(net)
+	probes := zooProbes(5, 212)
+	refs := make([][]float64, len(probes))
+	for i, x := range probes {
+		refs[i] = append([]float64(nil), net.Forward(x).Data()...)
+	}
+	scale, err := quant.Scale(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	p, err := QuantEvade(net, QuantEvadeConfig{
+		Decimals: 3, Headroom: 0.9, InBucket: true, Probes: probes,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for i, x := range probes {
+		out := net.Forward(x).Data()
+		for j, v := range out {
+			if v != refs[i][j] {
+				moved = true
+			}
+			if !quant.QuantizeValue(v, scale).Matches(refs[i][j], scale) {
+				t.Fatalf("probe %d output %d left its rounding bucket", i, j)
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("QuantEvade edit moved no output bit — exact replay would accept it")
+	}
+	if err := p.Revert(net); err != nil {
+		t.Fatal(err)
+	}
+	assertRestored(t, net, snap)
+}
+
+func TestQuantEvadeToleranceBound(t *testing.T) {
+	net := victimNet()
+	snap := paramsSnapshot(net)
+	probes := zooProbes(4, 213)
+	refs := make([][]float64, len(probes))
+	for i, x := range probes {
+		refs[i] = append([]float64(nil), net.Forward(x).Data()...)
+	}
+	const tol = 1e-3
+	rng := rand.New(rand.NewSource(15))
+	p, err := QuantEvade(net, QuantEvadeConfig{Tol: tol, Headroom: 1, Probes: probes}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDev := 0.0
+	for i, x := range probes {
+		out := net.Forward(x).Data()
+		for j, v := range out {
+			if d := math.Abs(v - refs[i][j]); d > maxDev {
+				maxDev = d
+			}
+		}
+	}
+	if maxDev == 0 {
+		t.Fatal("tolerance-evading edit moved no output")
+	}
+	if maxDev > tol {
+		t.Fatalf("deviation %v exceeds tolerance %v", maxDev, tol)
+	}
+	if err := p.Revert(net); err != nil {
+		t.Fatal(err)
+	}
+	assertRestored(t, net, snap)
+}
+
+// quantOracle is an attack-side stand-in for a QuantizedOutputs replay:
+// every probe output must land in the same rounding bucket as its
+// reference.
+func quantOracle(t *testing.T, refs [][]float64, probes []*tensor.Tensor, decimals int) func(n *nn.Network) (bool, error) {
+	t.Helper()
+	scale, err := quant.Scale(decimals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(n *nn.Network) (bool, error) {
+		for i, x := range probes {
+			out := n.Forward(x).Data()
+			for j, v := range out {
+				if !quant.QuantizeValue(v, scale).Matches(refs[i][j], scale) {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	}
+}
+
+func TestAdaptiveAgainstCoarseAndExactOracles(t *testing.T) {
+	net := victimNet()
+	snap := paramsSnapshot(net)
+	probes := zooProbes(4, 214)
+	refs := make([][]float64, len(probes))
+	for i, x := range probes {
+		refs[i] = append([]float64(nil), net.Forward(x).Data()...)
+	}
+	// GDA's ascent needs a correctly classified victim to build a
+	// direction from.
+	ds := data.Digits(20, 10, 10, 215)
+	var victim *tensor.Tensor
+	label := -1
+	for _, s := range ds.Samples {
+		if net.Predict(s.X) == s.Label {
+			victim, label = s.X, s.Label
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no correctly classified victim in probe set")
+	}
+
+	// Coarse quantised oracle (decimals 1): plenty of rounding slack, a
+	// sub-boundary edit must exist.
+	coarse := quantOracle(t, refs, probes, 1)
+	rng := rand.New(rand.NewSource(16))
+	p, success, err := Adaptive(net, victim, label, coarse, DefaultAdaptiveConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !success {
+		t.Fatal("adaptive attacker defeated by a decimals-1 oracle; expected evasion")
+	}
+	if ok, _ := coarse(net); !ok {
+		t.Fatal("adaptive success but applied edit fails the oracle")
+	}
+	if err := p.Revert(net); err != nil {
+		t.Fatal(err)
+	}
+	assertRestored(t, net, snap)
+
+	// Exact oracle: whatever the attacker reports, the applied network
+	// must be consistent with it — success means replay passes, defeat
+	// means the best-effort edit is caught.
+	exact := func(n *nn.Network) (bool, error) {
+		for i, x := range probes {
+			out := n.Forward(x).Data()
+			for j, v := range out {
+				if v != refs[i][j] {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	}
+	rng = rand.New(rand.NewSource(17))
+	p, success, err = Adaptive(net, victim, label, exact, DefaultAdaptiveConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes, err := exact(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes != success {
+		t.Fatalf("adaptive reported success=%v but applied edit passes=%v", success, passes)
+	}
+	if err := p.Revert(net); err != nil {
+		t.Fatal(err)
+	}
+	assertRestored(t, net, snap)
+}

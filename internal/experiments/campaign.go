@@ -1,0 +1,487 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+	"repro/internal/validate"
+)
+
+// CampaignKinds are the attack kinds the campaign driver sweeps, in
+// canonical order: the paper's Table II/III injections plus the
+// adaptive-adversary zoo (ROADMAP direction 3).
+var CampaignKinds = []string{"sba", "gda", "random", "bitflip", "trojan", "subround", "adaptive"}
+
+// CampaignConfig sizes one detection-rate campaign: detection rate vs
+// attack magnitude, per attack kind, per suite comparison mode, over
+// seeded trials.
+//
+// Magnitude semantics are per kind — each kind's natural
+// aggressiveness knob is scaled by the grid value m:
+//
+//	sba       injected bias offset = m
+//	gda       ascent rate = 0.05·m (15 steps, top-50 params)
+//	random    Gaussian sigma = m on one parameter
+//	bitflip   stored-bit position = round(m) clamped to [0,31]
+//	          (0–22 mantissa, 23–30 exponent, 31 sign)
+//	trojan    last-layer steering margin = 0.5·m
+//	subround  deviation headroom = m × the mode's acceptance slack
+//	          (rounding half-step, or Tol): m<1 hides under the
+//	          boundary, m>1 deliberately crosses it
+//	adaptive  largest probed edit scale = m
+type CampaignConfig struct {
+	// Kinds is the attack-kind subset to run (default CampaignKinds).
+	Kinds []string
+	// Modes are the suite comparison modes swept per kind (default
+	// exact, quantized, labels).
+	Modes []validate.CompareMode
+	// Magnitudes is the magnitude grid (default {0.25, 1, 4}).
+	Magnitudes []float64
+	// Trials per (kind, mode, magnitude) cell.
+	Trials int
+	// Seed fixes every trial: the campaign result is a function of
+	// (net, suite, victims, config) with per-trial seeds derived from
+	// Seed alone, so tables are bit-identical at any worker count.
+	Seed int64
+	// Workers bounds the trial-level parallelism (0 = all cores).
+	Workers int
+	// Decimals is the QuantizedOutputs precision of every quantized
+	// cell, and the rounding boundary the subround attacker hides
+	// under.
+	Decimals int
+	// Tol, when positive, relaxes every replay comparison by the given
+	// tolerance, and switches the subround attacker to hiding inside
+	// it instead of under the rounding boundary.
+	Tol float64
+}
+
+// DefaultCampaignConfig covers every kind and mode on a coarse grid.
+func DefaultCampaignConfig() CampaignConfig {
+	return CampaignConfig{
+		Kinds:      CampaignKinds,
+		Modes:      []validate.CompareMode{validate.ExactOutputs, validate.QuantizedOutputs, validate.LabelsOnly},
+		Magnitudes: []float64{0.25, 1, 4},
+		Trials:     20,
+		Seed:       1,
+		Decimals:   3,
+	}
+}
+
+// CampaignCell is one (kind, mode, magnitude) measurement.
+type CampaignCell struct {
+	Kind      string  `json:"kind"`
+	Mode      string  `json:"mode"`
+	Magnitude float64 `json:"magnitude"`
+	Trials    int     `json:"trials"`
+	// Detected counts trials where replay caught the edit — including
+	// Failed trials, where the attacker could not construct an edit at
+	// all (e.g. QuantEvade finds no sub-boundary direction): a trial
+	// the attacker forfeits is a trial the defence wins.
+	Detected int `json:"detected"`
+	Failed   int `json:"failed"`
+}
+
+// Rate returns the cell's detection rate in [0,1].
+func (c CampaignCell) Rate() float64 {
+	if c.Trials == 0 {
+		return 0
+	}
+	return float64(c.Detected) / float64(c.Trials)
+}
+
+// CampaignResult is the full sweep: a cell per (kind, mode, magnitude)
+// in kinds-major order.
+type CampaignResult struct {
+	Model     string         `json:"model"`
+	SuiteName string         `json:"suite"`
+	SuiteSize int            `json:"suite_size"`
+	Seed      int64          `json:"seed"`
+	Trials    int            `json:"trials"`
+	Decimals  int            `json:"decimals"`
+	Tol       float64        `json:"tol,omitempty"`
+	Cells     []CampaignCell `json:"cells"`
+}
+
+// mix64 is the splitmix64 finaliser; trialSeed chains it over the
+// attack and trial coordinates so every trial's RNG stream is a pure
+// function of (Seed, attack, trial) — independent of how the
+// parallel.Pool partitions trials over workers. The attack coordinate
+// spans (kind, magnitude) but NOT the mode, so every mode column
+// measures the same edit sequence and the mode comparison is per-trial
+// apples-to-apples (for every kind but adaptive, whose edit depends on
+// the mode it is evading).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func trialSeed(seed int64, attack, trial int) int64 {
+	z := mix64(uint64(seed) + 0x9E3779B97F4A7C15*uint64(attack+1))
+	z = mix64(z + 0xD1B54A32D192ED03*uint64(trial+1))
+	return int64(z)
+}
+
+// trialAttack builds and applies one edit. ok=false means the attacker
+// forfeited — it could not construct an edit and the network is
+// untouched; p is then nil or empty.
+type trialAttack func(net *nn.Network, rng *rand.Rand) (p *attack.Perturbation, ok bool, err error)
+
+// campaignAttack maps a kind and magnitude to a trial attack. The
+// suite view sv is the cell's comparison (the adaptive attacker
+// replays it as its oracle; the subround attacker probes its inputs),
+// and victims supplies triggers and GDA targets.
+func campaignAttack(kind string, mag float64, sv *validate.Suite, victims *data.Dataset, cfg CampaignConfig) (trialAttack, error) {
+	pickVictim := func(n *nn.Network, rng *rand.Rand) (x *tensor.Tensor, label int) {
+		// Prefer a correctly classified victim: GDA and the adaptive
+		// direction search have nothing to ascend on one the network
+		// already gets wrong.
+		for tries := 0; tries < 50; tries++ {
+			s := victims.Samples[rng.Intn(victims.Len())]
+			if n.Predict(s.X) == s.Label {
+				return s.X, s.Label
+			}
+		}
+		s := victims.Samples[rng.Intn(victims.Len())]
+		return s.X, s.Label
+	}
+	switch kind {
+	case "sba":
+		return func(n *nn.Network, rng *rand.Rand) (*attack.Perturbation, bool, error) {
+			p, err := attack.SBA(n, mag, rng)
+			return p, err == nil, err
+		}, nil
+	case "gda":
+		gcfg := attack.GDAConfig{Steps: 15, LR: 0.05 * mag, TopK: 50}
+		return func(n *nn.Network, rng *rand.Rand) (*attack.Perturbation, bool, error) {
+			x, label := pickVictim(n, rng)
+			p, _, err := attack.GDA(n, x, label, gcfg, rng)
+			return p, err == nil, err
+		}, nil
+	case "random":
+		return func(n *nn.Network, rng *rand.Rand) (*attack.Perturbation, bool, error) {
+			p, err := attack.RandomNoise(n, 1, mag, rng)
+			return p, err == nil, err
+		}, nil
+	case "bitflip":
+		bit := int(math.Round(mag))
+		if bit < 0 {
+			bit = 0
+		}
+		if bit > 31 {
+			bit = 31
+		}
+		return func(n *nn.Network, rng *rand.Rand) (*attack.Perturbation, bool, error) {
+			p, err := attack.TargetedBitFlip(n, 1, uint(bit), rng)
+			return p, err == nil, err
+		}, nil
+	case "trojan":
+		tcfg := attack.TrojanConfig{Margin: 0.5 * mag}
+		return func(n *nn.Network, rng *rand.Rand) (*attack.Perturbation, bool, error) {
+			x, _ := pickVictim(n, rng)
+			target := (n.Predict(x) + 1) % victims.Classes
+			// The suite-aware trojaner preserves predictions on the
+			// sealed suite's own inputs — the labels-mode replay set.
+			return attack.Trojan(n, x, target, sv.Inputs, tcfg)
+		}, nil
+	case "subround":
+		qcfg := attack.QuantEvadeConfig{
+			Decimals: cfg.Decimals, Tol: cfg.Tol, Headroom: mag, Probes: sv.Inputs,
+		}
+		return func(n *nn.Network, rng *rand.Rand) (*attack.Perturbation, bool, error) {
+			p, err := attack.QuantEvade(n, qcfg, rng)
+			if err != nil {
+				// No sub-boundary direction among the candidates: the
+				// attacker forfeits, nothing was applied.
+				return nil, false, nil
+			}
+			return p, true, nil
+		}, nil
+	case "adaptive":
+		acfg := attack.AdaptiveConfig{Steps: 5, TopK: 50, MaxScale: mag, Iters: 20}
+		opts := validate.ValidateOptions{Tolerance: cfg.Tol}
+		return func(n *nn.Network, rng *rand.Rand) (*attack.Perturbation, bool, error) {
+			x, label := pickVictim(n, rng)
+			oracle := func(m *nn.Network) (bool, error) {
+				detected, err := sv.DetectsWith(validate.LocalIP{Net: m}, opts)
+				return !detected, err
+			}
+			p, _, err := attack.Adaptive(n, x, label, oracle, acfg, rng)
+			if err != nil {
+				return nil, false, nil // no damaging direction: forfeit
+			}
+			// Defeated or not, the attacker's best-effort edit is
+			// applied and its detection measured.
+			return p, true, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown attack kind %q (have %s)", kind, strings.Join(CampaignKinds, ", "))
+	}
+}
+
+// RunCampaign sweeps detection rate over kinds × modes × magnitudes.
+// The suite must be built on (or opened against) net; victims supplies
+// attack triggers. Trials run on a parallel.Pool with per-worker
+// network clones; per-trial RNG seeds derive from (Seed, cell, trial)
+// and cells aggregate by order-independent counting, so the result is
+// bit-identical at any worker count.
+func RunCampaign(net *nn.Network, suite *validate.Suite, victims *data.Dataset, cfg CampaignConfig) (*CampaignResult, error) {
+	if len(cfg.Kinds) == 0 {
+		cfg.Kinds = CampaignKinds
+	}
+	if len(cfg.Modes) == 0 {
+		cfg.Modes = []validate.CompareMode{validate.ExactOutputs, validate.QuantizedOutputs, validate.LabelsOnly}
+	}
+	if len(cfg.Magnitudes) == 0 {
+		cfg.Magnitudes = []float64{0.25, 1, 4}
+	}
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("experiments: campaign needs positive trials")
+	}
+	if victims == nil || victims.Len() == 0 {
+		return nil, fmt.Errorf("experiments: campaign needs a victim pool")
+	}
+
+	// One suite view per mode: same tests, the cell's comparison.
+	views := make([]*validate.Suite, len(cfg.Modes))
+	for mi, m := range cfg.Modes {
+		sv := *suite
+		sv.Mode = m
+		sv.Decimals = cfg.Decimals
+		views[mi] = &sv
+	}
+
+	type cellSpec struct {
+		kind string
+		mode validate.CompareMode
+		mag  float64
+		atk  trialAttack
+		view *validate.Suite
+		// attack indexes the (kind, magnitude) pair, shared across
+		// modes: it seeds the trials, so every mode replays the same
+		// edit sequence.
+		attack int
+	}
+	var cells []cellSpec
+	for ki, kind := range cfg.Kinds {
+		for mi, m := range cfg.Modes {
+			for gi, mag := range cfg.Magnitudes {
+				atk, err := campaignAttack(kind, mag, views[mi], victims, cfg)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, cellSpec{
+					kind: kind, mode: m, mag: mag, atk: atk, view: views[mi],
+					attack: ki*len(cfg.Magnitudes) + gi,
+				})
+			}
+		}
+	}
+
+	pool := parallel.NewPool(cfg.Workers)
+	defer pool.Close()
+	workers := pool.Workers()
+	nets := make([]*nn.Network, workers)
+	for w := range nets {
+		nets[w] = net.Clone()
+	}
+
+	total := len(cells) * cfg.Trials
+	detected := make([]byte, total)
+	failed := make([]byte, total)
+	errs := make([]error, workers)
+	opts := validate.ValidateOptions{Tolerance: cfg.Tol}
+	pool.For(total, func(worker, start, end int) {
+		wnet := nets[worker] // pinned per-worker clone
+		for i := start; i < end; i++ {
+			if errs[worker] != nil {
+				return
+			}
+			ci, ti := i/cfg.Trials, i%cfg.Trials
+			cell := cells[ci]
+			rng := rand.New(rand.NewSource(trialSeed(cfg.Seed, cell.attack, ti)))
+			p, ok, err := cell.atk(wnet, rng)
+			if err != nil {
+				errs[worker] = fmt.Errorf("experiments: %s/%s m=%g trial %d: %w", cell.kind, cell.mode, cell.mag, ti, err)
+				return
+			}
+			if !ok {
+				failed[i], detected[i] = 1, 1
+				continue
+			}
+			caught, err := cell.view.DetectsWith(validate.LocalIP{Net: wnet}, opts)
+			if rerr := p.Revert(wnet); err == nil {
+				err = rerr
+			}
+			if err != nil {
+				errs[worker] = fmt.Errorf("experiments: %s/%s m=%g trial %d: %w", cell.kind, cell.mode, cell.mag, ti, err)
+				return
+			}
+			if caught {
+				detected[i] = 1
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &CampaignResult{
+		Model:     suite.Name,
+		SuiteName: suite.Name,
+		SuiteSize: len(suite.Inputs),
+		Seed:      cfg.Seed,
+		Trials:    cfg.Trials,
+		Decimals:  cfg.Decimals,
+		Tol:       cfg.Tol,
+	}
+	for ci, cell := range cells {
+		cc := CampaignCell{Kind: cell.kind, Mode: cell.mode.String(), Magnitude: cell.mag, Trials: cfg.Trials}
+		for ti := 0; ti < cfg.Trials; ti++ {
+			i := ci*cfg.Trials + ti
+			cc.Detected += int(detected[i])
+			cc.Failed += int(failed[i])
+		}
+		res.Cells = append(res.Cells, cc)
+	}
+	return res, nil
+}
+
+// Render returns the paperbench-style detection table: one row per
+// (kind, magnitude), one column per mode.
+func (r *CampaignResult) Render() string {
+	modes := r.modes()
+	tab := &Table{
+		Title:   fmt.Sprintf("Detection rate vs attack magnitude — %s (%d trials/cell, seed %d, decimals %d)", r.Model, r.Trials, r.Seed, r.Decimals),
+		Headers: append([]string{"attack"}, modes...),
+	}
+	type rowKey struct {
+		kind string
+		mag  float64
+	}
+	index := map[rowKey]map[string]CampaignCell{}
+	var order []rowKey
+	for _, c := range r.Cells {
+		k := rowKey{c.Kind, c.Magnitude}
+		if index[k] == nil {
+			index[k] = map[string]CampaignCell{}
+			order = append(order, k)
+		}
+		index[k][c.Mode] = c
+	}
+	for _, k := range order {
+		row := []any{fmt.Sprintf("%s m=%g", k.kind, k.mag)}
+		for _, m := range modes {
+			c := index[k][m]
+			cell := fmt.Sprintf("%.1f%%", 100*c.Rate())
+			if c.Failed > 0 {
+				cell += fmt.Sprintf(" (%df)", c.Failed)
+			}
+			row = append(row, cell)
+		}
+		tab.AddRow(row...)
+	}
+	return tab.String()
+}
+
+// modes returns the distinct mode labels in first-seen order.
+func (r *CampaignResult) modes() []string {
+	var out []string
+	for _, c := range r.Cells {
+		found := false
+		for _, m := range out {
+			if m == c.Mode {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, c.Mode)
+		}
+	}
+	return out
+}
+
+// JSON returns the machine-readable campaign result.
+func (r *CampaignResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// BaselineLines renders the floors file the CI detection-gate checks
+// against: one "kind mode magnitude rate%" line per cell, plus a
+// header comment. Rates are exact — the campaign is deterministic — so
+// a regressing cell compares strictly below its floor.
+func (r *CampaignResult) BaselineLines() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# detection-rate floors: kind mode magnitude rate%% (seed %d, %d trials/cell, decimals %d)\n", r.Seed, r.Trials, r.Decimals)
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%s %s %g %.1f\n", c.Kind, c.Mode, c.Magnitude, 100*c.Rate())
+	}
+	return b.String()
+}
+
+// CheckFloors compares the result against a floors file produced by
+// BaselineLines: every baseline cell must exist in the result with a
+// detection rate no lower than its floor. Cells may exceed their floor
+// (the defence improving is not a regression) and extra result cells
+// are ignored, so grids can grow without invalidating old floors.
+func (r *CampaignResult) CheckFloors(baseline string) error {
+	find := func(kind, mode string, mag float64) (CampaignCell, bool) {
+		for _, c := range r.Cells {
+			if c.Kind == kind && c.Mode == mode && math.Abs(c.Magnitude-mag) < 1e-12 {
+				return c, true
+			}
+		}
+		return CampaignCell{}, false
+	}
+	var failures []string
+	lineNo := 0
+	for _, line := range strings.Split(baseline, "\n") {
+		lineNo++
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			return fmt.Errorf("experiments: baseline line %d: want 'kind mode magnitude rate%%', got %q", lineNo, line)
+		}
+		mag, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return fmt.Errorf("experiments: baseline line %d: bad magnitude %q: %w", lineNo, f[2], err)
+		}
+		floor, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			return fmt.Errorf("experiments: baseline line %d: bad floor %q: %w", lineNo, f[3], err)
+		}
+		cell, found := find(f[0], f[1], mag)
+		if !found {
+			failures = append(failures, fmt.Sprintf("%s/%s m=%g: cell missing from campaign", f[0], f[1], mag))
+			continue
+		}
+		// Floors are stored at %.1f, which rounds up rates like 66.66…%;
+		// allow half a stored ulp so a bit-identical rerun always passes
+		// while any real regression (≥ one trial, ≥ 1/Trials in rate)
+		// still fails.
+		if pct := 100 * cell.Rate(); pct+0.05+1e-9 < floor {
+			failures = append(failures, fmt.Sprintf("%s/%s m=%g: detection %.1f%% below floor %.1f%%", f[0], f[1], mag, pct, floor))
+		}
+	}
+	if len(failures) > 0 {
+		sort.Strings(failures)
+		return fmt.Errorf("experiments: detection-rate regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}

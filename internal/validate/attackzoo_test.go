@@ -1,0 +1,86 @@
+package validate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attack"
+)
+
+// Attack-zoo integration tests: the quantisation-aware attacker from
+// internal/attack, measured against the replay modes it targets. The
+// property pinned here is the campaign's headline asymmetry — an edit
+// optimised to keep every suite output inside its rounding bucket
+// evades QuantizedOutputs replay and is caught by ExactOutputs replay —
+// at each precision the v4 wire tests probe, on the local path and over
+// the v5 quantised wire.
+
+func TestQuantEvasionEvadesQuantizedCaughtByExact(t *testing.T) {
+	suite := goldenSuite(t, 10, QuantizedOutputs)
+	for _, decimals := range []int{1, 3, 6} {
+		sq := *suite
+		sq.Decimals = decimals
+		se := *suite
+		se.Mode = ExactOutputs
+		se.Decimals = decimals
+
+		// The attacker knows the sealed inputs and the precision: it
+		// optimises an edit that moves raw output bits while every probed
+		// output stays in its rounding bucket.
+		target := goldenNet().Clone()
+		rng := rand.New(rand.NewSource(int64(40 + decimals)))
+		p, err := attack.QuantEvade(target, attack.QuantEvadeConfig{
+			Decimals: decimals, Headroom: 0.9, InBucket: true, Probes: suite.Inputs,
+		}, rng)
+		if err != nil {
+			t.Fatalf("decimals %d: %v", decimals, err)
+		}
+		if len(p.Indices) == 0 {
+			t.Fatalf("decimals %d: QuantEvade applied no edit", decimals)
+		}
+
+		// Local replay: quantized mode accepts the evading model, exact
+		// mode detects it.
+		caught, err := sq.Detects(LocalIP{Net: target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if caught {
+			t.Fatalf("decimals %d: sub-rounding edit detected by local quantized replay", decimals)
+		}
+		caught, err = se.Detects(LocalIP{Net: target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !caught {
+			t.Fatalf("decimals %d: sub-rounding edit not detected by local exact replay", decimals)
+		}
+
+		// The v5 quantised wire must agree with the local quantized
+		// verdict: the evasion survives the network dialect too.
+		_, addr := startServerMax(t, target, protocolVersion)
+		qip := dialQuant(t, addr, false)
+		rep, err := sq.ValidateWith(qip, ValidateOptions{Batch: 4})
+		if err != nil {
+			t.Fatalf("decimals %d: %v", decimals, err)
+		}
+		if !rep.Passed {
+			t.Fatalf("decimals %d: v5 quantised wire detected the edit local quantized replay accepts: %+v", decimals, rep)
+		}
+
+		// And the exact-mode replay over the float64 wire still catches
+		// it — remote validation loses none of the exact-mode power.
+		eip, err := DialWith(addr, DialOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err = se.ValidateWith(eip, ValidateOptions{Batch: 4})
+		eip.Close()
+		if err != nil {
+			t.Fatalf("decimals %d: %v", decimals, err)
+		}
+		if rep.Passed {
+			t.Fatalf("decimals %d: exact replay over the wire missed the sub-rounding edit", decimals)
+		}
+	}
+}

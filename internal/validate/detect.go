@@ -50,7 +50,9 @@ func DetectionRate(net *nn.Network, suite *Suite, atk AttackFn, trials int, seed
 			return DetectionResult{}, fmt.Errorf("validate: trial %d attack: %w", t, err)
 		}
 		detected, err := suite.Detects(ip)
-		p.Revert(net)
+		if rerr := p.Revert(net); err == nil {
+			err = rerr
+		}
 		if err != nil {
 			return DetectionResult{}, fmt.Errorf("validate: trial %d: %w", t, err)
 		}
@@ -76,7 +78,9 @@ func Perturbations(net *nn.Network, atk AttackFn, trials int, seed int64) ([]*at
 		if err != nil {
 			return nil, fmt.Errorf("validate: trial %d attack: %w", t, err)
 		}
-		p.Revert(net)
+		if err := p.Revert(net); err != nil {
+			return nil, fmt.Errorf("validate: trial %d: %w", t, err)
+		}
 		out = append(out, p)
 	}
 	return out, nil
@@ -121,9 +125,13 @@ func DetectionRateOverWith(net *nn.Network, suite *Suite, perts []*attack.Pertur
 	res := DetectionResult{Trials: len(perts)}
 	ip := LocalIP{Net: net}
 	for i, p := range perts {
-		p.Reapply(net)
+		if err := p.Reapply(net); err != nil {
+			return DetectionResult{}, fmt.Errorf("validate: trial %d: %w", i, err)
+		}
 		detected, err := suite.DetectsWith(ip, opts)
-		p.Revert(net)
+		if rerr := p.Revert(net); err == nil {
+			err = rerr
+		}
 		if err != nil {
 			return DetectionResult{}, fmt.Errorf("validate: trial %d: %w", i, err)
 		}

@@ -266,6 +266,31 @@ func AttackBitFlip(net *Network, count int, seed int64) (*Perturbation, error) {
 	return attack.BitFlip(net, count, rand.New(rand.NewSource(seed)))
 }
 
+// AttackTargetedBitFlip flips the given stored-float32 bit (31 sign,
+// 30–23 exponent, 22–0 mantissa) in count random parameters —
+// rowhammer-style targeted corruption.
+func AttackTargetedBitFlip(net *Network, count int, bit uint, seed int64) (*Perturbation, error) {
+	return attack.TargetedBitFlip(net, count, bit, rand.New(rand.NewSource(seed)))
+}
+
+// AttackTrojan implants a backdoor that steers trigger to the target
+// class by a closed-form last-layer edit preserving predictions on
+// every clean input; success reports whether the trigger reached the
+// target.
+func AttackTrojan(net *Network, trigger *Tensor, target int, cleans []*Tensor) (*Perturbation, bool, error) {
+	return attack.Trojan(net, trigger, target, cleans, attack.DefaultTrojanConfig())
+}
+
+// AttackQuantEvade optimises an edit that moves raw output bits on
+// the probes while every probed output stays in its rounding bucket
+// at the given decimals — evading QuantizedOutputs replay while
+// ExactOutputs replay still catches it.
+func AttackQuantEvade(net *Network, probes []*Tensor, decimals int, seed int64) (*Perturbation, error) {
+	return attack.QuantEvade(net, attack.QuantEvadeConfig{
+		Decimals: decimals, InBucket: true, Probes: probes,
+	}, rand.New(rand.NewSource(seed)))
+}
+
 // SetKernelParallelism bounds the worker goroutines the tensor matrix
 // kernels may use (default: the whole machine). The kernels partition
 // output rows, so results are bit-identical at any setting; values
